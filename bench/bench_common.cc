@@ -1,0 +1,171 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/iosched/scheduler.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/ssd/device.h"
+#include "src/workload/workload.h"
+
+namespace libra::bench {
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("flags: --full (paper-size grids)  --csv (CSV output)\n");
+    }
+  }
+  return args;
+}
+
+const ssd::CalibrationTable& TableFor(const ssd::DeviceProfile& profile) {
+  static std::map<std::string, ssd::CalibrationTable>* cache =
+      new std::map<std::string, ssd::CalibrationTable>();
+  auto it = cache->find(profile.name);
+  if (it == cache->end()) {
+    ssd::CalibrationOptions opt;
+    opt.warmup = 300 * kMillisecond;
+    opt.measure = 1 * kSecond;
+    it = cache->emplace(profile.name, ssd::Calibrate(profile, opt)).first;
+  }
+  return it->second;
+}
+
+void Emit(const BenchArgs& args, const metrics::Table& table) {
+  std::fputs(args.csv ? table.ToCsv().c_str() : table.ToText().c_str(),
+             stdout);
+  std::fputc('\n', stdout);
+}
+
+void Section(const BenchArgs& args, const std::string& title) {
+  if (!args.csv) {
+    std::printf("== %s ==\n", title.c_str());
+  }
+}
+
+std::vector<uint32_t> SweepSizesKb(bool full) {
+  if (full) {
+    return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  }
+  return {1, 4, 16, 64, 256};
+}
+
+RawCellResult RunRawCell(const ssd::DeviceProfile& profile,
+                         const RawCellSpec& spec) {
+  sim::EventLoop loop;
+  ssd::SsdDevice device(loop, profile);
+  const uint64_t working_set =
+      std::min<uint64_t>(1ULL * kGiB, profile.capacity_bytes / 2);
+  device.Prefill(working_set);
+  iosched::IoScheduler scheduler(
+      loop, device,
+      iosched::MakeCostModel(spec.cost_model, TableFor(profile)));
+  // VOP accounting for the result always uses the exact model, regardless
+  // of the model under test (Fig. 9's "VOP allocation accuracy" compares
+  // true consumption).
+  iosched::ExactCostModel exact(TableFor(profile));
+
+  RawCellResult result;
+  result.tenant_vops.assign(spec.num_tenants, 0.0);
+  result.tenant_exact_vops.assign(spec.num_tenants, 0.0);
+  result.tenant_iops.assign(spec.num_tenants, 0.0);
+  result.tenant_bytes.assign(spec.num_tenants, 0.0);
+  result.tenant_is_reader.assign(spec.num_tenants, false);
+
+  std::vector<std::unique_ptr<workload::RawIoWorkload>> workloads;
+  const SimTime end_time = spec.warmup + spec.measure;
+  for (int t = 0; t < spec.num_tenants; ++t) {
+    scheduler.SetAllocation(t, 1000.0);  // equal allocations
+    const bool first_half = t < spec.num_tenants / 2;
+    const double my_size = first_half ? spec.size_a_bytes : spec.size_b_bytes;
+    workload::RawIoSpec w;
+    switch (spec.mode) {
+      case CellMode::kMixed:
+        w.read_fraction = spec.read_fraction;
+        w.read_size = {spec.size_a_bytes, spec.sigma_bytes, 1024, 1ULL * kMiB};
+        w.write_size = {spec.size_b_bytes, spec.sigma_bytes, 1024, 1ULL * kMiB};
+        result.tenant_is_reader[t] = spec.read_fraction >= 0.5;
+        break;
+      case CellMode::kReadWrite:
+        w.read_fraction = first_half ? 1.0 : 0.0;
+        w.read_size = {my_size, spec.sigma_bytes, 1024, 1ULL * kMiB};
+        w.write_size = {my_size, spec.sigma_bytes, 1024, 1ULL * kMiB};
+        result.tenant_is_reader[t] = first_half;
+        break;
+      case CellMode::kReadRead:
+        w.read_fraction = 1.0;
+        w.read_size = {my_size, spec.sigma_bytes, 1024, 1ULL * kMiB};
+        result.tenant_is_reader[t] = true;
+        break;
+      case CellMode::kWriteWrite:
+        w.read_fraction = 0.0;
+        w.write_size = {my_size, spec.sigma_bytes, 1024, 1ULL * kMiB};
+        result.tenant_is_reader[t] = false;
+        break;
+    }
+    w.workers = spec.workers_per_tenant;
+    w.working_set_bytes = working_set;
+    workloads.push_back(std::make_unique<workload::RawIoWorkload>(
+        loop, scheduler, static_cast<iosched::TenantId>(t), w,
+        spec.seed + static_cast<uint64_t>(t) * 7919));
+  }
+
+  std::vector<iosched::TenantIoStats> at_warmup(spec.num_tenants);
+  {
+    sim::TaskGroup group(loop);
+    for (auto& w : workloads) {
+      w->Start(group, end_time);
+    }
+    loop.ScheduleAt(spec.warmup, [&] {
+      for (int t = 0; t < spec.num_tenants; ++t) {
+        at_warmup[t] = scheduler.tracker().Stats(t);
+      }
+    });
+    loop.Run();
+  }
+
+  const double secs = ToSeconds(spec.measure);
+  for (int t = 0; t < spec.num_tenants; ++t) {
+    const auto& s = scheduler.tracker().Stats(t);
+    const double r_ops =
+        static_cast<double>(s.read_ops - at_warmup[t].read_ops);
+    const double r_bytes =
+        static_cast<double>(s.read_bytes - at_warmup[t].read_bytes);
+    const double w_ops =
+        static_cast<double>(s.write_ops - at_warmup[t].write_ops);
+    const double w_bytes =
+        static_cast<double>(s.write_bytes - at_warmup[t].write_bytes);
+    result.tenant_iops[t] = (r_ops + w_ops) / secs;
+    result.tenant_bytes[t] = (r_bytes + w_bytes) / secs;
+    result.tenant_vops[t] = (s.vops - at_warmup[t].vops) / secs;
+    // Re-price physical IO with the exact model (per-chunk mean size): the
+    // true VOP throughput, regardless of the model under test.
+    double exact_vops = 0.0;
+    if (r_ops > 0) {
+      exact_vops += r_ops * exact.Cost(ssd::IoType::kRead,
+                                       static_cast<uint32_t>(r_bytes / r_ops));
+    }
+    if (w_ops > 0) {
+      exact_vops += w_ops * exact.Cost(ssd::IoType::kWrite,
+                                       static_cast<uint32_t>(w_bytes / w_ops));
+    }
+    result.tenant_exact_vops[t] = exact_vops / secs;
+  }
+  for (double v : result.tenant_exact_vops) {
+    result.total_vops_per_sec += v;
+  }
+  return result;
+}
+
+}  // namespace libra::bench

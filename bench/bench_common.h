@@ -1,0 +1,83 @@
+// Shared infrastructure for the figure-reproduction benches: flag parsing
+// (--full for the paper's full grids, --csv for machine-readable output),
+// memoized device calibration, and the raw-IO experiment cell runner used
+// by the Fig. 4/5/7/9 harnesses.
+
+#ifndef LIBRA_BENCH_BENCH_COMMON_H_
+#define LIBRA_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/iosched/cost_model.h"
+#include "src/metrics/table.h"
+#include "src/ssd/calibration.h"
+#include "src/ssd/profile.h"
+
+namespace libra::bench {
+
+struct BenchArgs {
+  bool full = false;  // paper-size grids (slower)
+  bool csv = false;   // CSV instead of aligned text
+};
+
+BenchArgs ParseArgs(int argc, char** argv);
+
+// Calibration for a device profile, computed once per process.
+const ssd::CalibrationTable& TableFor(const ssd::DeviceProfile& profile);
+
+// Emits a table in the format the args request.
+void Emit(const BenchArgs& args, const metrics::Table& table);
+
+// Prints a section header (skipped in CSV mode).
+void Section(const BenchArgs& args, const std::string& title);
+
+// --- raw-IO experiment cell (paper §4.2/§6.2 setup) ---
+//
+// 8 tenants with equal VOP allocations at queue depth 32, split into two
+// halves (A = first half, B = second half):
+//   kMixed:     every tenant issues reads (size_a) and writes (size_b) at
+//               read_fraction — the mixed-ratio maps of Fig. 4.
+//   kReadWrite: half pure readers (size_a), half pure writers (size_b) —
+//               Fig. 4's "1:1" map and the Fig. 7 insulation grid.
+//   kReadRead / kWriteWrite: both halves same op type at sizes a and b —
+//               the rr/ww panels of Fig. 9.
+// Sizes may be fixed or log-normal (sigma > 0).
+enum class CellMode { kMixed, kReadWrite, kReadRead, kWriteWrite };
+
+struct RawCellSpec {
+  CellMode mode = CellMode::kMixed;
+  double read_fraction = 0.5;   // kMixed only
+  double size_a_bytes = 4096;
+  double size_b_bytes = 4096;
+  double sigma_bytes = 0.0;     // applied to both
+  std::string cost_model = "exact";
+  int num_tenants = 8;
+  int workers_per_tenant = 4;   // 8 x 4 = QD 32
+  SimDuration warmup = 300 * kMillisecond;
+  SimDuration measure = 2 * kSecond;
+  uint64_t seed = 11;
+};
+
+struct RawCellResult {
+  double total_vops_per_sec = 0.0;      // under the exact model
+  // Per-tenant rates over the measurement window:
+  std::vector<double> tenant_vops;        // VOP/s charged by the model under test
+  std::vector<double> tenant_exact_vops;  // VOP/s re-priced with the exact model
+  std::vector<double> tenant_iops;        // physical ops/s completed
+  std::vector<double> tenant_bytes;       // bytes/s moved
+  std::vector<bool> tenant_is_reader;     // exclusive mode labeling
+};
+
+RawCellResult RunRawCell(const ssd::DeviceProfile& profile,
+                         const RawCellSpec& spec);
+
+// Per-size IOP-size grid used by the sweeps: {1,2,...,256} KB (full) or a
+// coarse subset (quick).
+std::vector<uint32_t> SweepSizesKb(bool full);
+
+}  // namespace libra::bench
+
+#endif  // LIBRA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,32 @@
+// Figure 6: the Libra VOP cost model — read and write VOP cost-per-byte
+// curves derived from the calibrated performance curves. Writes cost ~3x
+// reads at 1KB; the gap narrows with IOP size.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace libra::bench;
+  using libra::ssd::IoType;
+  const BenchArgs args = ParseArgs(argc, argv);
+  const auto profile = libra::ssd::Intel320Profile();
+  libra::iosched::ExactCostModel model(TableFor(profile));
+
+  Section(args, "Figure 6: Libra IO cost model (" + profile.name + ")");
+  libra::metrics::Table out({"size_kb", "read_vop_cost", "write_vop_cost",
+                             "read_cost_per_kb", "write_cost_per_kb",
+                             "write_over_read"});
+  for (uint32_t kb : libra::ssd::kSweepSizesKb) {
+    const uint32_t size = kb * 1024;
+    const double rc = model.Cost(IoType::kRead, size);
+    const double wc = model.Cost(IoType::kWrite, size);
+    out.AddNumericRow(std::to_string(kb),
+                      {rc, wc, rc / kb, wc / kb, wc / rc}, 3);
+  }
+  Emit(args, out);
+  if (!args.csv) {
+    std::printf("max VOP/s: %.0f\n", model.max_vops());
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 8: virtual IOP cost curves under the five cost models — Libra's
+// exact and fitted models against the constant cost-per-byte (DynamoDB
+// pricing), naive linear (mClock/FlashFQ family), and fixed per-IOP
+// alternatives. The constant model over-charges everything above 1KB; the
+// linear model undercuts small/medium ops; the fixed model's cost-per-byte
+// collapses with size.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace libra::bench;
+  using libra::ssd::IoType;
+  const BenchArgs args = ParseArgs(argc, argv);
+  const auto profile = libra::ssd::Intel320Profile();
+  const auto& table = TableFor(profile);
+
+  const char* kModels[] = {"exact", "fitted", "constant", "linear", "fixed"};
+  for (IoType type : {IoType::kRead, IoType::kWrite}) {
+    Section(args, std::string("Figure 8: ") + libra::ssd::IoTypeName(type).data() +
+                      " IO cost models, VOPs per op (" + profile.name + ")");
+    libra::metrics::Table out(
+        {"size_kb", "exact", "fitted", "constant", "linear", "fixed"});
+    for (uint32_t kb : libra::ssd::kSweepSizesKb) {
+      std::vector<double> row;
+      for (const char* name : kModels) {
+        auto model = libra::iosched::MakeCostModel(name, table);
+        row.push_back(model->Cost(type, kb * 1024));
+      }
+      out.AddNumericRow(std::to_string(kb), row, 3);
+    }
+    Emit(args, out);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 9: how cost-model accuracy translates into allocation accuracy.
+// For each cost model and each tenant mix (read-read, write-write,
+// read-write) over the Fig. 7 size grid:
+//   - IOP insulation MMR: min/max ratio of physical throughput ratios
+//     (x_t = achieved/expected) — reflects how well the model captures true
+//     IOP cost. Paper: only exact/fitted exceed 0.9 median; linear ~0.83;
+//     constant and fixed trail badly.
+//   - VOP allocation MMR: min/max ratio of exact-model VOP consumption —
+//     reflects scheduler accounting fidelity. Paper: >0.94 for everything
+//     but constant, confirming insulation failures come from cost-model
+//     error, not the scheduler.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace libra::bench {
+namespace {
+
+struct MixSpec {
+  std::string name;
+  CellMode mode;
+};
+
+void RunModel(const BenchArgs& args, const ssd::DeviceProfile& profile,
+              const std::string& model, metrics::Table& iop_table,
+              metrics::Table& vop_table) {
+  const auto& table = TableFor(profile);
+  const auto sizes = SweepSizesKb(args.full);
+  const MixSpec mixes[] = {
+      {"read-read", CellMode::kReadRead},
+      {"write-write", CellMode::kWriteWrite},
+      {"read-write", CellMode::kReadWrite},
+  };
+  for (const MixSpec& mix : mixes) {
+    SampleSet iop_mmr;
+    SampleSet vop_mmr;
+    for (uint32_t a : sizes) {
+      for (uint32_t b : sizes) {
+        RawCellSpec cell;
+        cell.mode = mix.mode;
+        cell.cost_model = model;
+        cell.size_a_bytes = static_cast<double>(a) * 1024.0;
+        cell.size_b_bytes = static_cast<double>(b) * 1024.0;
+        const RawCellResult res = RunRawCell(profile, cell);
+
+        std::vector<double> iop_ratios;
+        for (size_t t = 0; t < res.tenant_iops.size(); ++t) {
+          const bool first_half = t < res.tenant_iops.size() / 2;
+          const double size = (first_half ? a : b) * 1024.0;
+          const bool is_read = res.tenant_is_reader[t];
+          const double iso = is_read ? table.RandReadIops(
+                                           static_cast<uint32_t>(size))
+                                     : table.RandWriteIops(
+                                           static_cast<uint32_t>(size));
+          const double expected =
+              iso / static_cast<double>(res.tenant_iops.size());
+          iop_ratios.push_back((res.tenant_bytes[t] / size) / expected);
+        }
+        iop_mmr.Add(MinMaxRatio(iop_ratios));
+        vop_mmr.Add(MinMaxRatio(res.tenant_exact_vops));
+      }
+    }
+    iop_table.AddNumericRow(
+        model + " " + mix.name,
+        {iop_mmr.Median(), iop_mmr.Min(), iop_mmr.Max()}, 3);
+    vop_table.AddNumericRow(
+        model + " " + mix.name,
+        {vop_mmr.Median(), vop_mmr.Min(), vop_mmr.Max()}, 3);
+  }
+}
+
+}  // namespace
+}  // namespace libra::bench
+
+int main(int argc, char** argv) {
+  using namespace libra::bench;
+  const BenchArgs args = ParseArgs(argc, argv);
+  const auto profile = libra::ssd::Intel320Profile();
+
+  libra::metrics::Table iop_table(
+      {"model+mix", "median_mmr", "min_mmr", "max_mmr"});
+  libra::metrics::Table vop_table(
+      {"model+mix", "median_mmr", "min_mmr", "max_mmr"});
+  for (const char* model : {"exact", "fitted", "linear", "constant", "fixed"}) {
+    RunModel(args, profile, model, iop_table, vop_table);
+  }
+  Section(args, "Figure 9 (top): IOP insulation accuracy (MMR)");
+  Emit(args, iop_table);
+  Section(args, "Figure 9 (bottom): VOP allocation accuracy (MMR)");
+  Emit(args, vop_table);
+  std::printf(
+      "paper: exact/fitted median IOP-insulation MMR > 0.9; linear ~0.83; "
+      "constant > 0.5; fixed skews at >16KB.\nVOP allocation MMR: exact/"
+      "fitted > 0.98, linear/fixed > 0.94, constant < 0.9.\n");
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Figure 12: adaptation to shifting tenant demand. The Fig. 11 tenant set
+// runs with aligned reservations; at the second phase boundary the
+// read-heavy and write-heavy tenants swap *workloads* (reservations
+// unchanged — misaligned, so Libra overbooks and penalizes all tenants
+// proportionally, violating the mixed tenants); at the third boundary the
+// reservations swap too, realigning provisioning with demand.
+//
+// The bottom table tracks the per-request cost profiles (direct / FLUSH /
+// COMPACT components of a normalized PUT) for one read-heavy and one
+// write-heavy tenant, showing the tracker capturing the swap.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/kv_bench_common.h"
+#include "src/iosched/capacity.h"
+
+namespace libra::bench {
+namespace {
+
+using iosched::AppRequest;
+using iosched::InternalOp;
+using iosched::Reservation;
+using iosched::TenantId;
+
+struct GroupSpec {
+  const char* name;
+  int first_tenant;
+  int count;
+  double get_fraction;
+  double get_kb;
+  double put_kb;
+};
+
+constexpr GroupSpec kRh{"read-heavy", 0, 3, 0.9, 4, 16};
+constexpr GroupSpec kMix{"mixed", 3, 2, 0.5, 64, 16};
+constexpr GroupSpec kWh{"write-heavy", 5, 3, 0.1, 128, 128};
+
+double NormalizedRatio(const GroupSpec& g) {
+  return (g.get_fraction * g.get_kb) / ((1.0 - g.get_fraction) * g.put_kb);
+}
+
+workload::KvWorkloadSpec MakeSpec(const BenchArgs& args, const GroupSpec& g) {
+  workload::KvWorkloadSpec spec;
+  spec.get_fraction = g.get_fraction;
+  spec.get_size = {g.get_kb * 1024.0, 1024.0};
+  spec.put_size = {g.put_kb * 1024.0, 1024.0};
+  spec.live_bytes_target = args.full ? 24ULL * kMiB : 10ULL * kMiB;
+  spec.workers = 4;
+  return spec;
+}
+
+}  // namespace
+}  // namespace libra::bench
+
+int main(int argc, char** argv) {
+  using namespace libra;
+  using namespace libra::bench;
+  const BenchArgs args = ParseArgs(argc, argv);
+
+  sim::EventLoop loop;
+  kv::NodeOptions opt = PrototypeNodeOptions();
+  kv::StorageNode node(loop, opt);
+
+  // Every read-heavy and write-heavy tenant gets TWO workload harnesses —
+  // its own mix and the one it will swap to — with key-prefix-disjoint
+  // object populations, so post-swap traffic reads objects of the right
+  // sizes.
+  std::vector<std::unique_ptr<workload::KvTenantWorkload>> workloads;  // active phase 1
+  std::vector<std::unique_ptr<workload::KvTenantWorkload>> swapped;    // active after t2
+  std::vector<workload::KvTenantWorkload*> preloads;
+  for (const GroupSpec* g : {&kRh, &kMix, &kWh}) {
+    for (int i = 0; i < g->count; ++i) {
+      const TenantId t = static_cast<TenantId>(g->first_tenant + i);
+      (void)node.AddTenant(t, Reservation{});
+      workloads.push_back(std::make_unique<workload::KvTenantWorkload>(
+          loop, node, t, MakeSpec(args, *g), 2000 + t));
+      preloads.push_back(workloads.back().get());
+      if (g == &kRh || g == &kWh) {
+        const GroupSpec* other = g == &kRh ? &kWh : &kRh;
+        workload::KvWorkloadSpec alt = MakeSpec(args, *other);
+        alt.key_prefix = "swap_";  // disjoint object population
+        swapped.push_back(std::make_unique<workload::KvTenantWorkload>(
+            loop, node, t, alt, 3000 + t));
+        preloads.push_back(swapped.back().get());
+      }
+    }
+  }
+  RunPreloads(loop, preloads);
+
+  const SimDuration phase = args.full ? 100 * kSecond : 40 * kSecond;
+  const SimTime t0 = loop.Now();
+  const SimTime t1 = t0 + phase;          // aligned reservations set
+  const SimTime t2 = t1 + phase;          // workload swap (misaligned)
+  const SimTime t3 = t2 + phase;          // reservation swap (realigned)
+  const SimTime t_end = t3 + phase;
+
+  node.Start();
+
+  auto group_of = [&](TenantId t) -> const GroupSpec& {
+    if (t < 3) {
+      return kRh;
+    }
+    if (t < 5) {
+      return kMix;
+    }
+    return kWh;
+  };
+  std::vector<Reservation> res(8);
+  loop.ScheduleAt(t1, [&] {
+    for (TenantId t = 0; t < 8; ++t) {
+      const GroupSpec& g = group_of(t);
+      const double price_get = node.policy().ProfileOf(t, AppRequest::kGet).total();
+      const double price_put = node.policy().ProfileOf(t, AppRequest::kPut).total();
+      const double target = node.capacity().provisionable() / 8.0;
+      const double ratio = NormalizedRatio(g);
+      const double v_put = target / (ratio * price_get + price_put);
+      res[t] = Reservation{ratio * v_put, v_put};
+      node.UpdateReservation(t, res[t]);
+    }
+  });
+  // Demand swap at t2: the read-heavy and write-heavy tenants' phase-1
+  // harnesses stop (their end time is t2) and their counterpart-mix
+  // harnesses start; reservations stay put (now misaligned).
+  loop.ScheduleAt(t3, [&] {
+    // Reservation swap: realign with the new demand.
+    for (int i = 0; i < 3; ++i) {
+      const Reservation rh = res[i];
+      node.UpdateReservation(static_cast<TenantId>(i), res[5 + i]);
+      node.UpdateReservation(static_cast<TenantId>(5 + i), rh);
+    }
+  });
+
+  // Per-phase normalized request totals + sampled PUT cost profiles.
+  struct Snap {
+    double gets[8], puts[8];
+  };
+  std::vector<Snap> snaps(4);
+  auto snap = [&](int idx) {
+    for (TenantId t = 0; t < 8; ++t) {
+      snaps[idx].gets[t] =
+          node.tracker().NormalizedRequestsTotal(t, AppRequest::kGet);
+      snaps[idx].puts[t] =
+          node.tracker().NormalizedRequestsTotal(t, AppRequest::kPut);
+    }
+  };
+  loop.ScheduleAt(t1, [&] { snap(0); });
+  loop.ScheduleAt(t2, [&] { snap(1); });
+  loop.ScheduleAt(t3, [&] { snap(2); });
+  loop.ScheduleAt(t_end, [&] { snap(3); });
+
+  libra::metrics::Table profile_ts({"time_s", "rh_PUT_direct", "rh_FLUSH",
+                                    "rh_COMPACT", "wh_PUT_direct", "wh_FLUSH",
+                                    "wh_COMPACT"});
+  const SimDuration sample_every = phase / 4;
+  for (SimTime ts = t1; ts <= t_end; ts += sample_every) {
+    loop.ScheduleAt(ts, [&, ts] {
+      const auto rh = node.policy().ProfileOf(0, AppRequest::kPut);
+      const auto wh = node.policy().ProfileOf(5, AppRequest::kPut);
+      profile_ts.AddNumericRow(
+          libra::metrics::FormatDouble(ToSeconds(ts - t0), 0),
+          {rh.direct, rh.indirect[static_cast<int>(InternalOp::kFlush)],
+           rh.indirect[static_cast<int>(InternalOp::kCompact)], wh.direct,
+           wh.indirect[static_cast<int>(InternalOp::kFlush)],
+           wh.indirect[static_cast<int>(InternalOp::kCompact)]},
+          3);
+    });
+  }
+
+  {
+    sim::TaskGroup group(loop);
+    for (auto& wl : workloads) {
+      // The mixed tenants run throughout; rh/wh phase-1 harnesses stop at
+      // the swap boundary.
+      const bool is_mixed = wl->tenant() >= 3 && wl->tenant() < 5;
+      wl->Start(group, is_mixed ? t_end : t2);
+    }
+    loop.ScheduleAt(t2, [&] {
+      for (auto& wl : swapped) {
+        wl->Start(group, t_end);
+      }
+    });
+    // The started policy keeps a timer pending forever: bound the run,
+    // stop it, then drain the finite remainder.
+    loop.RunUntil(t_end + kSecond);
+    node.Stop();
+    loop.Run();
+  }
+
+  Section(args, "Figure 12 (top): per-group normalized request rates");
+  libra::metrics::Table out({"group", "phase", "GET_kreq/s", "PUT_kreq/s"});
+  const char* phase_names[] = {"aligned", "demand-swapped", "realigned"};
+  for (const GroupSpec* g : {&kRh, &kMix, &kWh}) {
+    for (int p = 0; p < 3; ++p) {
+      double get_rate = 0.0;
+      double put_rate = 0.0;
+      for (int i = 0; i < g->count; ++i) {
+        const TenantId t = static_cast<TenantId>(g->first_tenant + i);
+        get_rate += (snaps[p + 1].gets[t] - snaps[p].gets[t]) / g->count;
+        put_rate += (snaps[p + 1].puts[t] - snaps[p].puts[t]) / g->count;
+      }
+      out.AddRow({g->name, phase_names[p],
+                  libra::metrics::FormatDouble(
+                      get_rate / ToSeconds(phase) / 1000.0, 2),
+                  libra::metrics::FormatDouble(
+                      put_rate / ToSeconds(phase) / 1000.0, 2)});
+    }
+  }
+  Emit(args, out);
+
+  Section(args, "Figure 12 (bottom): normalized PUT cost profiles (VOP/req)");
+  Emit(args, profile_ts);
+  std::printf(
+      "paper: after the demand swap the misaligned reservations overbook "
+      "the node (mixed tenants penalized); the reservation swap at the "
+      "next boundary realigns and restores all groups. The cost profiles "
+      "track the swap: the new write-heavy tenants' PUT components drop "
+      "as their frequent large writes amortize FLUSH/COMPACT.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "bench/kv_bench_common.h"
+
+namespace libra::bench {
+
+kv::NodeOptions PrototypeNodeOptions() {
+  kv::NodeOptions opt;
+  opt.device_profile = ssd::Intel320Profile();
+  opt.calibration = TableFor(opt.device_profile);
+  opt.cost_model = "exact";
+  opt.enable_cache = false;
+  opt.prefill_bytes = 0;  // the LSM preload populates the FTL
+  return opt;
+}
+
+void RunPreloads(sim::EventLoop& loop,
+                 std::vector<workload::KvTenantWorkload*> workloads) {
+  sim::TaskGroup group(loop);
+  for (auto* wl : workloads) {
+    group.Spawn(wl->Preload());
+  }
+  loop.Run();
+}
+
+}  // namespace libra::bench

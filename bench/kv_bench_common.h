@@ -1,0 +1,27 @@
+// Shared setup for the prototype (KV-node) benches: Figs. 2, 10, 11, 12.
+
+#ifndef LIBRA_BENCH_KV_BENCH_COMMON_H_
+#define LIBRA_BENCH_KV_BENCH_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/kv/storage_node.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/workload/workload.h"
+
+namespace libra::bench {
+
+// Node configured like the paper's prototype: Intel 320, exact cost model,
+// no object cache, 4MB write buffers.
+kv::NodeOptions PrototypeNodeOptions();
+
+// Runs `preloads` to completion on `loop` (sequentially).
+void RunPreloads(sim::EventLoop& loop,
+                 std::vector<workload::KvTenantWorkload*> workloads);
+
+}  // namespace libra::bench
+
+#endif  // LIBRA_BENCH_KV_BENCH_COMMON_H_

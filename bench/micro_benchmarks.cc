@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark): per-operation cost of the hot paths.
+// The DRR scheduling decision is O(1) (the paper's argument against
+// virtual-time fair queuing's O(log n)); cost-model evaluation, skiplist
+// and event loop costs bound the simulator's wall-clock throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/iosched/cost_model.h"
+#include "src/iosched/scheduler.h"
+#include "src/lsm/format.h"
+#include "src/lsm/memtable.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/ssd/device.h"
+#include "src/ssd/profile.h"
+
+namespace libra {
+namespace {
+
+ssd::CalibrationTable MicroTable() {
+  ssd::CalibrationTable t;
+  t.sizes_kb = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  t.rand_read_iops = {38000, 36000, 33000, 28000, 16500, 8200, 4100, 2050, 1025};
+  t.rand_write_iops = {13500, 13500, 13400, 10400, 8100, 4000, 2000, 1000, 610};
+  t.seq_read_iops = t.rand_read_iops;
+  t.seq_write_iops = t.rand_write_iops;
+  return t;
+}
+
+void BM_EventLoopScheduleDispatch(benchmark::State& state) {
+  sim::EventLoop loop;
+  int sink = 0;
+  for (auto _ : state) {
+    loop.ScheduleAfter(10, [&sink] { ++sink; });
+    loop.RunOne();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventLoopScheduleDispatch);
+
+void BM_CostModelExact(benchmark::State& state) {
+  iosched::ExactCostModel model(MicroTable());
+  Rng rng(1);
+  for (auto _ : state) {
+    const uint32_t size = static_cast<uint32_t>(1024 + rng.NextU64(255 * 1024));
+    benchmark::DoNotOptimize(model.Cost(ssd::IoType::kRead, size));
+  }
+}
+BENCHMARK(BM_CostModelExact);
+
+void BM_CostModelFitted(benchmark::State& state) {
+  iosched::FittedCostModel model(MicroTable());
+  Rng rng(1);
+  for (auto _ : state) {
+    const uint32_t size = static_cast<uint32_t>(1024 + rng.NextU64(255 * 1024));
+    benchmark::DoNotOptimize(model.Cost(ssd::IoType::kWrite, size));
+  }
+}
+BENCHMARK(BM_CostModelFitted);
+
+// One full scheduler round trip per iteration: submit + dispatch + device
+// completion — the paper's "constant time" scheduling claim. Tenant count
+// is the benchmark argument; per-op cost should stay ~flat.
+void BM_SchedulerRoundTrip(benchmark::State& state) {
+  sim::EventLoop loop;
+  ssd::SsdDevice device(loop, ssd::Intel320Profile());
+  device.Prefill(256 * kMiB);
+  iosched::IoScheduler sched(loop, device,
+                             std::make_unique<iosched::ExactCostModel>(MicroTable()));
+  const int tenants = static_cast<int>(state.range(0));
+  for (int t = 0; t < tenants; ++t) {
+    sched.SetAllocation(t, 1000.0);
+  }
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const iosched::TenantId t = static_cast<iosched::TenantId>(i++ % tenants);
+    sim::Detach([](iosched::IoScheduler& s, iosched::TenantId id,
+                   uint64_t off) -> sim::Task<void> {
+      co_await s.Read({id, iosched::AppRequest::kGet, iosched::InternalOp::kNone},
+                      off, 4096);
+    }(sched, t, rng.NextU64(50000) * 4096));
+    loop.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerRoundTrip)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_SkiplistInsert(benchmark::State& state) {
+  lsm::MemTable mt;
+  Rng rng(5);
+  lsm::SequenceNumber seq = 0;
+  char key[32];
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "key%012llu",
+                  static_cast<unsigned long long>(rng.NextU64(1u << 20)));
+    mt.Put(key, ++seq, "value");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkiplistInsert);
+
+void BM_MemtableGet(benchmark::State& state) {
+  lsm::MemTable mt;
+  Rng rng(5);
+  char key[32];
+  for (int i = 0; i < 100000; ++i) {
+    std::snprintf(key, sizeof(key), "key%012d", i);
+    mt.Put(key, static_cast<lsm::SequenceNumber>(i + 1), "value");
+  }
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "key%012llu",
+                  static_cast<unsigned long long>(rng.NextU64(100000)));
+    benchmark::DoNotOptimize(mt.Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemtableGet);
+
+void BM_Crc32_4K(benchmark::State& state) {
+  const std::string data(4096, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsm::Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Crc32_4K);
+
+void BM_DeviceSubmitComplete(benchmark::State& state) {
+  sim::EventLoop loop;
+  ssd::SsdDevice device(loop, ssd::Intel320Profile());
+  device.Prefill(256 * kMiB);
+  Rng rng(7);
+  for (auto _ : state) {
+    device.Submit({ssd::IoType::kWrite, rng.NextU64(50000) * 4096, 4096},
+                  [] {});
+    loop.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceSubmitComplete);
+
+}  // namespace
+}  // namespace libra
+
+BENCHMARK_MAIN();

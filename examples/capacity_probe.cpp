@@ -1,0 +1,53 @@
+// Capacity probe: the operator workflow for commissioning a new SSD model
+// under Libra (paper §4.3): calibrate the performance curves, derive the
+// VOP cost model, probe the interference floor, and print the numbers a
+// deployment would configure (max VOP/s, provisionable floor).
+
+#include <cstdio>
+
+#include "src/iosched/capacity.h"
+#include "src/iosched/cost_model.h"
+#include "src/ssd/calibration.h"
+#include "src/ssd/profile.h"
+
+using namespace libra;
+
+int main() {
+  const ssd::DeviceProfile profile = ssd::Intel320Profile();
+  std::printf("== commissioning %s ==\n\n", profile.name.c_str());
+
+  std::printf("step 1: calibrate pure-workload performance curves\n");
+  ssd::CalibrationOptions copt;
+  copt.measure = 1 * kSecond;
+  const ssd::CalibrationTable table = ssd::Calibrate(profile, copt);
+  std::printf("  %-8s %-12s %-12s\n", "size_kb", "rand_read", "rand_write");
+  for (size_t i = 0; i < table.sizes_kb.size(); ++i) {
+    std::printf("  %-8u %-12.0f %-12.0f\n", table.sizes_kb[i],
+                table.rand_read_iops[i], table.rand_write_iops[i]);
+  }
+
+  std::printf("\nstep 2: derive the VOP cost model (max %.0f VOP/s)\n",
+              table.max_iops());
+  iosched::ExactCostModel model(table);
+  for (uint32_t kb : {1u, 16u, 256u}) {
+    std::printf("  %3uKB: read %.2f VOPs, write %.2f VOPs\n", kb,
+                model.Cost(ssd::IoType::kRead, kb * 1024),
+                model.Cost(ssd::IoType::kWrite, kb * 1024));
+  }
+
+  std::printf("\nstep 3: probe the interference floor (coarse mixed grid)\n");
+  iosched::FloorProbeOptions fopt;
+  fopt.measure = 700 * kMillisecond;
+  const double floor = iosched::ProbeInterferenceFloor(profile, table, fopt);
+  std::printf("  measured floor: %.0f VOP/s (%.0f%% of max)\n", floor,
+              100.0 * floor / table.max_iops());
+
+  std::printf("\nconfigure the node with:\n");
+  std::printf("  NodeOptions.calibration         = <table above>\n");
+  std::printf("  NodeOptions.capacity_floor_vops = %.0f  (round down)\n",
+              floor * 0.95);
+  std::printf(
+      "\nThe resource policy will admit reservations up to the floor and "
+      "share everything above it work-conservingly.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Exponentially-weighted moving average, the smoothing primitive behind
+// Libra's per-interval resource profiles (q_t^a, q_t^i in the paper, §4.1).
+
+#ifndef LIBRA_SRC_COMMON_EWMA_H_
+#define LIBRA_SRC_COMMON_EWMA_H_
+
+#include <cassert>
+
+namespace libra {
+
+class Ewma {
+ public:
+  // alpha in (0, 1]: weight of the newest observation. The paper's policy
+  // recomputes profiles once per second; alpha ~0.3 tracks workload shifts
+  // within a few intervals without thrashing on noise.
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void Observe(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+      return;
+    }
+    value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+  }
+
+  // Current average; `fallback` until the first observation.
+  double Value(double fallback = 0.0) const {
+    return initialized_ ? value_ : fallback;
+  }
+
+  bool initialized() const { return initialized_; }
+
+  void Reset() {
+    initialized_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace libra
+
+#endif  // LIBRA_SRC_COMMON_EWMA_H_

@@ -1,0 +1,41 @@
+// Size and virtual-time units shared across the simulator and scheduler.
+//
+// Virtual time is an integer count of nanoseconds since simulation start.
+// Integer (not floating) time keeps event ordering exact and runs
+// deterministic across platforms.
+
+#ifndef LIBRA_SRC_COMMON_UNITS_H_
+#define LIBRA_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace libra {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Virtual simulation time, in nanoseconds.
+using SimTime = int64_t;
+// Virtual duration, in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+// Converts a duration to fractional seconds (for rate computations and
+// human-facing output only; never feed the result back into event times).
+inline constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Converts fractional seconds to a duration, truncating to whole nanoseconds.
+inline constexpr SimDuration FromSeconds(double seconds) {
+  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond));
+}
+
+}  // namespace libra
+
+#endif  // LIBRA_SRC_COMMON_UNITS_H_

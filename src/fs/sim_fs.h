@@ -1,0 +1,108 @@
+// Simulated filesystem backing the persistence engine.
+//
+// Files hold real bytes (the LSM engine's correctness is tested end to
+// end), while every read and append is dispatched as a tagged IO task
+// through the Libra scheduler and charged against the issuing tenant —
+// the O_DIRECT + O_SYNC discipline of the paper's prototype (§5): no page
+// cache, writes are durable when the call returns.
+//
+// Disk space is managed in fixed-size extents mapped onto the SSD's
+// logical address space; deleting a file TRIMs its extents so the FTL sees
+// the space as dead (as a real filesystem's discard would).
+
+#ifndef LIBRA_SRC_FS_SIM_FS_H_
+#define LIBRA_SRC_FS_SIM_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/iosched/io_tag.h"
+#include "src/iosched/scheduler.h"
+#include "src/sim/task.h"
+#include "src/ssd/device.h"
+
+namespace libra::fs {
+
+using FileId = uint64_t;
+inline constexpr FileId kInvalidFile = 0;
+
+struct FsStats {
+  uint64_t files = 0;
+  uint64_t bytes_used = 0;
+  uint64_t extents_free = 0;
+};
+
+class SimFs {
+ public:
+  // `extent_bytes` is the allocation unit; capacity comes from the device.
+  SimFs(iosched::IoScheduler& scheduler, ssd::SsdDevice& device,
+        uint32_t extent_bytes = 1024 * 1024);
+
+  SimFs(const SimFs&) = delete;
+  SimFs& operator=(const SimFs&) = delete;
+
+  // --- namespace ---
+
+  StatusOr<FileId> Create(const std::string& name);
+  StatusOr<FileId> Open(const std::string& name) const;
+  bool Exists(const std::string& name) const;
+  Status Delete(const std::string& name);
+  Status Rename(const std::string& from, const std::string& to);
+  std::vector<std::string> List() const;
+
+  // --- IO (suspends on the scheduler) ---
+
+  // Appends `data` to the end of the file; returns when durable.
+  sim::Task<Status> Append(FileId file, const iosched::IoTag& tag,
+                           std::string_view data);
+
+  // Reads [offset, offset+length) into *out (resized). Reading past EOF is
+  // an error.
+  sim::Task<Status> ReadAt(FileId file, const iosched::IoTag& tag,
+                           uint64_t offset, uint64_t length,
+                           std::string* out);
+
+  uint64_t SizeOf(FileId file) const;
+  FsStats stats() const;
+
+  // Host-side peek at file contents WITHOUT device IO or scheduling. Only
+  // for one-shot maintenance paths that happen before a node serves
+  // traffic (WAL recovery at open); all serving-path reads must use
+  // ReadAt so their IO is charged.
+  Status PeekContents(FileId file, std::string* out) const;
+
+ private:
+  struct File {
+    std::string name;
+    std::string data;               // real contents
+    std::vector<uint32_t> extents;  // extent indices, in file order
+  };
+
+  // Logical byte address of `offset` within the file, for device timing.
+  uint64_t DiskAddress(const File& f, uint64_t offset) const;
+
+  // Grows the extent list to cover `size` bytes. Returns false when full.
+  bool EnsureCapacity(File& f, uint64_t size);
+
+  File* Lookup(FileId id);
+  const File* Lookup(FileId id) const;
+
+  iosched::IoScheduler& scheduler_;
+  ssd::SsdDevice& device_;
+  uint32_t extent_bytes_;
+  uint64_t num_extents_;
+
+  std::map<std::string, FileId> names_;
+  std::map<FileId, std::unique_ptr<File>> files_;
+  std::vector<uint32_t> free_extents_;
+  FileId next_id_ = 1;
+};
+
+}  // namespace libra::fs
+
+#endif  // LIBRA_SRC_FS_SIM_FS_H_

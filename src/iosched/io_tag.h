@@ -1,0 +1,73 @@
+// IO tagging vocabulary (paper §2.2, §4.1).
+//
+// The persistence engine tags every low-level IO task with its resource
+// principal (tenant), the originating application-level request type, and —
+// for secondary IO — the internal engine operation performing it. These
+// tags are what let Libra attribute FLUSH/COMPACT amplification back to the
+// PUTs that caused it and build per-tenant app-request resource profiles.
+
+#ifndef LIBRA_SRC_IOSCHED_IO_TAG_H_
+#define LIBRA_SRC_IOSCHED_IO_TAG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace libra::iosched {
+
+using TenantId = uint32_t;
+inline constexpr TenantId kInvalidTenant = UINT32_MAX;
+
+enum class AppRequest : uint8_t {
+  kNone = 0,  // unattributed (e.g., system maintenance)
+  kGet = 1,
+  kPut = 2,
+};
+inline constexpr int kNumAppRequests = 3;
+
+enum class InternalOp : uint8_t {
+  kNone = 0,  // direct IO of the app request itself
+  kFlush = 1,
+  kCompact = 2,
+};
+inline constexpr int kNumInternalOps = 3;
+
+inline std::string_view AppRequestName(AppRequest a) {
+  switch (a) {
+    case AppRequest::kNone:
+      return "none";
+    case AppRequest::kGet:
+      return "GET";
+    case AppRequest::kPut:
+      return "PUT";
+  }
+  return "?";
+}
+
+inline std::string_view InternalOpName(InternalOp i) {
+  switch (i) {
+    case InternalOp::kNone:
+      return "direct";
+    case InternalOp::kFlush:
+      return "FLUSH";
+    case InternalOp::kCompact:
+      return "COMPACT";
+  }
+  return "?";
+}
+
+struct IoTag {
+  TenantId tenant = kInvalidTenant;
+  AppRequest app = AppRequest::kNone;
+  InternalOp internal = InternalOp::kNone;
+};
+
+// Normalized request units (paper reservations are in size-normalized 1KB
+// requests): a 4KB GET counts as 4 normalized GETs; sub-1KB rounds up to 1.
+inline double NormalizedRequests(uint64_t size_bytes) {
+  const double units = static_cast<double>(size_bytes) / 1024.0;
+  return units < 1.0 ? 1.0 : units;
+}
+
+}  // namespace libra::iosched
+
+#endif  // LIBRA_SRC_IOSCHED_IO_TAG_H_

@@ -1,0 +1,128 @@
+#include "src/iosched/resource_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace libra::iosched {
+
+ResourcePolicy::ResourcePolicy(sim::EventLoop& loop, IoScheduler& scheduler,
+                               CapacityModel& capacity, PolicyOptions options)
+    : loop_(loop),
+      scheduler_(scheduler),
+      capacity_(capacity),
+      options_(options) {
+  assert(options_.interval > 0);
+}
+
+ResourcePolicy::~ResourcePolicy() { Stop(); }
+
+void ResourcePolicy::SetReservation(TenantId tenant, Reservation r) {
+  assert(r.get_rps >= 0.0 && r.put_rps >= 0.0);
+  reservations_[tenant] = r;
+}
+
+Reservation ResourcePolicy::GetReservation(TenantId tenant) const {
+  const auto it = reservations_.find(tenant);
+  return it == reservations_.end() ? Reservation{} : it->second;
+}
+
+void ResourcePolicy::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  last_roll_time_ = loop_.Now();
+  last_total_vops_ = scheduler_.tracker().total_vops();
+  // Provision immediately from fallback prices, then on every interval.
+  RunIntervalStep();
+  auto reschedule = [this](auto&& self) -> void {
+    pending_event_ = loop_.ScheduleAfter(options_.interval, [this, self] {
+      if (!running_) {
+        return;
+      }
+      RunIntervalStep();
+      self(self);
+    });
+  };
+  reschedule(reschedule);
+}
+
+void ResourcePolicy::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_event_ != 0) {
+    loop_.Cancel(pending_event_);
+    pending_event_ = 0;
+  }
+}
+
+double ResourcePolicy::ObjectSizePrice(TenantId tenant, AppRequest app) const {
+  const CostModel& model = scheduler_.cost_model();
+  const ssd::IoType type =
+      app == AppRequest::kGet ? ssd::IoType::kRead : ssd::IoType::kWrite;
+  double mean = scheduler_.tracker().MeanRequestSize(tenant, app);
+  if (mean <= 0.0) {
+    mean = 1024.0;  // nothing observed yet: price a 1KB object
+  }
+  // VOPs for one object IO of the mean size, per normalized request.
+  const uint32_t size = static_cast<uint32_t>(std::max(1.0, mean));
+  return model.Cost(type, size) / NormalizedRequests(size);
+}
+
+double ResourcePolicy::PriceOf(TenantId tenant, AppRequest app) const {
+  const double object_price = ObjectSizePrice(tenant, app);
+  if (options_.mode == ProfileMode::kObjectSizeOnly) {
+    return object_price;
+  }
+  return scheduler_.tracker().Profile(tenant, app, object_price).total();
+}
+
+AppRequestProfile ResourcePolicy::ProfileOf(TenantId tenant,
+                                            AppRequest app) const {
+  return scheduler_.tracker().Profile(tenant, app,
+                                      ObjectSizePrice(tenant, app));
+}
+
+void ResourcePolicy::RunIntervalStep() {
+  ResourceTracker& tracker = scheduler_.tracker();
+
+  // Feed the live capacity monitor with the interval's achieved VOP/s.
+  const SimTime now = loop_.Now();
+  if (now > last_roll_time_) {
+    const double vops = tracker.total_vops();
+    capacity_.ObserveThroughput((vops - last_total_vops_) /
+                                ToSeconds(now - last_roll_time_));
+    last_total_vops_ = vops;
+    last_roll_time_ = now;
+  }
+
+  tracker.Roll();
+
+  // Price every reservation under the current profiles.
+  std::map<TenantId, double> required;
+  double total = 0.0;
+  for (const auto& [tenant, res] : reservations_) {
+    const double r = res.get_rps * PriceOf(tenant, AppRequest::kGet) +
+                     res.put_rps * PriceOf(tenant, AppRequest::kPut);
+    required[tenant] = r;
+    total += r;
+  }
+
+  // Overbooking: scale every allocation proportionally into the floor and
+  // notify the higher-level policy.
+  double scale = 1.0;
+  const double cap = capacity_.provisionable();
+  if (total > cap && total > 0.0) {
+    scale = cap / total;
+    if (overflow_cb_) {
+      overflow_cb_(OverflowEvent{now, total, cap, scale});
+    }
+  }
+  for (const auto& [tenant, r] : required) {
+    scheduler_.SetAllocation(tenant, r * scale);
+  }
+}
+
+}  // namespace libra::iosched

@@ -1,0 +1,227 @@
+#include "src/iosched/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace libra::iosched {
+namespace {
+
+// Affordability slack for floating-point budget arithmetic.
+constexpr double kEps = 1e-9;
+
+// Cheapest plausible chunk (a 1KB read is ~1 VOP by construction); deficits
+// at or below this cannot buy anything, so they do not hold a round open.
+constexpr double kMinChunkCostVops = 1.0;
+
+}  // namespace
+
+IoScheduler::IoScheduler(sim::EventLoop& loop, ssd::SsdDevice& device,
+                         std::unique_ptr<CostModel> cost_model,
+                         SchedulerOptions options)
+    : loop_(loop),
+      device_(device),
+      cost_model_(std::move(cost_model)),
+      options_(options) {
+  assert(cost_model_ != nullptr);
+  assert(options_.queue_depth > 0);
+  // Deficit carry headroom: must cover the most expensive single chunk
+  // *under the active cost model* (classic DRR requires quantum+carry >=
+  // max packet cost), or expensive ops would never become affordable and
+  // their tenants would starve beyond what the model itself implies.
+  const uint32_t max_chunk =
+      options_.enable_chunking ? options_.chunk_bytes : 1024 * 1024;
+  max_carry_vops_ = std::max(
+      {64.0, cost_model_->Cost(ssd::IoType::kRead, max_chunk),
+       cost_model_->Cost(ssd::IoType::kWrite, max_chunk)});
+}
+
+void IoScheduler::SetAllocation(TenantId tenant, double vops_per_sec) {
+  assert(vops_per_sec >= 0.0);
+  tenants_[tenant].allocation = vops_per_sec;
+}
+
+double IoScheduler::Allocation(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0.0 : it->second.allocation;
+}
+
+sim::Task<void> IoScheduler::Read(const IoTag& tag, uint64_t offset,
+                                  uint32_t size) {
+  return Submit(tag, ssd::IoType::kRead, offset, size);
+}
+
+sim::Task<void> IoScheduler::Write(const IoTag& tag, uint64_t offset,
+                                   uint32_t size) {
+  return Submit(tag, ssd::IoType::kWrite, offset, size);
+}
+
+sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
+                                    uint64_t offset, uint32_t size) {
+  assert(size > 0);
+  assert(tag.tenant != kInvalidTenant);
+  sim::OneShot<bool> done(loop_);
+  Tenant& tenant = tenants_[tag.tenant];  // auto-registers (allocation 0)
+  auto op = std::make_shared<Op>(Op{tag, type, offset, size});
+  op->done = &done;
+  tenant.queue.push_back(std::move(op));
+  Pump();
+  co_await done.Wait();
+}
+
+uint32_t IoScheduler::NextChunkBytes(const Op& op) const {
+  const uint32_t remaining = op.size - op.dispatched;
+  if (!options_.enable_chunking) {
+    return remaining;
+  }
+  return std::min(remaining, options_.chunk_bytes);
+}
+
+size_t IoScheduler::backlog() const {
+  size_t n = 0;
+  for (const auto& [id, t] : tenants_) {
+    n += t.queue.size();
+  }
+  return n;
+}
+
+bool IoScheduler::NewRound() {
+  double weight_sum = 0.0;
+  int active = 0;
+  for (const auto& [id, t] : tenants_) {
+    if (t.active()) {
+      weight_sum += t.allocation;
+      ++active;
+    }
+  }
+  if (active == 0) {
+    return false;
+  }
+  ++rounds_;
+  for (auto& [id, t] : tenants_) {
+    if (!t.active()) {
+      // Classic DRR: an idle tenant does not hoard budget (this is what
+      // makes the scheduler work-conserving). Debt is kept.
+      t.deficit = std::min(t.deficit, 0.0);
+      continue;
+    }
+    // Weight-proportional quantum. With all-zero weights (only best-effort
+    // tenants active) fall back to equal shares so the device never idles.
+    const double share = weight_sum > 0.0
+                             ? t.allocation / weight_sum
+                             : 1.0 / static_cast<double>(active);
+    const double quantum = share * options_.round_quantum_vops;
+    t.deficit = std::min(t.deficit + quantum, quantum + max_carry_vops_);
+  }
+  return true;
+}
+
+void IoScheduler::DispatchChunk(Tenant& tenant, TenantId id) {
+  assert(!tenant.queue.empty());
+  std::shared_ptr<Op> op = tenant.queue.front();
+  const uint32_t chunk = NextChunkBytes(*op);
+  const double cost = cost_model_->Cost(op->type, chunk);
+  tenant.deficit -= cost;
+  const uint64_t chunk_offset = op->offset + op->dispatched;
+  op->dispatched += chunk;
+  ++op->chunks_inflight;
+  ++tenant.chunks_inflight;
+  ++inflight_;
+  if (op->fully_dispatched()) {
+    tenant.queue.pop_front();  // op stays alive via the captured shared_ptr
+  }
+
+  device_.Submit(ssd::IoRequest{op->type, chunk_offset, chunk},
+                 [this, op, chunk, cost, id] {
+                   tracker_.RecordIo(op->tag, op->type, chunk, cost);
+                   --op->chunks_inflight;
+                   --tenants_[id].chunks_inflight;
+                   if (op->fully_dispatched() && op->chunks_inflight == 0) {
+                     op->done->Set(true);
+                   }
+                   --inflight_;
+                   // Deferred so that same-instant worker resumptions (the
+                   // Set above) enqueue their next op first — otherwise a
+                   // closed-loop tenant looks idle for the zero-duration gap
+                   // between completion and resubmission and a round change
+                   // in that gap would wipe its budget.
+                   loop_.Post([this] { Pump(); });
+                 });
+}
+
+void IoScheduler::Pump() {
+  if (pumping_) {
+    return;
+  }
+  pumping_ = true;
+  // Bound successive budget refills within one pump so a queue whose head
+  // chunk exceeds the deficit cap cannot spin the round counter.
+  int refills_left = 8;
+  while (inflight_ < options_.queue_depth) {
+    // Scan the ring from the cursor for an eligible (work + budget) tenant.
+    Tenant* chosen = nullptr;
+    TenantId chosen_id = 0;
+    bool any_queued = false;
+    auto consider = [&](TenantId id, Tenant& t) {
+      if (chosen != nullptr || t.queue.empty()) {
+        return;
+      }
+      any_queued = true;
+      const Op& head = *t.queue.front();
+      const double cost = cost_model_->Cost(head.type, NextChunkBytes(head));
+      if (t.deficit + kEps >= cost) {
+        chosen = &t;
+        chosen_id = id;
+      }
+    };
+    for (auto it = tenants_.lower_bound(ring_cursor_); it != tenants_.end();
+         ++it) {
+      consider(it->first, it->second);
+    }
+    for (auto it = tenants_.begin();
+         it != tenants_.end() && it->first < ring_cursor_; ++it) {
+      consider(it->first, it->second);
+    }
+
+    if (chosen != nullptr) {
+      // DRR: keep serving this tenant while it stays eligible (the cursor
+      // only moves past it when it runs out of budget or work).
+      ring_cursor_ = chosen_id;
+      DispatchChunk(*chosen, chosen_id);
+      continue;
+    }
+
+    if (!any_queued) {
+      break;  // nothing to dispatch
+    }
+
+    // The round stays open while some tenant still has usable budget and
+    // in-flight work: its closed-loop workers will resubmit on completion,
+    // and refilling now would let cheap-op tenants outrun their shares.
+    bool holds_round_open = false;
+    for (const auto& [id, t] : tenants_) {
+      if (t.chunks_inflight > 0 && t.queue.empty() &&
+          t.deficit > kMinChunkCostVops) {
+        holds_round_open = true;
+        break;
+      }
+    }
+    if (holds_round_open) {
+      break;  // a completion will re-enter Pump
+    }
+
+    if (refills_left-- <= 0 || !NewRound()) {
+      // Refills exhausted or impossible: force the ring-next queued tenant
+      // into debt so the scheduler always makes progress (the debt is
+      // repaid out of future quanta, preserving long-run proportions).
+      for (auto& [id, t] : tenants_) {
+        if (!t.queue.empty()) {
+          DispatchChunk(t, id);
+          break;
+        }
+      }
+    }
+  }
+  pumping_ = false;
+}
+
+}  // namespace libra::iosched

@@ -1,0 +1,55 @@
+#include "src/kv/cache.h"
+
+namespace libra::kv {
+
+std::optional<std::string> LruCache::Get(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::Put(const std::string& key, std::string value) {
+  const size_t entry_bytes = key.size() + value.size();
+  if (entry_bytes > capacity_) {
+    Erase(key);  // do not admit; drop any stale cached version
+    return;
+  }
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_ -= it->second->key.size() + it->second->value.size();
+    it->second->value = std::move(value);
+    used_ += entry_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value)});
+    map_[key] = lru_.begin();
+    used_ += entry_bytes;
+  }
+  EvictToFit();
+}
+
+void LruCache::Erase(const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    return;
+  }
+  used_ -= it->second->key.size() + it->second->value.size();
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::EvictToFit() {
+  while (used_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.key.size() + victim.value.size();
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace libra::kv

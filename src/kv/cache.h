@@ -1,0 +1,56 @@
+// Write-through LRU object cache (the "Key-Value Protocol/Cache" layer of
+// Fig. 1). GET hits are served from memory without touching the IO path;
+// the paper's disk-bound experiments run with the cache disabled, and its
+// presence is why realistic IO-bound workloads skew PUT-heavy (§6.3).
+
+#ifndef LIBRA_SRC_KV_CACHE_H_
+#define LIBRA_SRC_KV_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace libra::kv {
+
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  // Returns the cached value and refreshes recency.
+  std::optional<std::string> Get(const std::string& key);
+
+  // Inserts/overwrites; evicts LRU entries to fit. Objects larger than the
+  // whole cache are not admitted.
+  void Put(const std::string& key, std::string value);
+
+  void Erase(const std::string& key);
+
+  size_t size_bytes() const { return used_; }
+  size_t entries() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void EvictToFit();
+
+  size_t capacity_;
+  size_t used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace libra::kv
+
+#endif  // LIBRA_SRC_KV_CACHE_H_

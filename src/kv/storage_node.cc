@@ -1,0 +1,116 @@
+#include "src/kv/storage_node.h"
+
+#include <cassert>
+
+namespace libra::kv {
+
+using iosched::AppRequest;
+using iosched::Reservation;
+using iosched::TenantId;
+
+StorageNode::StorageNode(sim::EventLoop& loop, NodeOptions options)
+    : loop_(loop),
+      options_(std::move(options)),
+      device_(loop_, options_.device_profile, options_.device_options),
+      scheduler_(loop_, device_,
+                 iosched::MakeCostModel(options_.cost_model,
+                                        options_.calibration),
+                 options_.scheduler_options),
+      fs_(scheduler_, device_),
+      capacity_(options_.capacity_floor_vops),
+      policy_(loop_, scheduler_, capacity_, options_.policy_options) {
+  assert(!options_.calibration.sizes_kb.empty() &&
+         "NodeOptions.calibration must be populated (run ssd::Calibrate)");
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<LruCache>(options_.cache_bytes);
+  }
+  if (options_.prefill_bytes > 0) {
+    device_.Prefill(options_.prefill_bytes);
+  }
+}
+
+Status StorageNode::AddTenant(TenantId tenant, Reservation reservation) {
+  if (partitions_.count(tenant) > 0) {
+    return Status::AlreadyExists("tenant exists");
+  }
+  auto db = std::make_unique<lsm::LsmDb>(loop_, fs_, scheduler_, tenant,
+                                         "tenant_" + std::to_string(tenant),
+                                         options_.lsm_options);
+  if (Status s = db->Open(); !s.ok()) {
+    return s;
+  }
+  partitions_.emplace(tenant, std::move(db));
+  policy_.SetReservation(tenant, reservation);
+  return Status::Ok();
+}
+
+void StorageNode::UpdateReservation(TenantId tenant, Reservation reservation) {
+  policy_.SetReservation(tenant, reservation);
+}
+
+lsm::LsmDb* StorageNode::partition(TenantId tenant) {
+  const auto it = partitions_.find(tenant);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+sim::Task<Status> StorageNode::Put(TenantId tenant, const std::string& key,
+                                   const std::string& value) {
+  lsm::LsmDb* db = partition(tenant);
+  if (db == nullptr) {
+    co_return Status::NotFound("unknown tenant");
+  }
+  Status s = co_await db->Put(key, value);
+  if (s.ok()) {
+    // Normalized app-request accounting happens at the protocol layer
+    // (§2.2): reservations are in size-normalized 1KB requests.
+    tracker().RecordAppRequest(tenant, AppRequest::kPut, value.size());
+    if (cache_ != nullptr) {
+      cache_->Put(key, value);  // write-through
+    }
+  }
+  co_return s;
+}
+
+sim::Task<Status> StorageNode::Delete(TenantId tenant, const std::string& key) {
+  lsm::LsmDb* db = partition(tenant);
+  if (db == nullptr) {
+    co_return Status::NotFound("unknown tenant");
+  }
+  Status s = co_await db->Delete(key);
+  if (s.ok()) {
+    tracker().RecordAppRequest(tenant, AppRequest::kPut, key.size());
+    if (cache_ != nullptr) {
+      cache_->Erase(key);
+    }
+  }
+  co_return s;
+}
+
+sim::Task<StorageNode::GetResult> StorageNode::Get(TenantId tenant,
+                                                   const std::string& key) {
+  GetResult out;
+  lsm::LsmDb* db = partition(tenant);
+  if (db == nullptr) {
+    out.status = Status::NotFound("unknown tenant");
+    co_return out;
+  }
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->Get(key); hit.has_value()) {
+      out.value = std::move(*hit);
+      // Cache hits consume no IO; they still count as served requests.
+      tracker().RecordAppRequest(tenant, AppRequest::kGet, out.value.size());
+      co_return out;
+    }
+  }
+  lsm::LsmDb::GetResult r = co_await db->Get(key);
+  out.status = r.status;
+  out.value = std::move(r.value);
+  const uint64_t billed = out.status.ok() ? out.value.size() : 1;
+  tracker().RecordAppRequest(tenant, AppRequest::kGet, billed);
+  if (out.status.ok() && cache_ != nullptr) {
+    cache_->Put(key, out.value);
+  }
+  co_return out;
+}
+
+}  // namespace libra::kv

@@ -1,0 +1,103 @@
+// Multi-tenant key-value storage node — the full per-node stack of Fig. 1:
+// protocol/cache layer, per-tenant LSM partitions, the Libra IO scheduler
+// and resource policy over a simulated SSD.
+//
+// This is the library's primary user-facing facade: register tenants with
+// app-request reservations (normalized 1KB GET/s and PUT/s, as a
+// system-wide policy such as Pisces would set per node), issue GET/PUT/DEL,
+// and Libra provisions VOP allocations to meet the reservations while
+// staying work-conserving.
+
+#ifndef LIBRA_SRC_KV_STORAGE_NODE_H_
+#define LIBRA_SRC_KV_STORAGE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/fs/sim_fs.h"
+#include "src/iosched/capacity.h"
+#include "src/iosched/cost_model.h"
+#include "src/iosched/resource_policy.h"
+#include "src/iosched/scheduler.h"
+#include "src/kv/cache.h"
+#include "src/lsm/db.h"
+#include "src/sim/event_loop.h"
+#include "src/ssd/calibration.h"
+#include "src/ssd/device.h"
+#include "src/ssd/profile.h"
+
+namespace libra::kv {
+
+struct NodeOptions {
+  ssd::DeviceProfile device_profile;        // defaults to Intel 320
+  ssd::DeviceOptions device_options;
+  ssd::CalibrationTable calibration;        // cost-model source (required)
+  std::string cost_model = "exact";         // exact|fitted|constant|linear|fixed
+  iosched::SchedulerOptions scheduler_options;
+  iosched::PolicyOptions policy_options;
+  double capacity_floor_vops = iosched::kIntel320VopFloor;
+  lsm::LsmOptions lsm_options;
+  bool enable_cache = false;                // paper's experiments: disabled
+  size_t cache_bytes = 64 * kMiB;
+  uint64_t prefill_bytes = 1ULL * kGiB;     // device preconditioning
+
+  NodeOptions() : device_profile(ssd::Intel320Profile()) {}
+};
+
+class StorageNode {
+ public:
+  StorageNode(sim::EventLoop& loop, NodeOptions options);
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  // Registers a tenant with its local app-request reservation and creates
+  // its partition.
+  Status AddTenant(iosched::TenantId tenant, iosched::Reservation reservation);
+  void UpdateReservation(iosched::TenantId tenant,
+                         iosched::Reservation reservation);
+
+  // Starts the resource policy's periodic reprovisioning.
+  void Start() { policy_.Start(); }
+  void Stop() { policy_.Stop(); }
+
+  // --- request API (coroutines; suspend on IO scheduling) ---
+
+  sim::Task<Status> Put(iosched::TenantId tenant, const std::string& key,
+                        const std::string& value);
+  sim::Task<Status> Delete(iosched::TenantId tenant, const std::string& key);
+
+  struct GetResult {
+    Status status;
+    std::string value;
+  };
+  sim::Task<GetResult> Get(iosched::TenantId tenant, const std::string& key);
+
+  // --- introspection for evaluation harnesses ---
+
+  iosched::IoScheduler& scheduler() { return scheduler_; }
+  iosched::ResourcePolicy& policy() { return policy_; }
+  iosched::ResourceTracker& tracker() { return scheduler_.tracker(); }
+  iosched::CapacityModel& capacity() { return capacity_; }
+  ssd::SsdDevice& device() { return device_; }
+  fs::SimFs& filesystem() { return fs_; }
+  lsm::LsmDb* partition(iosched::TenantId tenant);
+  const LruCache* cache() const { return cache_.get(); }
+
+ private:
+  sim::EventLoop& loop_;
+  NodeOptions options_;
+  ssd::SsdDevice device_;
+  iosched::IoScheduler scheduler_;
+  fs::SimFs fs_;
+  iosched::CapacityModel capacity_;
+  iosched::ResourcePolicy policy_;
+  std::unique_ptr<LruCache> cache_;
+  std::map<iosched::TenantId, std::unique_ptr<lsm::LsmDb>> partitions_;
+};
+
+}  // namespace libra::kv
+
+#endif  // LIBRA_SRC_KV_STORAGE_NODE_H_

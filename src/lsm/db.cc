@@ -1,0 +1,521 @@
+#include "src/lsm/db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace libra::lsm {
+
+using iosched::AppRequest;
+using iosched::InternalOp;
+using iosched::IoTag;
+
+LsmDb::LsmDb(sim::EventLoop& loop, fs::SimFs& fs,
+             iosched::IoScheduler& scheduler, iosched::TenantId tenant,
+             std::string name_prefix, LsmOptions options)
+    : loop_(loop),
+      fs_(fs),
+      scheduler_(scheduler),
+      tenant_(tenant),
+      prefix_(std::move(name_prefix)),
+      options_(options),
+      stall_mu_(loop),
+      stall_cv_(loop) {
+  assert(options_.num_levels >= 2);
+  auto v = std::make_shared<Version>();
+  v->levels.resize(options_.num_levels);
+  current_ = v;
+  compact_cursor_.assign(options_.num_levels, 0);
+}
+
+std::string LsmDb::TableName(uint64_t number) const {
+  return prefix_ + "/sst_" + std::to_string(number);
+}
+
+std::string LsmDb::WalName(uint64_t number) const {
+  return prefix_ + "/wal_" + std::to_string(number);
+}
+
+uint64_t LsmDb::MaxBytesForLevel(int level) const {
+  uint64_t max = options_.max_bytes_level1;
+  for (int l = 1; l < level; ++l) {
+    max *= 8;
+  }
+  return max;
+}
+
+Status LsmDb::Open() {
+  mem_ = std::make_unique<MemTable>();
+  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++));
+  const bool existing = fs_.Exists(wal_->filename());
+  if (Status s = wal_->Open(); !s.ok()) {
+    return s;
+  }
+  if (existing) {
+    // Crash recovery: replay intact records into the fresh memtable.
+    SequenceNumber max_seq = seq_;
+    Status s = wal_->Replay([&](const Record& rec) {
+      if (rec.type == ValueType::kDelete) {
+        mem_->Delete(rec.key, rec.seq);
+      } else {
+        mem_->Put(rec.key, rec.seq, rec.value);
+      }
+      max_seq = std::max(max_seq, rec.seq);
+    });
+    if (!s.ok()) {
+      return s;
+    }
+    seq_ = max_seq;
+  }
+  return Status::Ok();
+}
+
+bool LsmDb::WriteStalled() const {
+  if (imm_ != nullptr &&
+      mem_->ApproximateMemoryUsage() >= options_.write_buffer_bytes) {
+    return true;  // both buffers full: wait for the flush
+  }
+  return static_cast<int>(current_->levels[0].size()) >=
+         options_.l0_stop_writes;
+}
+
+Status LsmDb::SealMemtable() {
+  assert(imm_ == nullptr);
+  imm_ = std::move(mem_);
+  imm_wal_ = std::move(wal_);
+  mem_ = std::make_unique<MemTable>();
+  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++));
+  if (Status s = wal_->Open(); !s.ok()) {
+    return s;
+  }
+  // Attribute the flush to the PUTs that filled the buffer (§4.1).
+  scheduler_.tracker().RecordTrigger(tenant_, AppRequest::kPut,
+                                     InternalOp::kFlush);
+  if (!flush_running_) {
+    flush_running_ = true;
+    sim::Detach(FlushJob());
+  }
+  return Status::Ok();
+}
+
+sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
+                                       std::string_view value,
+                                       ValueType type) {
+  // Backpressure: L0 overload or both write buffers full.
+  while (WriteStalled()) {
+    co_await stall_mu_.Lock();
+    if (WriteStalled()) {
+      co_await stall_cv_.Wait(stall_mu_);
+    }
+    stall_mu_.Unlock();
+  }
+
+  const SequenceNumber seq = ++seq_;
+  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kNone};
+  Status s = co_await wal_->Append(tag, key, seq, type, value);
+  if (!s.ok()) {
+    co_return s;
+  }
+  // Insert after durability; ordering between concurrent writers is by
+  // sequence number regardless of insertion order.
+  if (type == ValueType::kDelete) {
+    mem_->Delete(key, seq);
+  } else {
+    mem_->Put(key, seq, value);
+  }
+  ++puts_;
+  if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_bytes &&
+      imm_ == nullptr) {
+    s = SealMemtable();
+  }
+  co_return s;
+}
+
+sim::Task<Status> LsmDb::Put(std::string_view key, std::string_view value) {
+  return WriteInternal(key, value, ValueType::kPut);
+}
+
+sim::Task<Status> LsmDb::Delete(std::string_view key) {
+  return WriteInternal(key, "", ValueType::kDelete);
+}
+
+sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key) {
+  ++gets_;
+  const SequenceNumber snapshot = seq_;
+  const IoTag tag{tenant_, AppRequest::kGet, InternalOp::kNone};
+  GetResult out;
+
+  // Memtables first (no IO).
+  for (const MemTable* mt : {mem_.get(), imm_.get()}) {
+    if (mt == nullptr) {
+      continue;
+    }
+    const MemTable::GetResult r = mt->Get(key, snapshot);
+    if (r.found) {
+      if (r.deleted) {
+        out.status = Status::NotFound("deleted");
+      } else {
+        out.value = r.value;
+      }
+      co_return out;
+    }
+  }
+
+  // Table lookups against an immutable version snapshot; the refs keep
+  // files alive even if a compaction replaces them mid-read.
+  const VersionRef version = current_;
+  // L0: newest first, every file whose range covers the key.
+  for (const TableRef& table : version->levels[0]) {
+    if (key < table->smallest || key > table->largest) {
+      continue;
+    }
+    ++tables_probed_;
+    SstableReader::GetResult r = co_await table->reader->Get(tag, key, snapshot);
+    if (!r.status.ok()) {
+      out.status = r.status;
+      co_return out;
+    }
+    if (r.found) {
+      if (r.deleted) {
+        out.status = Status::NotFound("deleted");
+      } else {
+        out.value = std::move(r.value);
+      }
+      co_return out;
+    }
+  }
+  // L1+: at most one file per level.
+  for (int level = 1; level < options_.num_levels; ++level) {
+    const auto& files = version->levels[level];
+    const auto it = std::lower_bound(
+        files.begin(), files.end(), key,
+        [](const TableRef& t, std::string_view k) { return t->largest < k; });
+    if (it == files.end() || key < (*it)->smallest) {
+      continue;
+    }
+    ++tables_probed_;
+    SstableReader::GetResult r = co_await (*it)->reader->Get(tag, key, snapshot);
+    if (!r.status.ok()) {
+      out.status = r.status;
+      co_return out;
+    }
+    if (r.found) {
+      if (r.deleted) {
+        out.status = Status::NotFound("deleted");
+      } else {
+        out.value = std::move(r.value);
+      }
+      co_return out;
+    }
+  }
+  out.status = Status::NotFound("no entry");
+  co_return out;
+}
+
+sim::Task<StatusOr<LsmDb::TableRef>> LsmDb::BuildTable(
+    const std::vector<MemTable::Entry>& entries, size_t begin, size_t end,
+    const iosched::IoTag& tag) {
+  assert(begin < end);
+  auto handle = std::make_shared<TableHandle>();
+  handle->fs = &fs_;
+  handle->number = next_file_number_++;
+  handle->name = TableName(handle->number);
+  auto created = fs_.Create(handle->name);
+  if (!created.ok()) {
+    handle->fs = nullptr;  // nothing to clean up
+    co_return created.status();
+  }
+  handle->file = *created;
+
+  SstableOptions sst_opt;
+  sst_opt.block_bytes = options_.block_bytes;
+  sst_opt.write_chunk_bytes = options_.write_chunk_bytes;
+  SstableBuilder builder(fs_, handle->file, sst_opt);
+  for (size_t i = begin; i < end; ++i) {
+    const MemTable::Entry& e = entries[i];
+    builder.Add(e.key, e.seq, e.type, e.value);
+  }
+  if (Status s = co_await builder.Finish(tag); !s.ok()) {
+    co_return s;
+  }
+  handle->smallest = builder.smallest_key();
+  handle->largest = builder.largest_key();
+  handle->size_bytes = fs_.SizeOf(handle->file);
+  handle->reader =
+      std::make_unique<SstableReader>(fs_, handle->file, sst_opt);
+  co_return handle;
+}
+
+sim::Task<void> LsmDb::FlushJob() {
+  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kFlush};
+  while (imm_ != nullptr) {
+    // Collect the sealed memtable in order.
+    std::vector<MemTable::Entry> entries;
+    entries.reserve(imm_->entries());
+    MemTable::Iterator it(imm_.get());
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      entries.push_back(it.entry());
+    }
+    if (!entries.empty()) {
+      auto built = co_await BuildTable(entries, 0, entries.size(), tag);
+      if (built.ok()) {
+        // Install: newest L0 file goes to the front.
+        auto next = std::make_shared<Version>(*current_);
+        next->levels[0].insert(next->levels[0].begin(), *built);
+        current_ = next;
+      }
+    }
+    ++flushes_;
+    scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kFlush);
+    imm_.reset();
+    if (imm_wal_ != nullptr) {
+      imm_wal_->Remove();
+      imm_wal_.reset();
+    }
+    stall_cv_.NotifyAll();
+    MaybeStartCompaction();
+  }
+  flush_running_ = false;
+}
+
+int LsmDb::PickCompactionLevel() const {
+  double best_score = 1.0;
+  int best_level = -1;
+  const double l0_score =
+      static_cast<double>(current_->levels[0].size()) /
+      static_cast<double>(options_.l0_compaction_trigger);
+  if (l0_score >= best_score) {
+    best_score = l0_score;
+    best_level = 0;
+  }
+  for (int level = 1; level < options_.num_levels - 1; ++level) {
+    uint64_t bytes = 0;
+    for (const TableRef& t : current_->levels[level]) {
+      bytes += t->size_bytes;
+    }
+    const double score = static_cast<double>(bytes) /
+                         static_cast<double>(MaxBytesForLevel(level));
+    if (score > best_score) {
+      best_score = score;
+      best_level = level;
+    }
+  }
+  return best_level;
+}
+
+void LsmDb::MaybeStartCompaction() {
+  if (compaction_running_ || PickCompactionLevel() < 0) {
+    return;
+  }
+  compaction_running_ = true;
+  sim::Detach(CompactionJob());
+}
+
+sim::Task<void> LsmDb::CompactionJob() {
+  while (true) {
+    const int level = PickCompactionLevel();
+    if (level < 0) {
+      break;
+    }
+    co_await CompactLevel(level);
+  }
+  compaction_running_ = false;
+}
+
+bool LsmDb::RangesOverlap(const TableHandle& t, std::string_view lo,
+                          std::string_view hi) {
+  return !(t.largest < lo || hi < t.smallest);
+}
+
+sim::Task<Status> LsmDb::CompactLevel(int level) {
+  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kCompact};
+  scheduler_.tracker().RecordTrigger(tenant_, AppRequest::kPut,
+                                     InternalOp::kCompact);
+  const int out_level = level + 1;
+  const bool bottom = out_level == options_.num_levels - 1;
+
+  // Select inputs from the current version.
+  const VersionRef base = current_;
+  std::vector<TableRef> inputs;
+  std::string lo;
+  std::string hi;
+  if (level == 0) {
+    // All of L0 (their ranges overlap each other anyway).
+    inputs = base->levels[0];
+  } else {
+    const auto& files = base->levels[level];
+    if (files.empty()) {
+      scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
+      co_return Status::Ok();
+    }
+    compact_cursor_[level] %= files.size();
+    inputs.push_back(files[compact_cursor_[level]]);
+    compact_cursor_[level] = (compact_cursor_[level] + 1) % std::max<size_t>(files.size(), 1);
+  }
+  for (const TableRef& t : inputs) {
+    if (lo.empty() || t->smallest < lo) {
+      lo = t->smallest;
+    }
+    if (hi.empty() || hi < t->largest) {
+      hi = t->largest;
+    }
+  }
+  std::vector<TableRef> overlap;
+  for (const TableRef& t : base->levels[out_level]) {
+    if (RangesOverlap(*t, lo, hi)) {
+      overlap.push_back(t);
+    }
+  }
+
+  // Merge: read everything (sequential COMPACT reads), sort by internal
+  // key, keep only the newest version of each user key.
+  std::vector<MemTable::Entry> entries;
+  auto collect = [&entries](const Record& rec) {
+    entries.push_back(MemTable::Entry{std::string(rec.key),
+                                      std::string(rec.value), rec.seq,
+                                      rec.type});
+  };
+  for (const std::vector<TableRef>* group : {&inputs, &overlap}) {
+    for (const TableRef& t : *group) {
+      Status s = co_await t->reader->ScanAll(tag, collect);
+      if (!s.ok()) {
+        scheduler_.tracker().RecordInternalOpDone(tenant_,
+                                                  InternalOp::kCompact);
+        co_return s;
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const MemTable::Entry& a, const MemTable::Entry& b) {
+              return CompareInternalKey(a.key, a.seq, b.key, b.seq) < 0;
+            });
+  std::vector<MemTable::Entry> merged;
+  merged.reserve(entries.size());
+  std::string last_user_key;
+  bool have_last = false;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    // Compare against an explicit copy of the previous user key —
+    // entries[i-1] may have been moved into `merged` (hollow string), and
+    // at the bottom level a dropped tombstone must still shadow the older
+    // versions behind it.
+    if (have_last && entries[i].key == last_user_key) {
+      continue;  // shadowed older version
+    }
+    last_user_key = entries[i].key;
+    have_last = true;
+    if (bottom && entries[i].type == ValueType::kDelete) {
+      continue;  // tombstones die at the bottom level
+    }
+    merged.push_back(std::move(entries[i]));
+  }
+
+  // Write outputs split at the target file size.
+  std::vector<TableRef> outputs;
+  size_t begin = 0;
+  uint64_t bytes = 0;
+  for (size_t i = 0; i <= merged.size(); ++i) {
+    const bool flush_now =
+        i == merged.size()
+            ? i > begin
+            : bytes >= options_.target_file_bytes && i > begin;
+    if (flush_now) {
+      auto built = co_await BuildTable(merged, begin, i, tag);
+      if (!built.ok()) {
+        scheduler_.tracker().RecordInternalOpDone(tenant_,
+                                                  InternalOp::kCompact);
+        co_return built.status();
+      }
+      outputs.push_back(*built);
+      begin = i;
+      bytes = 0;
+    }
+    if (i < merged.size()) {
+      bytes += merged[i].key.size() + merged[i].value.size() + 17;
+    }
+  }
+
+  // Install: drop inputs, add outputs, from the *latest* version (flushes
+  // may have prepended newer L0 files meanwhile; they are preserved).
+  auto is_input = [&](const TableRef& t) {
+    for (const std::vector<TableRef>* group : {&inputs, &overlap}) {
+      for (const TableRef& in : *group) {
+        if (in == t) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  auto next = std::make_shared<Version>(*current_);
+  for (auto& files : next->levels) {
+    files.erase(std::remove_if(files.begin(), files.end(), is_input),
+                files.end());
+  }
+  auto& out_files = next->levels[out_level];
+  out_files.insert(out_files.end(), outputs.begin(), outputs.end());
+  std::sort(out_files.begin(), out_files.end(),
+            [](const TableRef& a, const TableRef& b) {
+              return a->smallest < b->smallest;
+            });
+  if (const char* dbg = getenv("LSM_DEBUG"); dbg != nullptr) {
+    std::printf("compact L%d->L%d inputs:", level, out_level);
+    for (const auto& t : inputs) std::printf(" #%llu[%s,%s]", (unsigned long long)t->number, t->smallest.c_str(), t->largest.c_str());
+    std::printf(" overlap:");
+    for (const auto& t : overlap) std::printf(" #%llu[%s,%s]", (unsigned long long)t->number, t->smallest.c_str(), t->largest.c_str());
+    std::printf(" outputs:");
+    for (const auto& t : outputs) std::printf(" #%llu[%s,%s]", (unsigned long long)t->number, t->smallest.c_str(), t->largest.c_str());
+    std::printf("\n");
+  }
+  current_ = next;
+  ++compactions_;
+  scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
+  stall_cv_.NotifyAll();  // L0 pressure may have cleared
+  co_return Status::Ok();
+}
+
+sim::Task<void> LsmDb::WaitIdle() {
+  while (flush_running_ || compaction_running_ || imm_ != nullptr) {
+    co_await sim::SleepFor(loop_, 10 * kMillisecond);
+  }
+}
+
+LsmStats LsmDb::stats() const {
+  LsmStats s;
+  s.puts = puts_;
+  s.gets = gets_;
+  s.flushes = flushes_;
+  s.compactions = compactions_;
+  s.tables_probed = tables_probed_;
+  for (const auto& files : current_->levels) {
+    s.files_per_level.push_back(static_cast<int>(files.size()));
+  }
+  return s;
+}
+
+std::string LsmDb::DebugCheckInvariants() const {
+  const auto& l0 = current_->levels[0];
+  for (size_t i = 1; i < l0.size(); ++i) {
+    if (l0[i - 1]->number < l0[i]->number) {
+      return "L0 not newest-first at index " + std::to_string(i);
+    }
+  }
+  for (int level = 1; level < options_.num_levels; ++level) {
+    const auto& files = current_->levels[level];
+    for (size_t i = 1; i < files.size(); ++i) {
+      if (files[i - 1]->largest >= files[i]->smallest) {
+        return "L" + std::to_string(level) + " overlap: [" +
+               files[i - 1]->smallest + "," + files[i - 1]->largest +
+               "] vs [" + files[i]->smallest + "," + files[i]->largest + "]";
+      }
+    }
+  }
+  return "";
+}
+
+int LsmDb::NumFilesAtLevel(int level) const {
+  assert(level >= 0 && level < options_.num_levels);
+  return static_cast<int>(current_->levels[level].size());
+}
+
+}  // namespace libra::lsm

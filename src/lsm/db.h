@@ -1,0 +1,180 @@
+// LSM-tree key-value engine (the paper's modified-LevelDB analogue).
+//
+// Write path: PUT/DELETE appends to the WAL (synchronous, charged as the
+// tenant's direct PUT IO) and inserts into the memtable. A full memtable is
+// sealed and FLUSHed to an L0 table by a background task; L0 growth and
+// level fullness drive background COMPACTions. Both run as separate
+// concurrent tasks (the paper's §5 modification), and both tag their IO
+// with the originating internal operation so Libra's tracker attributes
+// the amplification back to PUTs.
+//
+// Read path: memtable -> sealed memtable -> L0 (newest first, all files
+// whose key range covers the key) -> L1.. (one file per level). Every
+// probed table costs at least an index-block read — uniform-keyspace PUT
+// churn widens the eligible file set, reproducing the paper's GET-cost
+// amplification (Fig. 2, Fig. 12).
+//
+// Versions are immutable snapshots of the level structure; tables are
+// refcounted and their physical files are deleted when the last version
+// referencing them dies (readers mid-lookup keep them alive).
+//
+// Deviation from LevelDB: no manifest — recovery replays the WAL only
+// (table metadata lives in memory for the process lifetime; see DESIGN.md).
+
+#ifndef LIBRA_SRC_LSM_DB_H_
+#define LIBRA_SRC_LSM_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fs/sim_fs.h"
+#include "src/iosched/io_tag.h"
+#include "src/iosched/scheduler.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/sstable.h"
+#include "src/lsm/wal.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace libra::lsm {
+
+struct LsmOptions {
+  uint64_t write_buffer_bytes = 4 * kMiB;  // memtable/WAL size limit
+  uint32_t block_bytes = 4096;
+  uint32_t write_chunk_bytes = 256 * 1024;
+  uint64_t target_file_bytes = 2 * kMiB;  // compaction output granularity
+  int l0_compaction_trigger = 4;
+  int l0_stop_writes = 12;
+  int num_levels = 5;
+  uint64_t max_bytes_level1 = 8 * kMiB;  // grows 8x per level
+};
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t tables_probed = 0;  // cumulative per-GET file probes
+  std::vector<int> files_per_level;
+};
+
+class LsmDb {
+ public:
+  LsmDb(sim::EventLoop& loop, fs::SimFs& fs, iosched::IoScheduler& scheduler,
+        iosched::TenantId tenant, std::string name_prefix,
+        LsmOptions options = {});
+
+  LsmDb(const LsmDb&) = delete;
+  LsmDb& operator=(const LsmDb&) = delete;
+
+  // Creates (or recovers) the WAL. Must be called before any operation.
+  Status Open();
+
+  sim::Task<Status> Put(std::string_view key, std::string_view value);
+  sim::Task<Status> Delete(std::string_view key);
+
+  struct GetResult {
+    Status status;      // NotFound when the key does not exist
+    std::string value;  // valid when status.ok()
+  };
+  sim::Task<GetResult> Get(std::string_view key);
+
+  // Awaits quiescence of background flush/compaction work.
+  sim::Task<void> WaitIdle();
+
+  LsmStats stats() const;
+  int NumFilesAtLevel(int level) const;
+
+  // Structural self-check: L1+ files sorted and non-overlapping, L0 files
+  // newest-first by number. Returns "" when healthy, else a description.
+  // Used by invariant tests.
+  std::string DebugCheckInvariants() const;
+  iosched::TenantId tenant() const { return tenant_; }
+
+ private:
+  struct TableHandle {
+    fs::SimFs* fs = nullptr;
+    std::string name;
+    fs::FileId file = fs::kInvalidFile;
+    uint64_t number = 0;
+    uint64_t size_bytes = 0;
+    std::string smallest;
+    std::string largest;
+    std::unique_ptr<SstableReader> reader;
+
+    ~TableHandle() {
+      if (fs != nullptr && !name.empty()) {
+        fs->Delete(name);  // last reference gone: reclaim the space
+      }
+    }
+  };
+  using TableRef = std::shared_ptr<TableHandle>;
+
+  struct Version {
+    // levels[0]: newest first, ranges may overlap.
+    // levels[1..]: sorted by smallest key, disjoint ranges.
+    std::vector<std::vector<TableRef>> levels;
+  };
+  using VersionRef = std::shared_ptr<const Version>;
+
+  // --- write path ---
+  sim::Task<Status> WriteInternal(std::string_view key, std::string_view value,
+                                  ValueType type);
+  bool WriteStalled() const;
+  // Seals the memtable + WAL and kicks the flush task if needed.
+  Status SealMemtable();
+
+  // --- background jobs ---
+  sim::Task<void> FlushJob();
+  sim::Task<void> CompactionJob();
+  void MaybeStartCompaction();
+  // Level most in need of compaction; returns -1 when all scores < 1.
+  int PickCompactionLevel() const;
+  sim::Task<Status> CompactLevel(int level);
+
+  // --- helpers ---
+  std::string TableName(uint64_t number) const;
+  std::string WalName(uint64_t number) const;
+  uint64_t MaxBytesForLevel(int level) const;
+  static bool RangesOverlap(const TableHandle& t, std::string_view lo,
+                            std::string_view hi);
+  // Builds one output table from sorted records [begin, end).
+  sim::Task<StatusOr<TableRef>> BuildTable(
+      const std::vector<MemTable::Entry>& entries, size_t begin, size_t end,
+      const iosched::IoTag& tag);
+
+  sim::EventLoop& loop_;
+  fs::SimFs& fs_;
+  iosched::IoScheduler& scheduler_;
+  iosched::TenantId tenant_;
+  std::string prefix_;
+  LsmOptions options_;
+
+  SequenceNumber seq_ = 0;
+  uint64_t next_file_number_ = 1;
+
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<MemTable> imm_;  // sealed, being flushed
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<WriteAheadLog> imm_wal_;
+  VersionRef current_;
+
+  bool flush_running_ = false;
+  bool compaction_running_ = false;
+  sim::Mutex stall_mu_;
+  sim::CondVar stall_cv_;
+
+  uint64_t puts_ = 0;
+  uint64_t gets_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+  uint64_t tables_probed_ = 0;
+  std::vector<size_t> compact_cursor_;  // round-robin pick per level
+};
+
+}  // namespace libra::lsm
+
+#endif  // LIBRA_SRC_LSM_DB_H_

@@ -1,0 +1,119 @@
+#include "src/lsm/format.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+
+namespace libra::lsm {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetFixed32(std::string_view src, size_t offset) {
+  assert(offset + 4 <= src.size());
+  const auto* p = reinterpret_cast<const unsigned char*>(src.data() + offset);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetFixed64(std::string_view src, size_t offset) {
+  return static_cast<uint64_t>(GetFixed32(src, offset)) |
+         (static_cast<uint64_t>(GetFixed32(src, offset + 4)) << 32);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+bool GetLengthPrefixed(std::string_view src, size_t* offset,
+                       std::string_view* out) {
+  if (*offset + 4 > src.size()) {
+    return false;
+  }
+  const uint32_t len = GetFixed32(src, *offset);
+  *offset += 4;
+  if (*offset + len > src.size()) {
+    return false;
+  }
+  *out = src.substr(*offset, len);
+  *offset += len;
+  return true;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0x82F63B78u & (~(crc & 1) + 1));
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+int CompareInternalKey(std::string_view a_user, SequenceNumber a_seq,
+                       std::string_view b_user, SequenceNumber b_seq) {
+  const int c = a_user.compare(b_user);
+  if (c != 0) {
+    return c;
+  }
+  // Higher sequence numbers sort first (descending).
+  if (a_seq > b_seq) {
+    return -1;
+  }
+  if (a_seq < b_seq) {
+    return 1;
+  }
+  return 0;
+}
+
+void EncodeRecord(std::string* dst, std::string_view key, SequenceNumber seq,
+                  ValueType type, std::string_view value) {
+  PutLengthPrefixed(dst, key);
+  PutFixed64(dst, seq);
+  dst->push_back(static_cast<char>(type));
+  PutLengthPrefixed(dst, value);
+}
+
+bool DecodeRecord(std::string_view src, size_t* offset, Record* out) {
+  if (!GetLengthPrefixed(src, offset, &out->key)) {
+    return false;
+  }
+  if (*offset + 9 > src.size()) {
+    return false;
+  }
+  out->seq = GetFixed64(src, *offset);
+  *offset += 8;
+  out->type = static_cast<ValueType>(src[*offset]);
+  *offset += 1;
+  return GetLengthPrefixed(src, offset, &out->value);
+}
+
+}  // namespace libra::lsm

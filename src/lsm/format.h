@@ -1,0 +1,69 @@
+// On-disk encoding primitives for the LSM engine: fixed/varint-free little-
+// endian integer coding, CRC32 for WAL record integrity, and the internal
+// key ordering (user key ascending, sequence number descending).
+
+#ifndef LIBRA_SRC_LSM_FORMAT_H_
+#define LIBRA_SRC_LSM_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace libra::lsm {
+
+// Record types, shared by the WAL and SSTables.
+enum class ValueType : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+};
+
+using SequenceNumber = uint64_t;
+
+// --- integer coding (little endian, fixed width) ---
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+// Reads from `src` at `offset`; callers guarantee bounds.
+uint32_t GetFixed32(std::string_view src, size_t offset);
+uint64_t GetFixed64(std::string_view src, size_t offset);
+
+// --- string coding: [len u32][bytes] ---
+
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+
+// Parses a length-prefixed string at *offset, advancing it. Returns false
+// on truncation.
+bool GetLengthPrefixed(std::string_view src, size_t* offset,
+                       std::string_view* out);
+
+// --- CRC32 (Castagnoli polynomial, table-driven) ---
+
+uint32_t Crc32(std::string_view data);
+
+// --- internal key ordering ---
+
+// Entries are ordered by user key ascending and, within a key, sequence
+// number descending — so the freshest version of a key is found first.
+// Returns <0, 0, >0 like memcmp.
+int CompareInternalKey(std::string_view a_user, SequenceNumber a_seq,
+                       std::string_view b_user, SequenceNumber b_seq);
+
+// One decoded record.
+struct Record {
+  std::string_view key;
+  std::string_view value;
+  SequenceNumber seq = 0;
+  ValueType type = ValueType::kPut;
+};
+
+// Encodes a record as [key][seq][type][value] with length prefixes.
+void EncodeRecord(std::string* dst, std::string_view key,
+                  SequenceNumber seq, ValueType type, std::string_view value);
+
+// Decodes a record at *offset, advancing it. Returns false on truncation.
+bool DecodeRecord(std::string_view src, size_t* offset, Record* out);
+
+}  // namespace libra::lsm
+
+#endif  // LIBRA_SRC_LSM_FORMAT_H_

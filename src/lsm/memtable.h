@@ -1,0 +1,86 @@
+// In-memory write buffer: a skiplist over internal keys (user key asc,
+// sequence desc). When it reaches the configured size it is sealed and
+// FLUSHed to an L0 SSTable by a background task.
+
+#ifndef LIBRA_SRC_LSM_MEMTABLE_H_
+#define LIBRA_SRC_LSM_MEMTABLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/lsm/format.h"
+#include "src/lsm/skiplist.h"
+
+namespace libra::lsm {
+
+class MemTable {
+ public:
+  // One decoded, owned entry (also the unit compaction merges operate on).
+  struct Entry {
+    std::string key;
+    std::string value;
+    SequenceNumber seq = 0;
+    ValueType type = ValueType::kPut;
+  };
+
+  struct EntryComparator {
+    int operator()(const Entry& a, const Entry& b) const {
+      return CompareInternalKey(a.key, a.seq, b.key, b.seq);
+    }
+  };
+
+  MemTable() : table_(EntryComparator{}) {}
+
+  void Put(std::string_view key, SequenceNumber seq, std::string_view value) {
+    Add(key, seq, ValueType::kPut, value);
+  }
+  void Delete(std::string_view key, SequenceNumber seq) {
+    Add(key, seq, ValueType::kDelete, "");
+  }
+
+  // Lookup result: `found` with the value for a PUT; a tombstone is
+  // signalled via `deleted`.
+  struct GetResult {
+    bool found = false;
+    bool deleted = false;
+    std::string value;
+  };
+
+  // Newest entry for `key` visible at `snapshot` (inclusive).
+  GetResult Get(std::string_view key,
+                SequenceNumber snapshot = UINT64_MAX) const;
+
+  size_t entries() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+
+  // Bytes of key+value payload plus per-entry overhead; the FLUSH trigger
+  // compares this against the write-buffer limit.
+  size_t ApproximateMemoryUsage() const { return memory_usage_; }
+
+  // In-order iteration for FLUSH.
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* mt) : it_(&mt->table_) {}
+    void SeekToFirst() { it_.SeekToFirst(); }
+    bool Valid() const { return it_.Valid(); }
+    void Next() { it_.Next(); }
+    const Entry& entry() const { return it_.key(); }
+
+   private:
+    SkipList<Entry, EntryComparator>::Iterator it_;
+  };
+
+ private:
+  void Add(std::string_view key, SequenceNumber seq, ValueType type,
+           std::string_view value) {
+    table_.Insert(Entry{std::string(key), std::string(value), seq, type});
+    memory_usage_ += key.size() + value.size() + 32;
+  }
+
+  SkipList<Entry, EntryComparator> table_;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace libra::lsm
+
+#endif  // LIBRA_SRC_LSM_MEMTABLE_H_

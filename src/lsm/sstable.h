@@ -1,0 +1,122 @@
+// Immutable sorted string tables.
+//
+// Layout (paper §3.1 mechanics: block reads + one index block per lookup):
+//   [data block 0][data block 1]...[index block][footer]
+//   data block:  concatenated records, ~4KB target size
+//   index block: per data block {last_key, offset, size}
+//   footer (16B): index offset u64, index size u64
+//
+// A point lookup loads the index block (>= one 4KB read, cached in memory
+// after first use like LevelDB's table cache), binary-searches it, and
+// reads exactly one data block. There is no bloom filter, matching 2014
+// LevelDB defaults — every eligible file costs at least a data-block read,
+// which is the per-file GET amplification the paper measures (Figs. 2/12).
+//
+// The builder emits the table through a sequential, chunked append stream
+// (the paper's "asynchronous, io-efficient" FLUSH/COMPACT writes).
+
+#ifndef LIBRA_SRC_LSM_SSTABLE_H_
+#define LIBRA_SRC_LSM_SSTABLE_H_
+
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fs/sim_fs.h"
+#include "src/iosched/io_tag.h"
+#include "src/lsm/format.h"
+#include "src/sim/task.h"
+
+namespace libra::lsm {
+
+struct SstableOptions {
+  uint32_t block_bytes = 4096;          // data block target
+  uint32_t write_chunk_bytes = 262144;  // sequential append granularity
+};
+
+// Builds a table in memory block by block; Finish() streams it to `file`.
+class SstableBuilder {
+ public:
+  SstableBuilder(fs::SimFs& fs, fs::FileId file, SstableOptions options = {});
+
+  // Keys must arrive in internal order (user key asc, seq desc).
+  void Add(std::string_view key, SequenceNumber seq, ValueType type,
+           std::string_view value);
+
+  // Writes all pending data to the file with `tag` IO. No Adds afterwards.
+  sim::Task<Status> Finish(const iosched::IoTag& tag);
+
+  uint64_t estimated_bytes() const { return buffer_.size() + block_.size(); }
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& smallest_key() const { return smallest_; }
+  const std::string& largest_key() const { return largest_; }
+
+ private:
+  void FlushBlock();
+
+  fs::SimFs& fs_;
+  fs::FileId file_;
+  SstableOptions options_;
+
+  std::string buffer_;  // completed data blocks
+  std::string block_;   // current data block
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint32_t size;
+  };
+  std::vector<IndexEntry> index_;
+  std::string last_key_in_block_;
+  std::string smallest_;
+  std::string largest_;
+  uint64_t num_entries_ = 0;
+  bool finished_ = false;
+};
+
+// Reads a finished table. Footer and index block are loaded from disk on
+// first access and cached in memory thereafter (tables are immutable); data
+// blocks are always read from the device — O_DIRECT leaves no page cache,
+// and the engine keeps no block cache.
+class SstableReader {
+ public:
+  SstableReader(fs::SimFs& fs, fs::FileId file, SstableOptions options = {});
+
+  struct GetResult {
+    bool found = false;    // an entry for the key exists in this table
+    bool deleted = false;  // ... and it is a tombstone
+    std::string value;
+    Status status;         // IO / parse errors
+  };
+
+  // Point lookup: newest entry for `key` visible at `snapshot`.
+  sim::Task<GetResult> Get(const iosched::IoTag& tag, std::string_view key,
+                           SequenceNumber snapshot);
+
+  // Sequential scan for compaction: reads the whole table in write_chunk
+  // sized IOs and yields records in order via `fn`.
+  sim::Task<Status> ScanAll(
+      const iosched::IoTag& tag,
+      const std::function<void(const Record&)>& fn);
+
+ private:
+  // Loads and parses the footer + index block into the cache on first use
+  // (charged to `tag`); later calls are free.
+  sim::Task<Status> EnsureIndex(const iosched::IoTag& tag);
+
+  fs::SimFs& fs_;
+  fs::FileId file_;
+  SstableOptions options_;
+  // Footer and parsed index, cached after the first (charged) load.
+  bool footer_cached_ = false;
+  uint64_t index_offset_ = 0;
+  uint64_t index_size_ = 0;
+  bool index_cached_ = false;
+  std::vector<std::tuple<std::string, uint64_t, uint32_t>> index_cache_;
+};
+
+}  // namespace libra::lsm
+
+#endif  // LIBRA_SRC_LSM_SSTABLE_H_

@@ -1,0 +1,17 @@
+#include "src/metrics/meter.h"
+
+namespace libra::metrics {
+
+double TimeSeries::MeanOver(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time >= from && p.time <= to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace libra::metrics

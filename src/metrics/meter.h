@@ -1,0 +1,101 @@
+// Virtual-time measurement utilities for the evaluation harnesses:
+// throughput meters with warmup exclusion and windowed time series.
+
+#ifndef LIBRA_SRC_METRICS_METER_H_
+#define LIBRA_SRC_METRICS_METER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace libra::metrics {
+
+// Counts discrete quantities (ops, VOPs, normalized requests, bytes) and
+// reports rates over the measured span. Start() marks the beginning of the
+// measurement window so warmup traffic is excluded.
+class ThroughputMeter {
+ public:
+  void Start(SimTime now) {
+    start_ = now;
+    count_ = 0.0;
+    started_ = true;
+  }
+
+  void Add(double amount) {
+    if (started_) {
+      count_ += amount;
+    }
+  }
+
+  double total() const { return count_; }
+
+  // Rate in units/second over [start, now]; 0 before Start or at zero span.
+  double Rate(SimTime now) const {
+    if (!started_ || now <= start_) {
+      return 0.0;
+    }
+    return count_ / ToSeconds(now - start_);
+  }
+
+ private:
+  SimTime start_ = 0;
+  double count_ = 0.0;
+  bool started_ = false;
+};
+
+// Accumulates (time, value) points, e.g. per-second tenant throughput for
+// the Fig. 11/12 time-series plots.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+  void Record(SimTime t, double value) { points_.push_back({t, value}); }
+
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Mean of values with time in [from, to]; 0 when no points match.
+  double MeanOver(SimTime from, SimTime to) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Periodic rate sampler: call Tick(now, cumulative_count) once per interval;
+// produces a TimeSeries of interval rates. Used to build the per-second
+// request-throughput curves.
+class RateSampler {
+ public:
+  explicit RateSampler(std::string name) : series_(std::move(name)) {}
+
+  void Tick(SimTime now, double cumulative) {
+    if (has_prev_ && now > prev_time_) {
+      const double rate = (cumulative - prev_value_) / ToSeconds(now - prev_time_);
+      series_.Record(now, rate);
+    }
+    prev_time_ = now;
+    prev_value_ = cumulative;
+    has_prev_ = true;
+  }
+
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  TimeSeries series_;
+  SimTime prev_time_ = 0;
+  double prev_value_ = 0.0;
+  bool has_prev_ = false;
+};
+
+}  // namespace libra::metrics
+
+#endif  // LIBRA_SRC_METRICS_METER_H_

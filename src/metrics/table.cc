@@ -1,0 +1,108 @@
+#include "src/metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace libra::metrics {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddNumericRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(row));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      cell.resize(widths[c], ' ');
+      out += cell;
+      if (c + 1 < row.size()) {
+        out += "  ";
+      }
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') {
+      out.pop_back();
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) {
+      rule += "  ";
+    }
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') {
+        out += "\"\"";
+      } else {
+        out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += escape(row[c]);
+      if (c + 1 < row.size()) {
+        out += ',';
+      }
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) {
+    out += render(row);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace libra::metrics

@@ -1,0 +1,42 @@
+// Plain-text table / CSV emission for the figure-reproduction benches. Every
+// bench prints aligned columns by default and CSV with --csv, so the paper's
+// rows/series can be regenerated and diffed mechanically.
+
+#ifndef LIBRA_SRC_METRICS_TABLE_H_
+#define LIBRA_SRC_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace libra::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; sizes shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience for numeric rows; values formatted with `precision` digits.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 2);
+
+  // Aligned fixed-width text rendering.
+  std::string ToText() const;
+
+  // RFC-4180-ish CSV rendering.
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper for bench output).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace libra::metrics
+
+#endif  // LIBRA_SRC_METRICS_TABLE_H_

@@ -1,0 +1,91 @@
+#include "src/sim/event_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace libra::sim {
+
+EventLoop::EventId EventLoop::ScheduleAt(SimTime when, Callback cb) {
+  assert(cb);
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  heap_.push_back(Event{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end());
+  return id;
+}
+
+void EventLoop::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return;
+  }
+  cancelled_.insert(id);
+}
+
+bool EventLoop::PopNext(Event& out) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    const auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventLoop::Run() {
+  stopped_ = false;
+  uint64_t dispatched = 0;
+  Event ev;
+  while (!stopped_ && PopNext(ev)) {
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ev.cb();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+uint64_t EventLoop::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  uint64_t dispatched = 0;
+  while (!stopped_) {
+    // Peek: find the earliest live event without committing to running it.
+    Event ev;
+    if (!PopNext(ev)) {
+      break;
+    }
+    if (ev.when > deadline) {
+      // Put it back; it belongs to a later epoch.
+      heap_.push_back(std::move(ev));
+      std::push_heap(heap_.begin(), heap_.end());
+      break;
+    }
+    now_ = ev.when;
+    ev.cb();
+    ++dispatched;
+  }
+  if (now_ < deadline && !stopped_) {
+    now_ = deadline;
+  }
+  return dispatched;
+}
+
+bool EventLoop::RunOne() {
+  Event ev;
+  if (!PopNext(ev)) {
+    return false;
+  }
+  now_ = ev.when;
+  ev.cb();
+  return true;
+}
+
+}  // namespace libra::sim

@@ -1,0 +1,99 @@
+// Single-threaded, virtual-time discrete-event loop.
+//
+// All Libra experiments run on simulated time: a 400-second reservation
+// experiment (paper Fig. 12) replays in seconds of wall-clock time, and every
+// run is deterministic given the workload seeds. The loop dispatches events
+// in (time, insertion-order) order; callbacks run with the clock set to the
+// event's timestamp.
+
+#ifndef LIBRA_SRC_SIM_EVENT_LOOP_H_
+#define LIBRA_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace libra::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` to run at absolute virtual time `when` (clamped to now).
+  // Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  // Schedules `cb` to run `delay` after the current virtual time.
+  EventId ScheduleAfter(SimDuration delay, Callback cb) {
+    return ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  // Schedules `cb` at the current virtual time, after already-queued events
+  // for this instant.
+  EventId Post(Callback cb) { return ScheduleAt(now_, std::move(cb)); }
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op.
+  void Cancel(EventId id);
+
+  // Runs events until the queue drains (or Stop() is called). Returns the
+  // number of events dispatched.
+  uint64_t Run();
+
+  // Runs events with timestamp <= `deadline`, then advances the clock to
+  // `deadline` (even if idle). Returns the number of events dispatched.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Convenience: RunUntil(Now() + d).
+  uint64_t RunFor(SimDuration d) { return RunUntil(now_ + d); }
+
+  // Dispatches a single event if one is pending. Returns false when idle.
+  bool RunOne();
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return heap_.size() == cancelled_.size(); }
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tie-break: FIFO at equal timestamps
+    EventId id;
+    Callback cb;
+
+    // Min-heap via std::push_heap's max-heap comparator inversion.
+    bool operator<(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Pops the earliest non-cancelled event; returns false when empty.
+  bool PopNext(Event& out);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  bool stopped_ = false;
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace libra::sim
+
+#endif  // LIBRA_SRC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,355 @@
+// Coroutine-aware synchronization for the virtual-time runtime: sleeping,
+// one-shot completions (how the IO scheduler hands results back to suspended
+// tenant tasks), mutexes, condition variables, semaphores, and task groups.
+//
+// Everything here is single-threaded: "concurrency" is coroutine
+// interleaving on one EventLoop, so no atomics are involved. Waiters are
+// resumed via EventLoop::Post to bound stack depth and keep resume order
+// FIFO and deterministic.
+
+#ifndef LIBRA_SRC_SIM_SYNC_H_
+#define LIBRA_SRC_SIM_SYNC_H_
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+
+namespace libra::sim {
+
+// --- Sleeping -------------------------------------------------------------
+
+class SleepAwaiter {
+ public:
+  SleepAwaiter(EventLoop& loop, SimDuration delay)
+      : loop_(loop), delay_(delay) {}
+
+  bool await_ready() const noexcept { return delay_ <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    loop_.ScheduleAfter(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  EventLoop& loop_;
+  SimDuration delay_;
+};
+
+inline SleepAwaiter SleepFor(EventLoop& loop, SimDuration delay) {
+  return SleepAwaiter(loop, delay);
+}
+
+inline SleepAwaiter SleepUntil(EventLoop& loop, SimTime when) {
+  return SleepAwaiter(loop, when - loop.Now());
+}
+
+// Reschedules the current coroutine behind already-pending same-instant
+// events (cooperative yield).
+class YieldAwaiter {
+ public:
+  explicit YieldAwaiter(EventLoop& loop) : loop_(loop) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    loop_.Post([h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  EventLoop& loop_;
+};
+
+inline YieldAwaiter Yield(EventLoop& loop) { return YieldAwaiter(loop); }
+
+// --- One-shot completion ---------------------------------------------------
+
+// Single-producer, single-consumer, single-use rendezvous. The IO scheduler
+// resolves a tenant's suspended IO task by calling Set(); the tenant task
+// co_awaits Wait(). Set-before-wait and wait-before-set are both supported.
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(EventLoop& loop) : loop_(&loop) {}
+
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  void Set(T value) {
+    assert(!value_.has_value() && "OneShot set twice");
+    value_.emplace(std::move(value));
+    if (waiter_) {
+      auto h = std::exchange(waiter_, {});
+      loop_->Post([h] { h.resume(); });
+    }
+  }
+
+  bool ready() const { return value_.has_value(); }
+
+  struct Awaiter {
+    OneShot* self;
+    bool await_ready() const noexcept { return self->value_.has_value(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(!self->waiter_ && "OneShot awaited twice");
+      self->waiter_ = h;
+    }
+    T await_resume() { return std::move(*self->value_); }
+  };
+
+  Awaiter Wait() { return Awaiter{this}; }
+
+ private:
+  EventLoop* loop_;
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_;
+};
+
+// --- Mutex ------------------------------------------------------------------
+
+// FIFO coroutine mutex. Usage:
+//   co_await mu.Lock();
+//   ... critical section ...
+//   mu.Unlock();
+class Mutex {
+ public:
+  explicit Mutex(EventLoop& loop) : loop_(&loop) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  struct LockAwaiter {
+    Mutex* mu;
+    bool await_ready() const noexcept {
+      if (!mu->locked_) {
+        mu->locked_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      mu->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  LockAwaiter Lock() { return LockAwaiter{this}; }
+
+  // Non-blocking acquire.
+  bool TryLock() {
+    if (locked_) {
+      return false;
+    }
+    locked_ = true;
+    return true;
+  }
+
+  void Unlock() {
+    assert(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    // Hand the lock directly to the next waiter (it stays locked).
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    loop_->Post([h] { h.resume(); });
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  friend class CondVar;
+
+  EventLoop* loop_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// RAII-ish helper for coroutine scopes that can use it linearly.
+class MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& mu) : mu_(&mu) {}
+  MutexGuard(MutexGuard&& o) noexcept : mu_(std::exchange(o.mu_, nullptr)) {}
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+  ~MutexGuard() {
+    if (mu_ != nullptr) {
+      mu_->Unlock();
+    }
+  }
+
+ private:
+  Mutex* mu_;
+};
+
+// --- Condition variable ------------------------------------------------------
+
+class CondVar {
+ public:
+  explicit CondVar(EventLoop& loop) : loop_(&loop) {}
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, waits for a notification, then re-acquires
+  // `mu` before returning. Spurious wakeups do not occur, but callers should
+  // still re-check their predicate in a loop (another task may have consumed
+  // the state between notify and re-acquisition).
+  Task<void> Wait(Mutex& mu) {
+    mu.Unlock();
+    co_await WaitAwaiter{this};
+    co_await mu.Lock();
+  }
+
+  void NotifyOne() {
+    if (waiters_.empty()) {
+      return;
+    }
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    loop_->Post([h] { h.resume(); });
+  }
+
+  void NotifyAll() {
+    while (!waiters_.empty()) {
+      NotifyOne();
+    }
+  }
+
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  struct WaitAwaiter {
+    CondVar* cv;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      cv->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  EventLoop* loop_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// --- Semaphore ---------------------------------------------------------------
+
+// Counting semaphore; models bounded resources such as the SSD queue depth.
+class Semaphore {
+ public:
+  Semaphore(EventLoop& loop, int64_t initial) : loop_(&loop), count_(initial) {
+    assert(initial >= 0);
+  }
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  struct AcquireAwaiter {
+    Semaphore* sem;
+    bool await_ready() const noexcept {
+      if (sem->count_ > 0) {
+        --sem->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      sem->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  AcquireAwaiter Acquire() { return AcquireAwaiter{this}; }
+
+  bool TryAcquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      // Hand the permit directly to the next waiter.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      loop_->Post([h] { h.resume(); });
+      return;
+    }
+    ++count_;
+  }
+
+  int64_t available() const { return count_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  EventLoop* loop_;
+  int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// --- Task group ----------------------------------------------------------------
+
+// Spawns detached child tasks and lets a parent await their collective
+// completion — the workload harness pattern: spawn N tenant workers, run the
+// clock, join.
+class TaskGroup {
+ public:
+  explicit TaskGroup(EventLoop& loop) : loop_(&loop) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { assert(pending_ == 0 && "TaskGroup destroyed with live tasks"); }
+
+  void Spawn(Task<void> task) {
+    ++pending_;
+    Detach(Wrap(this, std::move(task)));
+  }
+
+  // Resolves once all tasks spawned so far have finished.
+  Task<void> Join() {
+    while (pending_ > 0) {
+      co_await JoinAwaiter{this};
+    }
+  }
+
+  size_t pending() const { return pending_; }
+
+ private:
+  static Task<void> Wrap(TaskGroup* group, Task<void> task) {
+    co_await std::move(task);
+    group->OnTaskDone();
+  }
+
+  void OnTaskDone() {
+    assert(pending_ > 0);
+    --pending_;
+    if (pending_ == 0 && joiner_) {
+      auto h = std::exchange(joiner_, {});
+      loop_->Post([h] { h.resume(); });
+    }
+  }
+
+  struct JoinAwaiter {
+    TaskGroup* group;
+    bool await_ready() const noexcept { return group->pending_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(!group->joiner_ && "TaskGroup supports one joiner");
+      group->joiner_ = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  EventLoop* loop_;
+  size_t pending_ = 0;
+  std::coroutine_handle<> joiner_;
+};
+
+}  // namespace libra::sim
+
+#endif  // LIBRA_SRC_SIM_SYNC_H_

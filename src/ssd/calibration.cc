@@ -1,0 +1,138 @@
+#include "src/ssd/calibration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/ssd/device.h"
+
+namespace libra::ssd {
+namespace {
+
+// Interpolates IOPS at `size_bytes` from a probed (sizes_kb, iops) curve,
+// linearly in log2(size) — the natural axis for these curves (Fig. 3).
+double InterpolateIops(const std::vector<uint32_t>& sizes_kb,
+                       const std::vector<double>& iops, uint32_t size_bytes) {
+  assert(!sizes_kb.empty());
+  const double kb = std::max(1.0, static_cast<double>(size_bytes) / 1024.0);
+  const double x = std::log2(kb);
+  const double x_lo = std::log2(static_cast<double>(sizes_kb.front()));
+  const double x_hi = std::log2(static_cast<double>(sizes_kb.back()));
+  if (x <= x_lo) {
+    return iops.front();
+  }
+  if (x >= x_hi) {
+    return iops.back();
+  }
+  for (size_t i = 1; i < sizes_kb.size(); ++i) {
+    const double xi = std::log2(static_cast<double>(sizes_kb[i]));
+    if (x <= xi) {
+      const double xp = std::log2(static_cast<double>(sizes_kb[i - 1]));
+      const double frac = (x - xp) / (xi - xp);
+      return iops[i - 1] * (1.0 - frac) + iops[i] * frac;
+    }
+  }
+  return iops.back();
+}
+
+struct ProbeState {
+  uint64_t completed = 0;
+  uint64_t measured = 0;
+  bool measuring = false;
+  uint64_t seq_cursor = 0;
+};
+
+sim::Task<void> Worker(sim::EventLoop& loop, SsdDevice& dev, IoType type,
+                       uint32_t size, bool sequential, uint64_t working_set,
+                       Rng& rng, ProbeState& state, SimTime end_time) {
+  while (loop.Now() < end_time) {
+    IoRequest req;
+    req.type = type;
+    req.size = size;
+    if (sequential) {
+      req.offset = state.seq_cursor % working_set;
+      state.seq_cursor += size;
+    } else {
+      // Align random accesses to the op size to avoid page-split noise.
+      const uint64_t slots = std::max<uint64_t>(1, working_set / size);
+      req.offset = rng.NextU64(slots) * size;
+    }
+    co_await dev.SubmitAwait(req);
+    ++state.completed;
+    if (state.measuring) {
+      ++state.measured;
+    }
+  }
+}
+
+}  // namespace
+
+double CalibrationTable::max_iops() const {
+  double best = 0.0;
+  for (double v : rand_read_iops) {
+    best = std::max(best, v);
+  }
+  for (double v : rand_write_iops) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double CalibrationTable::RandReadIops(uint32_t size_bytes) const {
+  return InterpolateIops(sizes_kb, rand_read_iops, size_bytes);
+}
+
+double CalibrationTable::RandWriteIops(uint32_t size_bytes) const {
+  return InterpolateIops(sizes_kb, rand_write_iops, size_bytes);
+}
+
+double MeasureIops(const DeviceProfile& profile, IoType type, uint32_t size,
+                   bool sequential, const CalibrationOptions& options) {
+  sim::EventLoop loop;
+  SsdDevice dev(loop, profile);
+  const uint64_t working_set =
+      std::min(options.working_set_bytes, profile.capacity_bytes / 2);
+  dev.Prefill(working_set);
+
+  Rng rng(options.seed);
+  ProbeState state;
+  const SimTime end_time = options.warmup + options.measure;
+  {
+    sim::TaskGroup group(loop);
+    for (int w = 0; w < options.queue_depth; ++w) {
+      group.Spawn(Worker(loop, dev, type, size, sequential, working_set, rng,
+                         state, end_time));
+    }
+    loop.ScheduleAt(options.warmup, [&state] {
+      state.measuring = true;
+      state.measured = 0;
+    });
+    loop.ScheduleAt(end_time, [&state] { state.measuring = false; });
+    loop.Run();
+  }
+  return static_cast<double>(state.measured) / ToSeconds(options.measure);
+}
+
+CalibrationTable Calibrate(const DeviceProfile& profile,
+                           const CalibrationOptions& options) {
+  CalibrationTable table;
+  for (uint32_t kb : kSweepSizesKb) {
+    table.sizes_kb.push_back(kb);
+    const uint32_t size = kb * 1024;
+    table.rand_read_iops.push_back(
+        MeasureIops(profile, IoType::kRead, size, /*sequential=*/false, options));
+    table.rand_write_iops.push_back(
+        MeasureIops(profile, IoType::kWrite, size, /*sequential=*/false, options));
+    table.seq_read_iops.push_back(
+        MeasureIops(profile, IoType::kRead, size, /*sequential=*/true, options));
+    table.seq_write_iops.push_back(
+        MeasureIops(profile, IoType::kWrite, size, /*sequential=*/true, options));
+  }
+  return table;
+}
+
+}  // namespace libra::ssd

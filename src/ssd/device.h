@@ -1,0 +1,136 @@
+// Discrete-event SSD device model.
+//
+// An IO op flows through three resources whose contention produces the
+// paper's non-linear performance (§3.3, Fig. 3) and interference (§3.2,
+// Fig. 4):
+//
+//   controller  — single firmware pipeline; per-op + per-page cost. Binds
+//                 throughput for small ops (the IOPS ceiling).
+//   dies        — num_dies parallel NAND units. Reads go to the dies their
+//                 stripes live on; writes go where the FTL's append points
+//                 place them. Programs are much longer than reads, and a die
+//                 switching between read and write service pays a penalty —
+//                 together the source of read/write interference. GC work
+//                 (valid-page relocation + erase) also occupies dies.
+//   bus         — shared host link (SATA); serializes data transfer and
+//                 binds throughput for large ops (the bandwidth ceiling).
+//
+// Timing uses resource reservation: at submit, the op's occupancy of each
+// resource is computed against per-resource "free-at" clocks and a single
+// completion event is scheduled. This keeps the simulator at O(dies) work
+// and one event per IO, so a 400-second experiment replays in seconds.
+//
+// The device does not enforce a queue depth; the Libra scheduler dispatches
+// at most kSsdQueueDepth (32) concurrent ops, matching the paper's setup.
+
+#ifndef LIBRA_SRC_SSD_DEVICE_H_
+#define LIBRA_SRC_SSD_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/ssd/ftl.h"
+#include "src/ssd/io_types.h"
+#include "src/ssd/profile.h"
+
+namespace libra::ssd {
+
+// The paper runs all experiments at SSD queue depth 32.
+inline constexpr int kSsdQueueDepth = 32;
+
+struct DeviceOptions {
+  // Ablation switches (DESIGN.md §5): disable to show which mechanism
+  // produces which evaluation artifact.
+  bool enable_gc = true;
+  bool enable_rw_switch_penalty = true;
+  bool enable_seq_detection = true;
+};
+
+struct DeviceStats {
+  uint64_t reads_completed = 0;
+  uint64_t writes_completed = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t gc_pages_moved = 0;
+  uint64_t blocks_erased = 0;
+  double write_amp = 1.0;
+};
+
+class SsdDevice {
+ public:
+  using CompletionFn = std::function<void()>;
+
+  SsdDevice(sim::EventLoop& loop, DeviceProfile profile,
+            DeviceOptions options = {});
+
+  SsdDevice(const SsdDevice&) = delete;
+  SsdDevice& operator=(const SsdDevice&) = delete;
+
+  // Submits an IO; `done` runs (via the event loop) when it completes.
+  void Submit(const IoRequest& req, CompletionFn done);
+
+  // Awaitable convenience used by calibration and tests; the scheduler uses
+  // the callback form.
+  sim::Task<void> SubmitAwait(IoRequest req);
+
+  // Marks a logical extent as dead (filesystem TRIM on delete).
+  void Trim(uint64_t offset, uint32_t size);
+
+  // Populates the FTL mapping for [0, bytes) without consuming simulated
+  // time — preconditioning before measurement, as one would precondition a
+  // physical SSD before benchmarking it.
+  void Prefill(uint64_t bytes);
+
+  int inflight() const { return inflight_; }
+  const DeviceProfile& profile() const { return profile_; }
+  DeviceStats stats() const;
+
+ private:
+  struct PageSpan {
+    uint64_t first_page;
+    uint32_t npages;
+  };
+  PageSpan SpanOf(const IoRequest& req) const;
+
+  // Returns true (and records the stream) when `req` continues one of the
+  // recently seen access streams.
+  bool DetectSequential(const IoRequest& req);
+
+  // Occupies a die for `busy` starting no earlier than `earliest`; applies
+  // the read/write switch penalty. Returns the finish time.
+  SimTime OccupyDie(int die, IoType type, SimDuration busy, SimTime earliest);
+
+  SimDuration GcPageCost() const;
+
+  sim::EventLoop& loop_;
+  DeviceProfile profile_;
+  DeviceOptions options_;
+  Ftl ftl_;
+
+  SimTime ctrl_free_at_ = 0;
+  SimTime bus_free_at_ = 0;
+  std::vector<SimTime> die_free_at_;
+  std::vector<IoType> die_last_type_;
+
+  // Ring of recent stream end-offsets for sequentiality detection.
+  static constexpr int kMaxStreams = 16;
+  std::array<uint64_t, kMaxStreams> stream_ends_{};
+  int stream_cursor_ = 0;
+
+  int inflight_ = 0;
+  uint64_t reads_completed_ = 0;
+  uint64_t writes_completed_ = 0;
+  uint64_t read_bytes_ = 0;
+  uint64_t write_bytes_ = 0;
+};
+
+}  // namespace libra::ssd
+
+#endif  // LIBRA_SRC_SSD_DEVICE_H_

@@ -1,0 +1,33 @@
+// Low-level IO vocabulary shared between the SSD simulator and the Libra
+// scheduler.
+
+#ifndef LIBRA_SRC_SSD_IO_TYPES_H_
+#define LIBRA_SRC_SSD_IO_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace libra::ssd {
+
+enum class IoType : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+inline std::string_view IoTypeName(IoType t) {
+  return t == IoType::kRead ? "read" : "write";
+}
+
+// A single IO operation as seen by the device: a byte-addressed extent plus
+// the operation type. The simulator works internally in pages; arbitrary
+// byte offsets/sizes are rounded up to touched pages (sub-page writes pay a
+// full page program, like real flash).
+struct IoRequest {
+  IoType type = IoType::kRead;
+  uint64_t offset = 0;  // logical byte address
+  uint32_t size = 0;    // bytes, > 0
+};
+
+}  // namespace libra::ssd
+
+#endif  // LIBRA_SRC_SSD_IO_TYPES_H_

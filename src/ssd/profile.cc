@@ -1,0 +1,47 @@
+#include "src/ssd/profile.h"
+
+namespace libra::ssd {
+
+DeviceProfile Intel320Profile() {
+  DeviceProfile p;
+  p.name = "intel320";
+  // Defaults in the struct are the Intel 320 tuning (SATA II).
+  return p;
+}
+
+DeviceProfile Samsung840Profile() {
+  DeviceProfile p;
+  p.name = "samsung840";
+  p.num_dies = 12;
+  p.ctrl_read_op_ns = 12 * kMicrosecond;
+  p.ctrl_write_op_ns = 25 * kMicrosecond;
+  p.die_read_latency_ns = 160 * kMicrosecond;
+  p.die_write_latency_ns = 420 * kMicrosecond;
+  p.die_read_bw = 110.0 * 1e6;
+  p.die_write_bw = 45.0 * 1e6;
+  p.bus_bw = 530.0 * 1e6;
+  // Paper Fig. 7: the Samsung shows stronger interference for large writes.
+  p.rw_switch_penalty_ns = 700 * kMicrosecond;
+  p.erase_ns = 2500 * kMicrosecond;
+  return p;
+}
+
+DeviceProfile OczVectorProfile() {
+  DeviceProfile p;
+  p.name = "oczvector";
+  p.num_dies = 16;
+  p.ctrl_read_op_ns = 14 * kMicrosecond;
+  p.ctrl_write_op_ns = 28 * kMicrosecond;
+  p.die_read_latency_ns = 230 * kMicrosecond;
+  p.die_write_latency_ns = 520 * kMicrosecond;
+  p.die_read_bw = 90.0 * 1e6;
+  p.die_write_bw = 38.0 * 1e6;
+  p.bus_bw = 520.0 * 1e6;
+  // Paper Fig. 7: the OCZ parallelizes multi-tenant IO better than the
+  // single-tenant baseline (milder switching cost, more dies).
+  p.rw_switch_penalty_ns = 350 * kMicrosecond;
+  p.erase_ns = 2200 * kMicrosecond;
+  return p;
+}
+
+}  // namespace libra::ssd

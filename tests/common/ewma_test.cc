@@ -1,0 +1,56 @@
+#include "src/common/ewma.h"
+
+#include <gtest/gtest.h>
+
+namespace libra {
+namespace {
+
+TEST(EwmaTest, UninitializedReturnsFallback) {
+  Ewma e;
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.Value(), 0.0);
+  EXPECT_EQ(e.Value(5.0), 5.0);
+}
+
+TEST(EwmaTest, FirstObservationSeedsValue) {
+  Ewma e(0.5);
+  e.Observe(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.Value(), 10.0);
+}
+
+TEST(EwmaTest, BlendsTowardNewSamples) {
+  Ewma e(0.5);
+  e.Observe(0.0);
+  e.Observe(10.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 5.0);
+  e.Observe(10.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 7.5);
+}
+
+TEST(EwmaTest, AlphaOneTracksLatest) {
+  Ewma e(1.0);
+  e.Observe(3.0);
+  e.Observe(-8.0);
+  EXPECT_DOUBLE_EQ(e.Value(), -8.0);
+}
+
+TEST(EwmaTest, ConvergesToSteadyInput) {
+  Ewma e(0.3);
+  e.Observe(100.0);
+  for (int i = 0; i < 50; ++i) {
+    e.Observe(7.0);
+  }
+  EXPECT_NEAR(e.Value(), 7.0, 1e-4);
+}
+
+TEST(EwmaTest, ResetClearsState) {
+  Ewma e;
+  e.Observe(4.0);
+  e.Reset();
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.Value(9.0), 9.0);
+}
+
+}  // namespace
+}  // namespace libra

@@ -1,0 +1,112 @@
+// Parameterized property sweeps over the cost models: invariants that must
+// hold for every (model, op type, size) combination.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "src/iosched/cost_model.h"
+
+namespace libra::iosched {
+namespace {
+
+ssd::CalibrationTable PropertyTable() {
+  ssd::CalibrationTable t;
+  t.sizes_kb = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  t.rand_read_iops = {38000, 36000, 33000, 28000, 16500, 8200, 4100, 2050, 1025};
+  t.rand_write_iops = {13500, 13500, 13400, 10400, 8100, 4000, 2000, 1000, 610};
+  t.seq_read_iops = t.rand_read_iops;
+  t.seq_write_iops = t.rand_write_iops;
+  return t;
+}
+
+using ModelTypeParam = std::tuple<std::string, ssd::IoType>;
+
+class CostModelProperty : public ::testing::TestWithParam<ModelTypeParam> {
+ protected:
+  CostModelProperty()
+      : table_(PropertyTable()),
+        model_(MakeCostModel(std::get<0>(GetParam()), table_)),
+        type_(std::get<1>(GetParam())) {}
+
+  ssd::CalibrationTable table_;
+  std::unique_ptr<CostModel> model_;
+  ssd::IoType type_;
+};
+
+TEST_P(CostModelProperty, CostIsPositiveEverywhere) {
+  for (uint32_t size = 256; size <= 1024 * 1024; size *= 2) {
+    EXPECT_GT(model_->Cost(type_, size), 0.0) << size;
+  }
+}
+
+TEST_P(CostModelProperty, CostIsMonotoneInSize) {
+  double prev = 0.0;
+  for (uint32_t size = 1024; size <= 512 * 1024; size += 4096) {
+    const double c = model_->Cost(type_, size);
+    EXPECT_GE(c, prev * 0.999) << "size " << size;  // tiny numeric slack
+    prev = c;
+  }
+}
+
+TEST_P(CostModelProperty, MaxVopsIsTheSharedNormalizer) {
+  EXPECT_NEAR(model_->max_vops(), table_.max_iops(), 1e-6);
+}
+
+TEST_P(CostModelProperty, CostBoundedByPhysicalExtremes) {
+  // No op can cost less than ~1/10 of a 1KB op or more than 100x the exact
+  // 256KB price — sanity envelope across all models.
+  ExactCostModel exact(table_);
+  const double lo = 0.1 * exact.Cost(type_, 1024);
+  const double hi = 100.0 * exact.Cost(type_, 256 * 1024);
+  for (uint32_t kb : ssd::kSweepSizesKb) {
+    const double c = model_->Cost(type_, kb * 1024);
+    EXPECT_GE(c, lo) << kb;
+    EXPECT_LE(c, hi) << kb;
+  }
+}
+
+TEST_P(CostModelProperty, DeterministicEvaluation) {
+  for (uint32_t kb : ssd::kSweepSizesKb) {
+    EXPECT_DOUBLE_EQ(model_->Cost(type_, kb * 1024),
+                     model_->Cost(type_, kb * 1024));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsBothTypes, CostModelProperty,
+    ::testing::Combine(::testing::Values("exact", "fitted", "constant",
+                                         "linear", "fixed"),
+                       ::testing::Values(ssd::IoType::kRead,
+                                         ssd::IoType::kWrite)),
+    [](const ::testing::TestParamInfo<ModelTypeParam>& info) {
+      return std::get<0>(info.param) + "_" +
+             std::string(ssd::IoTypeName(std::get<1>(info.param)));
+    });
+
+// --- exact-model-specific sweep: pure-workload VOP-rate invariance ---
+
+class ExactModelSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ExactModelSizeSweep, PureWorkloadVopRateIsSizeInvariant) {
+  // cost(s) * iops(s) == max_iops at every calibrated point: a backlogged
+  // pure workload consumes the same VOP/s regardless of op size (§4.3).
+  const ssd::CalibrationTable table = PropertyTable();
+  ExactCostModel model(table);
+  const uint32_t kb = GetParam();
+  const double read_rate =
+      model.Cost(ssd::IoType::kRead, kb * 1024) * table.RandReadIops(kb * 1024);
+  const double write_rate = model.Cost(ssd::IoType::kWrite, kb * 1024) *
+                            table.RandWriteIops(kb * 1024);
+  EXPECT_NEAR(read_rate, table.max_iops(), table.max_iops() * 1e-9);
+  EXPECT_NEAR(write_rate, table.max_iops(), table.max_iops() * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CalibratedSizes, ExactModelSizeSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u, 64u,
+                                           128u, 256u));
+
+}  // namespace
+}  // namespace libra::iosched

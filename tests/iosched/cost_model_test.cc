@@ -1,0 +1,159 @@
+#include "src/iosched/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace libra::iosched {
+namespace {
+
+// Synthetic calibration table with the canonical two-bottleneck shape:
+// IOPS flat at small sizes (controller), ~BW/size at large sizes.
+ssd::CalibrationTable SyntheticTable() {
+  ssd::CalibrationTable t;
+  t.sizes_kb = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  t.rand_read_iops = {38000, 36000, 33000, 28000, 16500, 8200, 4100, 2050, 1025};
+  t.rand_write_iops = {13500, 13500, 13400, 10400, 8100, 4000, 2000, 1000, 610};
+  t.seq_read_iops = t.rand_read_iops;
+  t.seq_write_iops = t.rand_write_iops;
+  return t;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  ssd::CalibrationTable table_ = SyntheticTable();
+};
+
+TEST_F(CostModelTest, ExactSmallReadCostsAboutOneVop) {
+  ExactCostModel m(table_);
+  EXPECT_NEAR(m.Cost(ssd::IoType::kRead, 1024), 1.0, 1e-9);
+}
+
+TEST_F(CostModelTest, ExactWriteCostlierThanRead) {
+  ExactCostModel m(table_);
+  for (uint32_t kb : ssd::kSweepSizesKb) {
+    EXPECT_GT(m.Cost(ssd::IoType::kWrite, kb * 1024),
+              m.Cost(ssd::IoType::kRead, kb * 1024))
+        << kb << "KB";
+  }
+}
+
+TEST_F(CostModelTest, ExactCostGapNarrowsAtLargeSizes) {
+  // Paper Fig. 6: the write/read cost ratio shrinks as IOP size grows.
+  ExactCostModel m(table_);
+  const double ratio_small = m.Cost(ssd::IoType::kWrite, 1024) /
+                             m.Cost(ssd::IoType::kRead, 1024);
+  const double ratio_large = m.Cost(ssd::IoType::kWrite, 256 * 1024) /
+                             m.Cost(ssd::IoType::kRead, 256 * 1024);
+  EXPECT_LT(ratio_large, ratio_small);
+}
+
+TEST_F(CostModelTest, ExactCostPerByteDecreasesWithSize) {
+  ExactCostModel m(table_);
+  double prev_cpb = 1e30;
+  for (uint32_t kb : ssd::kSweepSizesKb) {
+    const double cpb = m.Cost(ssd::IoType::kRead, kb * 1024) / kb;
+    // Non-increasing up to measurement noise (real curves wiggle ~1%).
+    EXPECT_LE(cpb, prev_cpb * 1.02) << kb << "KB";
+    prev_cpb = cpb;
+  }
+}
+
+TEST_F(CostModelTest, ExactEquivalentWorkloadsChargedEqually) {
+  // Paper §4.3: 10000 1KB reads and ~160 256KB reads both represent about a
+  // quarter of SSD throughput and should cost about the same VOP/s.
+  ExactCostModel m(table_);
+  const double quarter_small = 38000.0 / 4.0 * m.Cost(ssd::IoType::kRead, 1024);
+  const double quarter_large =
+      1025.0 / 4.0 * m.Cost(ssd::IoType::kRead, 256 * 1024);
+  EXPECT_NEAR(quarter_small / quarter_large, 1.0, 0.05);
+}
+
+TEST_F(CostModelTest, FittedTracksExactWithinTolerance) {
+  ExactCostModel exact(table_);
+  FittedCostModel fitted(table_);
+  for (uint32_t kb : ssd::kSweepSizesKb) {
+    for (ssd::IoType t : {ssd::IoType::kRead, ssd::IoType::kWrite}) {
+      const double e = exact.Cost(t, kb * 1024);
+      const double f = fitted.Cost(t, kb * 1024);
+      EXPECT_NEAR(f / e, 1.0, 0.45) << ssd::IoTypeName(t) << " " << kb << "KB";
+    }
+  }
+}
+
+TEST_F(CostModelTest, ConstantOverchargesLargeOps) {
+  // DynamoDB pricing: one 256KB op costs 256x a 1KB op, far above the true
+  // cost ratio (~37x here).
+  ExactCostModel exact(table_);
+  ConstantCpbModel constant(table_);
+  EXPECT_NEAR(constant.Cost(ssd::IoType::kRead, 256 * 1024) /
+                  constant.Cost(ssd::IoType::kRead, 1024),
+              256.0, 1e-6);
+  EXPECT_GT(constant.Cost(ssd::IoType::kRead, 256 * 1024),
+            2.0 * exact.Cost(ssd::IoType::kRead, 256 * 1024));
+}
+
+TEST_F(CostModelTest, LinearAccurateAtBandwidthBoundEnd) {
+  // The naive fit is dominated by the large-size points, so it tracks the
+  // exact model closely there.
+  ExactCostModel exact(table_);
+  LinearCostModel linear(table_);
+  for (ssd::IoType t : {ssd::IoType::kRead, ssd::IoType::kWrite}) {
+    EXPECT_NEAR(linear.Cost(t, 256 * 1024) / exact.Cost(t, 256 * 1024), 1.0,
+                0.15);
+  }
+}
+
+TEST_F(CostModelTest, LinearUndercutsExactForSmallOps) {
+  // Paper Fig. 8: the linear (mClock/FlashFQ-style) model undercuts the
+  // Libra cost curve away from the bandwidth-bound end. With our convex
+  // service-time curve the undercut concentrates at small sizes (~2x at
+  // 1KB), which is the mispricing that skews allocations in Fig. 9.
+  ExactCostModel exact(table_);
+  LinearCostModel linear(table_);
+  for (uint32_t kb : {1u, 2u}) {
+    EXPECT_LT(linear.Cost(ssd::IoType::kRead, kb * 1024),
+              0.8 * exact.Cost(ssd::IoType::kRead, kb * 1024))
+        << kb << "KB";
+  }
+  // Deviation from exact is material across the small/mid range.
+  double worst = 1.0;
+  for (uint32_t kb : {1u, 2u, 4u, 8u, 16u}) {
+    const double ratio = linear.Cost(ssd::IoType::kRead, kb * 1024) /
+                         exact.Cost(ssd::IoType::kRead, kb * 1024);
+    worst = std::min(worst, ratio);
+  }
+  EXPECT_LT(worst, 0.7);
+}
+
+TEST_F(CostModelTest, FixedChargesSizeIndependent) {
+  FixedCostModel fixed(table_);
+  EXPECT_DOUBLE_EQ(fixed.Cost(ssd::IoType::kRead, 1024),
+                   fixed.Cost(ssd::IoType::kRead, 256 * 1024));
+  EXPECT_DOUBLE_EQ(fixed.Cost(ssd::IoType::kWrite, 4096),
+                   fixed.Cost(ssd::IoType::kWrite, 128 * 1024));
+}
+
+TEST_F(CostModelTest, FactoryMakesAllModels) {
+  for (const char* name : {"exact", "fitted", "constant", "linear", "fixed"}) {
+    auto m = MakeCostModel(name, table_);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->name(), name);
+    EXPECT_GT(m->Cost(ssd::IoType::kRead, 4096), 0.0);
+  }
+  EXPECT_EQ(MakeCostModel("nope", table_), nullptr);
+}
+
+TEST_F(CostModelTest, AllModelsAgreeAtOneKilobyte) {
+  // Every model is anchored so a 1KB op costs the true 1KB price.
+  ExactCostModel exact(table_);
+  for (const char* name : {"constant", "fixed"}) {
+    auto m = MakeCostModel(name, table_);
+    for (ssd::IoType t : {ssd::IoType::kRead, ssd::IoType::kWrite}) {
+      EXPECT_NEAR(m->Cost(t, 1024), exact.Cost(t, 1024), 1e-9) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace libra::iosched

@@ -1,0 +1,284 @@
+#include "src/iosched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/iosched/cost_model.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/ssd/calibration.h"
+#include "src/ssd/device.h"
+#include "src/ssd/profile.h"
+
+namespace libra::iosched {
+namespace {
+
+// One shared calibration for the whole file (the expensive step).
+const ssd::CalibrationTable& Table() {
+  static const ssd::CalibrationTable* table = [] {
+    ssd::CalibrationOptions opt;
+    opt.warmup = 200 * kMillisecond;
+    opt.measure = 500 * kMillisecond;
+    opt.working_set_bytes = 256 * kMiB;
+    return new ssd::CalibrationTable(
+        ssd::Calibrate(ssd::Intel320Profile(), opt));
+  }();
+  return *table;
+}
+
+struct Rig {
+  sim::EventLoop loop;
+  ssd::SsdDevice device;
+  IoScheduler sched;
+  Rng rng{101};
+
+  explicit Rig(SchedulerOptions options = {})
+      : device(loop, ssd::Intel320Profile()),
+        sched(loop, device, std::make_unique<ExactCostModel>(Table()),
+              options) {
+    device.Prefill(1ULL * kGiB);
+  }
+
+  // Backlogged worker issuing `size`-byte ops of `type` until `end`.
+  sim::Task<void> Worker(TenantId tenant, ssd::IoType type, uint32_t size,
+                         SimTime end) {
+    while (loop.Now() < end) {
+      const uint64_t slots = (1ULL * kGiB) / size;
+      const uint64_t offset = rng.NextU64(slots) * size;
+      IoTag tag{tenant,
+                type == ssd::IoType::kRead ? AppRequest::kGet : AppRequest::kPut,
+                InternalOp::kNone};
+      if (type == ssd::IoType::kRead) {
+        co_await sched.Read(tag, offset, size);
+      } else {
+        co_await sched.Write(tag, offset, size);
+      }
+    }
+  }
+};
+
+TEST(SchedulerTest, SingleOpCompletes) {
+  Rig rig;
+  rig.sched.SetAllocation(0, 1000.0);
+  bool done = false;
+  auto t = [&]() -> sim::Task<void> {
+    co_await rig.sched.Read({0, AppRequest::kGet, InternalOp::kNone}, 0, 4096);
+    done = true;
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.sched.inflight(), 0);
+  EXPECT_EQ(rig.sched.backlog(), 0u);
+}
+
+TEST(SchedulerTest, TracksVopCostPerTenant) {
+  Rig rig;
+  rig.sched.SetAllocation(0, 1000.0);
+  auto t = [&]() -> sim::Task<void> {
+    co_await rig.sched.Read({0, AppRequest::kGet, InternalOp::kNone}, 0, 1024);
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  // A 1KB read costs ~1 VOP by construction.
+  EXPECT_NEAR(rig.sched.tracker().Stats(0).vops, 1.0, 0.1);
+}
+
+TEST(SchedulerTest, ChunkingSplitsLargeOps) {
+  Rig rig;
+  rig.sched.SetAllocation(0, 10000.0);
+  auto t = [&]() -> sim::Task<void> {
+    // 512KB -> 4 chunks of 128KB.
+    co_await rig.sched.Read({0, AppRequest::kGet, InternalOp::kNone}, 0,
+                            512 * 1024);
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_ops, 4u);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_bytes, 512u * 1024u);
+}
+
+TEST(SchedulerTest, ChunkingDisabledKeepsOpWhole) {
+  SchedulerOptions opt;
+  opt.enable_chunking = false;
+  Rig rig(opt);
+  rig.sched.SetAllocation(0, 10000.0);
+  auto t = [&]() -> sim::Task<void> {
+    co_await rig.sched.Read({0, AppRequest::kGet, InternalOp::kNone}, 0,
+                            512 * 1024);
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_ops, 1u);
+}
+
+TEST(SchedulerTest, EqualAllocationsSplitVopsEqually) {
+  // Core paper property (Fig. 7): tenants with equal VOP allocations get
+  // equal VOP throughput even with different op types and sizes.
+  Rig rig;
+  const SimTime end = 3 * kSecond;
+  {
+    sim::TaskGroup group(rig.loop);
+    for (TenantId t = 0; t < 4; ++t) {
+      rig.sched.SetAllocation(t, 1000.0);
+    }
+    // Two readers (different sizes), two writers (different sizes), four
+    // workers each (queue depth 16 < device QD 32: demand-limited is fine;
+    // use 8 workers each to keep everyone backlogged).
+    for (int w = 0; w < 8; ++w) {
+      group.Spawn(rig.Worker(0, ssd::IoType::kRead, 4 * 1024, end));
+      group.Spawn(rig.Worker(1, ssd::IoType::kRead, 64 * 1024, end));
+      group.Spawn(rig.Worker(2, ssd::IoType::kWrite, 4 * 1024, end));
+      group.Spawn(rig.Worker(3, ssd::IoType::kWrite, 64 * 1024, end));
+    }
+    rig.loop.Run();
+  }
+  std::vector<double> vops;
+  for (TenantId t = 0; t < 4; ++t) {
+    vops.push_back(rig.sched.tracker().Stats(t).vops);
+  }
+  EXPECT_GT(MinMaxRatio(vops), 0.9) << vops[0] << " " << vops[1] << " "
+                                    << vops[2] << " " << vops[3];
+}
+
+TEST(SchedulerTest, ProportionalAllocationsSplitVopsProportionally) {
+  Rig rig;
+  const SimTime end = 3 * kSecond;
+  {
+    sim::TaskGroup group(rig.loop);
+    rig.sched.SetAllocation(0, 3000.0);
+    rig.sched.SetAllocation(1, 1000.0);
+    for (int w = 0; w < 12; ++w) {
+      group.Spawn(rig.Worker(0, ssd::IoType::kRead, 8 * 1024, end));
+      group.Spawn(rig.Worker(1, ssd::IoType::kRead, 8 * 1024, end));
+    }
+    rig.loop.Run();
+  }
+  const double ratio = rig.sched.tracker().Stats(0).vops /
+                       rig.sched.tracker().Stats(1).vops;
+  EXPECT_NEAR(ratio, 3.0, 0.45);
+}
+
+TEST(SchedulerTest, WorkConservationGivesIdleShareToBusyTenant) {
+  // Tenant 1 has a big allocation but no demand: tenant 0 should soak up
+  // the full device throughput.
+  Rig solo;
+  const SimTime end = 2 * kSecond;
+  {
+    sim::TaskGroup group(solo.loop);
+    solo.sched.SetAllocation(0, 1000.0);
+    solo.sched.SetAllocation(1, 30000.0);  // idle
+    for (int w = 0; w < 32; ++w) {
+      group.Spawn(solo.Worker(0, ssd::IoType::kRead, 4 * 1024, end));
+    }
+    solo.loop.Run();
+  }
+  // ~full read throughput at 4KB for 2s despite a 1k VOP/s allocation.
+  const double vops = solo.sched.tracker().Stats(0).vops;
+  EXPECT_GT(vops / 2.0, 20000.0);
+}
+
+TEST(SchedulerTest, ZeroAllocationTenantServedWhenAlone) {
+  Rig rig;
+  const SimTime end = 1 * kSecond;
+  {
+    sim::TaskGroup group(rig.loop);
+    // Auto-registered with allocation 0 (best effort).
+    for (int w = 0; w < 8; ++w) {
+      group.Spawn(rig.Worker(5, ssd::IoType::kRead, 4 * 1024, end));
+    }
+    rig.loop.Run();
+  }
+  EXPECT_GT(rig.sched.tracker().Stats(5).total_ops(), 1000u);
+}
+
+TEST(SchedulerTest, ZeroAllocationTenantYieldsUnderContention) {
+  Rig rig;
+  const SimTime end = 2 * kSecond;
+  {
+    sim::TaskGroup group(rig.loop);
+    rig.sched.SetAllocation(0, 1000.0);
+    rig.sched.SetAllocation(1, 0.0);
+    for (int w = 0; w < 16; ++w) {
+      group.Spawn(rig.Worker(0, ssd::IoType::kRead, 4 * 1024, end));
+      group.Spawn(rig.Worker(1, ssd::IoType::kRead, 4 * 1024, end));
+    }
+    rig.loop.Run();
+  }
+  // The provisioned tenant dominates.
+  EXPECT_GT(rig.sched.tracker().Stats(0).vops,
+            10.0 * rig.sched.tracker().Stats(1).vops);
+}
+
+TEST(SchedulerTest, RoundsAdvanceUnderLoad) {
+  Rig rig;
+  const SimTime end = 500 * kMillisecond;
+  {
+    sim::TaskGroup group(rig.loop);
+    rig.sched.SetAllocation(0, 1000.0);
+    for (int w = 0; w < 8; ++w) {
+      group.Spawn(rig.Worker(0, ssd::IoType::kRead, 4 * 1024, end));
+    }
+    rig.loop.Run();
+  }
+  EXPECT_GT(rig.sched.rounds(), 10u);
+}
+
+TEST(SchedulerTest, AllocationUpdateShiftsShares) {
+  // Start 1:1, then flip to 4:1 mid-run; the post-flip VOP split follows.
+  Rig rig;
+  {
+    sim::TaskGroup group(rig.loop);
+    rig.sched.SetAllocation(0, 1000.0);
+    rig.sched.SetAllocation(1, 1000.0);
+    const SimTime end = 4 * kSecond;
+    for (int w = 0; w < 12; ++w) {
+      group.Spawn(rig.Worker(0, ssd::IoType::kRead, 8 * 1024, end));
+      group.Spawn(rig.Worker(1, ssd::IoType::kRead, 8 * 1024, end));
+    }
+    double t0_mid = 0.0;
+    double t1_mid = 0.0;
+    rig.loop.ScheduleAt(2 * kSecond, [&] {
+      t0_mid = rig.sched.tracker().Stats(0).vops;
+      t1_mid = rig.sched.tracker().Stats(1).vops;
+      rig.sched.SetAllocation(0, 4000.0);
+    });
+    rig.loop.Run();
+    const double t0_post = rig.sched.tracker().Stats(0).vops - t0_mid;
+    const double t1_post = rig.sched.tracker().Stats(1).vops - t1_mid;
+    EXPECT_NEAR(t0_post / t1_post, 4.0, 0.8);
+  }
+}
+
+TEST(SchedulerTest, MixedSizeInsulationMmr) {
+  // 8 tenants, 4 read / 4 write, sizes from 1KB to 64KB, equal allocations:
+  // VOP MMR should be near the paper's 0.98 (we accept >= 0.85 in this
+  // short run).
+  Rig rig;
+  const SimTime end = 3 * kSecond;
+  const uint32_t sizes[] = {1024,       4096,        16384,      65536,
+                            2 * 1024,   8 * 1024,    32 * 1024,  64 * 1024};
+  {
+    sim::TaskGroup group(rig.loop);
+    for (TenantId t = 0; t < 8; ++t) {
+      rig.sched.SetAllocation(t, 1000.0);
+      const ssd::IoType type = t < 4 ? ssd::IoType::kRead : ssd::IoType::kWrite;
+      for (int w = 0; w < 4; ++w) {
+        group.Spawn(rig.Worker(t, type, sizes[t], end));
+      }
+    }
+    rig.loop.Run();
+  }
+  std::vector<double> vops;
+  for (TenantId t = 0; t < 8; ++t) {
+    vops.push_back(rig.sched.tracker().Stats(t).vops);
+  }
+  EXPECT_GT(MinMaxRatio(vops), 0.85);
+}
+
+}  // namespace
+}  // namespace libra::iosched

@@ -1,0 +1,80 @@
+#include "src/kv/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace libra::kv {
+namespace {
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache cache(1024);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache cache(1024);
+  cache.Put("key", "value");
+  const auto v = cache.Get("key");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "value");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LruCacheTest, OverwriteUpdatesValueAndBytes) {
+  LruCache cache(1024);
+  cache.Put("key", "short");
+  cache.Put("key", "a much longer value");
+  EXPECT_EQ(*cache.Get("key"), "a much longer value");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.size_bytes(), 3 + 19u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(30);
+  cache.Put("a", std::string(9, '1'));  // 10 bytes each
+  cache.Put("b", std::string(9, '2'));
+  cache.Put("c", std::string(9, '3'));
+  EXPECT_EQ(cache.entries(), 3u);
+  // Touch "a" so "b" becomes LRU; inserting "d" evicts "b".
+  cache.Get("a");
+  cache.Put("d", std::string(9, '4'));
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_TRUE(cache.Get("d").has_value());
+}
+
+TEST(LruCacheTest, OversizedObjectNotAdmitted) {
+  LruCache cache(10);
+  cache.Put("k", std::string(100, 'x'));
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LruCacheTest, OversizedOverwriteDropsStaleEntry) {
+  LruCache cache(20);
+  cache.Put("k", "small");
+  ASSERT_TRUE(cache.Get("k").has_value());
+  cache.Put("k", std::string(100, 'x'));  // too big: must not serve stale
+  EXPECT_FALSE(cache.Get("k").has_value());
+}
+
+TEST(LruCacheTest, EraseRemovesEntry) {
+  LruCache cache(100);
+  cache.Put("k", "v");
+  cache.Erase("k");
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  cache.Erase("never-existed");  // no-op
+}
+
+TEST(LruCacheTest, ByteBudgetRespectedUnderChurn) {
+  LruCache cache(1000);
+  for (int i = 0; i < 500; ++i) {
+    cache.Put("key" + std::to_string(i), std::string(50, 'v'));
+    EXPECT_LE(cache.size_bytes(), 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace libra::kv

@@ -1,0 +1,163 @@
+#include "src/kv/storage_node.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace libra::kv {
+namespace {
+
+ssd::CalibrationTable NodeTable() {
+  ssd::CalibrationTable t;
+  t.sizes_kb = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  t.rand_read_iops = {38000, 36000, 33000, 28000, 16500, 8200, 4100, 2050, 1025};
+  t.rand_write_iops = {13500, 13500, 13400, 10400, 8100, 4000, 2000, 1000, 610};
+  t.seq_read_iops = t.rand_read_iops;
+  t.seq_write_iops = t.rand_write_iops;
+  return t;
+}
+
+NodeOptions TestOptions(bool cache = false) {
+  NodeOptions opt;
+  opt.calibration = NodeTable();
+  opt.enable_cache = cache;
+  opt.lsm_options.write_buffer_bytes = 256 * 1024;
+  opt.lsm_options.max_bytes_level1 = 1 * kMiB;
+  opt.prefill_bytes = 64 * kMiB;
+  return opt;
+}
+
+struct NodeRig {
+  sim::EventLoop loop;
+  StorageNode node;
+
+  explicit NodeRig(bool cache = false) : node(loop, TestOptions(cache)) {}
+
+  void RunTask(sim::Task<void> t) {
+    sim::Detach(std::move(t));
+    loop.Run();
+  }
+};
+
+TEST(StorageNodeTest, AddTenantAndRoundTrip) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {1000.0, 1000.0}).ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    EXPECT_TRUE((co_await rig.node.Put(1, "k", "v")).ok());
+    auto r = co_await rig.node.Get(1, "k");
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(r.value, "v");
+  }());
+}
+
+TEST(StorageNodeTest, DuplicateTenantRejected) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {}).ok());
+  EXPECT_EQ(rig.node.AddTenant(1, {}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StorageNodeTest, UnknownTenantRejected) {
+  NodeRig rig;
+  rig.RunTask([&]() -> sim::Task<void> {
+    EXPECT_EQ((co_await rig.node.Put(9, "k", "v")).code(),
+              StatusCode::kNotFound);
+    auto r = co_await rig.node.Get(9, "k");
+    EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  }());
+}
+
+TEST(StorageNodeTest, TenantsAreIsolatedNamespaces) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {}).ok());
+  ASSERT_TRUE(rig.node.AddTenant(2, {}).ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    co_await rig.node.Put(1, "shared-key", "tenant1");
+    co_await rig.node.Put(2, "shared-key", "tenant2");
+    auto r1 = co_await rig.node.Get(1, "shared-key");
+    auto r2 = co_await rig.node.Get(2, "shared-key");
+    EXPECT_EQ(r1.value, "tenant1");
+    EXPECT_EQ(r2.value, "tenant2");
+  }());
+}
+
+TEST(StorageNodeTest, DeleteRemovesKey) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {}).ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    co_await rig.node.Put(1, "k", "v");
+    EXPECT_TRUE((co_await rig.node.Delete(1, "k")).ok());
+    auto r = co_await rig.node.Get(1, "k");
+    EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  }());
+}
+
+TEST(StorageNodeTest, AppRequestsRecordedNormalized) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {}).ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    co_await rig.node.Put(1, "k", std::string(4096, 'v'));  // 4 normalized
+    co_await rig.node.Get(1, "k");                          // 4 normalized
+  }());
+  EXPECT_NEAR(rig.node.tracker().NormalizedRequestsTotal(
+                  1, iosched::AppRequest::kPut),
+              4.0, 1e-9);
+  EXPECT_NEAR(rig.node.tracker().NormalizedRequestsTotal(
+                  1, iosched::AppRequest::kGet),
+              4.0, 1e-9);
+}
+
+TEST(StorageNodeTest, CacheHitConsumesNoIo) {
+  NodeRig rig(/*cache=*/true);
+  ASSERT_TRUE(rig.node.AddTenant(1, {}).ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    co_await rig.node.Put(1, "k", std::string(1024, 'v'));
+    const uint64_t reads_before = rig.node.tracker().Stats(1).read_ops;
+    auto r = co_await rig.node.Get(1, "k");  // write-through: cache hit
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(rig.node.tracker().Stats(1).read_ops, reads_before);
+  }());
+  EXPECT_GT(rig.node.cache()->hits(), 0u);
+}
+
+TEST(StorageNodeTest, PolicyProvisionsFromReservations) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {1000.0, 0.0}).ok());
+  ASSERT_TRUE(rig.node.AddTenant(2, {0.0, 1000.0}).ok());
+  rig.node.Start();
+  rig.loop.RunUntil(2 * kSecond);
+  rig.node.Stop();
+  // PUT-reserved tenant gets a larger VOP allocation (writes cost more).
+  EXPECT_GT(rig.node.scheduler().Allocation(2),
+            rig.node.scheduler().Allocation(1));
+  EXPECT_GT(rig.node.scheduler().Allocation(1), 0.0);
+  rig.loop.Run();
+}
+
+TEST(StorageNodeTest, WorkloadDrivesThroughput) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {2000.0, 2000.0}).ok());
+  workload::KvWorkloadSpec spec;
+  spec.get_fraction = 0.5;
+  spec.get_size = {4096.0, 0.0};
+  spec.put_size = {4096.0, 0.0};
+  spec.live_bytes_target = 4 * kMiB;
+  spec.workers = 4;
+  workload::KvTenantWorkload wl(rig.loop, rig.node, 1, spec, 99);
+  rig.RunTask([&]() -> sim::Task<void> { co_await wl.Preload(); }());
+  rig.node.Start();
+  {
+    sim::TaskGroup group(rig.loop);
+    const SimTime end = rig.loop.Now() + 2 * kSecond;
+    wl.Start(group, end);
+    // The started policy keeps a timer pending forever: bound the run,
+    // stop the policy, then drain the finite remainder.
+    rig.loop.RunUntil(end + kSecond);
+    rig.node.Stop();
+    rig.loop.Run();
+  }
+  EXPECT_GT(wl.gets_done(), 100u);
+  EXPECT_GT(wl.puts_done(), 100u);
+}
+
+}  // namespace
+}  // namespace libra::kv

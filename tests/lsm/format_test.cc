@@ -1,0 +1,114 @@
+#include "src/lsm/format.h"
+
+#include <gtest/gtest.h>
+
+namespace libra::lsm {
+namespace {
+
+TEST(FormatTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed32(&buf, UINT32_MAX);
+  EXPECT_EQ(buf.size(), 12u);
+  EXPECT_EQ(GetFixed32(buf, 0), 0u);
+  EXPECT_EQ(GetFixed32(buf, 4), 0xDEADBEEFu);
+  EXPECT_EQ(GetFixed32(buf, 8), UINT32_MAX);
+}
+
+TEST(FormatTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(GetFixed64(buf, 0), 0x0123456789ABCDEFULL);
+}
+
+TEST(FormatTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  size_t off = 0;
+  std::string_view s;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &off, &s));
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &off, &s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &off, &s));
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_FALSE(GetLengthPrefixed(buf, &off, &s));  // exhausted
+}
+
+TEST(FormatTest, LengthPrefixedRejectsTruncation) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  size_t off = 0;
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(buf, &off, &s));
+}
+
+TEST(FormatTest, Crc32KnownVector) {
+  // CRC-32C ("Castagnoli") of "123456789" is 0xE3069283.
+  EXPECT_EQ(Crc32("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(FormatTest, Crc32DetectsCorruption) {
+  std::string a = "some payload";
+  std::string b = a;
+  b[3] ^= 1;
+  EXPECT_NE(Crc32(a), Crc32(b));
+}
+
+TEST(FormatTest, InternalKeyOrdering) {
+  // User key ascending.
+  EXPECT_LT(CompareInternalKey("a", 5, "b", 5), 0);
+  EXPECT_GT(CompareInternalKey("b", 5, "a", 5), 0);
+  // Same key: higher sequence first.
+  EXPECT_LT(CompareInternalKey("a", 9, "a", 5), 0);
+  EXPECT_GT(CompareInternalKey("a", 1, "a", 5), 0);
+  EXPECT_EQ(CompareInternalKey("a", 5, "a", 5), 0);
+}
+
+TEST(FormatTest, RecordRoundTrip) {
+  std::string buf;
+  EncodeRecord(&buf, "key1", 42, ValueType::kPut, "value1");
+  EncodeRecord(&buf, "key2", 43, ValueType::kDelete, "");
+  size_t off = 0;
+  Record r;
+  ASSERT_TRUE(DecodeRecord(buf, &off, &r));
+  EXPECT_EQ(r.key, "key1");
+  EXPECT_EQ(r.value, "value1");
+  EXPECT_EQ(r.seq, 42u);
+  EXPECT_EQ(r.type, ValueType::kPut);
+  ASSERT_TRUE(DecodeRecord(buf, &off, &r));
+  EXPECT_EQ(r.key, "key2");
+  EXPECT_EQ(r.type, ValueType::kDelete);
+  EXPECT_FALSE(DecodeRecord(buf, &off, &r));
+}
+
+TEST(FormatTest, RecordDecodeRejectsTruncation) {
+  std::string buf;
+  EncodeRecord(&buf, "key", 1, ValueType::kPut, "value");
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    size_t off = 0;
+    Record r;
+    EXPECT_FALSE(DecodeRecord(std::string_view(buf).substr(0, cut), &off, &r))
+        << "cut at " << cut;
+  }
+}
+
+TEST(FormatTest, BinaryKeysAndValuesSurvive) {
+  std::string key("\x00\x01\xFF", 3);
+  std::string value("\xDE\xAD\x00\xBE\xEF", 5);
+  std::string buf;
+  EncodeRecord(&buf, key, 7, ValueType::kPut, value);
+  size_t off = 0;
+  Record r;
+  ASSERT_TRUE(DecodeRecord(buf, &off, &r));
+  EXPECT_EQ(r.key, key);
+  EXPECT_EQ(r.value, value);
+}
+
+}  // namespace
+}  // namespace libra::lsm

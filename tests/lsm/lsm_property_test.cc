@@ -1,0 +1,120 @@
+// Parameterized LSM property sweeps: the randomized differential test must
+// hold across seeds and value-size regimes, and compaction must preserve
+// the level invariants for every write-buffer configuration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/lsm/db.h"
+#include "tests/lsm/lsm_rig.h"
+
+namespace libra::lsm {
+namespace {
+
+using testing::LsmRig;
+
+std::string Key(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+using SweepParam = std::tuple<uint64_t, uint32_t>;  // (seed, max value bytes)
+
+class LsmDifferentialSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(LsmDifferentialSweep, MatchesReferenceMapAndKeepsInvariants) {
+  const auto [seed, max_value] = GetParam();
+  LsmRig rig;
+  LsmOptions opt;
+  opt.write_buffer_bytes = 48 * 1024;
+  opt.max_bytes_level1 = 192 * 1024;
+  opt.target_file_bytes = 48 * 1024;
+  LsmDb db(rig.loop, rig.fs, rig.sched, 1, "t1", opt);
+  ASSERT_TRUE(db.Open().ok());
+
+  std::map<std::string, std::string> reference;
+  Rng rng(seed);
+  rig.RunTask([&]() -> sim::Task<void> {
+    for (int op = 0; op < 1200; ++op) {
+      EXPECT_EQ(db.DebugCheckInvariants(), "") << "op " << op;
+      const std::string key = Key(static_cast<int>(rng.NextU64(200)));
+      const double dice = rng.NextDouble();
+      if (dice < 0.5) {
+        const std::string value =
+            "v" + std::to_string(op) +
+            std::string(rng.NextU64(max_value), 'x');
+        co_await db.Put(key, value);
+        reference[key] = value;
+      } else if (dice < 0.65) {
+        co_await db.Delete(key);
+        reference.erase(key);
+      } else {
+        auto r = co_await db.Get(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(r.status.code(), StatusCode::kNotFound) << key;
+        } else {
+          EXPECT_TRUE(r.status.ok()) << key;
+          EXPECT_EQ(r.value, it->second) << key;
+        }
+      }
+    }
+    co_await db.WaitIdle();
+    EXPECT_EQ(db.DebugCheckInvariants(), "");
+    for (const auto& [key, value] : reference) {
+      auto r = co_await db.Get(key);
+      EXPECT_TRUE(r.status.ok()) << key;
+      EXPECT_EQ(r.value, value) << key;
+    }
+  }());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSizes, LsmDifferentialSweep,
+    ::testing::Combine(::testing::Values(1ull, 77ull, 4242ull),
+                       ::testing::Values(64u, 2048u, 16384u)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_val" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Write-buffer size must not affect correctness, only flush cadence.
+
+class WriteBufferSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WriteBufferSweep, AllKeysSurviveChurn) {
+  LsmRig rig;
+  LsmOptions opt;
+  opt.write_buffer_bytes = GetParam();
+  opt.max_bytes_level1 = 4 * opt.write_buffer_bytes;
+  opt.target_file_bytes = opt.write_buffer_bytes;
+  LsmDb db(rig.loop, rig.fs, rig.sched, 1, "t1", opt);
+  ASSERT_TRUE(db.Open().ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 150; ++i) {
+        co_await db.Put(Key(i), std::string(700, 'a' + round));
+      }
+    }
+    co_await db.WaitIdle();
+    for (int i = 0; i < 150; i += 11) {
+      auto r = co_await db.Get(Key(i));
+      EXPECT_TRUE(r.status.ok()) << i;
+      EXPECT_EQ(r.value, std::string(700, 'c')) << i;
+    }
+    EXPECT_EQ(db.DebugCheckInvariants(), "");
+  }());
+  EXPECT_GT(db.stats().flushes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferSizes, WriteBufferSweep,
+                         ::testing::Values(16u * 1024u, 64u * 1024u,
+                                           256u * 1024u));
+
+}  // namespace
+}  // namespace libra::lsm

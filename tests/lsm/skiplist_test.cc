@@ -1,0 +1,104 @@
+#include "src/lsm/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace libra::lsm {
+namespace {
+
+struct IntCmp {
+  int operator()(int a, int b) const { return a < b ? -1 : (a > b ? 1 : 0); }
+};
+
+TEST(SkipListTest, EmptyList) {
+  SkipList<int, IntCmp> list(IntCmp{});
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.Contains(1));
+  SkipList<int, IntCmp>::Iterator it(&list);
+  it.SeekToFirst();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, InsertAndContains) {
+  SkipList<int, IntCmp> list(IntCmp{});
+  EXPECT_TRUE(list.Insert(5));
+  EXPECT_TRUE(list.Insert(1));
+  EXPECT_TRUE(list.Insert(9));
+  EXPECT_TRUE(list.Contains(5));
+  EXPECT_TRUE(list.Contains(1));
+  EXPECT_TRUE(list.Contains(9));
+  EXPECT_FALSE(list.Contains(7));
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(SkipListTest, DuplicateInsertRejected) {
+  SkipList<int, IntCmp> list(IntCmp{});
+  EXPECT_TRUE(list.Insert(5));
+  EXPECT_FALSE(list.Insert(5));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  SkipList<int, IntCmp> list(IntCmp{});
+  std::vector<int> values;
+  uint64_t x = 7;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int v = static_cast<int>((x >> 33) % 100000);
+    if (list.Insert(v)) {
+      values.push_back(v);
+    }
+  }
+  std::sort(values.begin(), values.end());
+  SkipList<int, IntCmp>::Iterator it(&list);
+  it.SeekToFirst();
+  for (int expected : values) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), expected);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SkipListTest, SeekFindsFirstGreaterOrEqual) {
+  SkipList<int, IntCmp> list(IntCmp{});
+  for (int v : {10, 20, 30, 40}) {
+    list.Insert(v);
+  }
+  SkipList<int, IntCmp>::Iterator it(&list);
+  it.Seek(20);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 20);
+  it.Seek(25);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30);
+  it.Seek(45);
+  EXPECT_FALSE(it.Valid());
+  it.Seek(-1);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 10);
+}
+
+TEST(SkipListTest, LargeScaleStress) {
+  SkipList<int, IntCmp> list(IntCmp{});
+  std::set<int> reference;
+  uint64_t x = 99;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int v = static_cast<int>((x >> 33) % 1000000);
+    EXPECT_EQ(list.Insert(v), reference.insert(v).second);
+  }
+  EXPECT_EQ(list.size(), reference.size());
+  for (int probe = 0; probe < 1000; ++probe) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int v = static_cast<int>((x >> 33) % 1000000);
+    EXPECT_EQ(list.Contains(v), reference.count(v) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace libra::lsm

@@ -1,0 +1,170 @@
+#include "src/lsm/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/lsm/lsm_rig.h"
+
+namespace libra::lsm {
+namespace {
+
+using testing::LsmRig;
+
+const iosched::IoTag kFlushTag{1, iosched::AppRequest::kPut,
+                               iosched::InternalOp::kFlush};
+const iosched::IoTag kGetTag{1, iosched::AppRequest::kGet,
+                             iosched::InternalOp::kNone};
+
+// Builds a table with `n` keys "key00000i" -> "value_i" at seq i+1.
+fs::FileId BuildTestTable(LsmRig& rig, int n, uint32_t value_size = 100) {
+  const fs::FileId file = *rig.fs.Create("sst_1");
+  rig.RunTask([&, file]() -> sim::Task<void> {
+    SstableBuilder builder(rig.fs, file);
+    for (int i = 0; i < n; ++i) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "key%07d", i);
+      builder.Add(key, static_cast<SequenceNumber>(i + 1), ValueType::kPut,
+                  std::string(value_size, 'a' + (i % 26)));
+    }
+    EXPECT_TRUE((co_await builder.Finish(kFlushTag)).ok());
+  }());
+  return file;
+}
+
+TEST(SstableTest, BuildAndLookup) {
+  LsmRig rig;
+  const fs::FileId file = BuildTestTable(rig, 500);
+  SstableReader reader(rig.fs, file);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await reader.Get(kGetTag, "key0000042", UINT64_MAX);
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.found);
+    if (r.found) {
+      EXPECT_EQ(r.value, std::string(100, 'a' + (42 % 26)));
+    }
+  }());
+}
+
+TEST(SstableTest, MissingKeyNotFound) {
+  LsmRig rig;
+  const fs::FileId file = BuildTestTable(rig, 100);
+  SstableReader reader(rig.fs, file);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await reader.Get(kGetTag, "key0000xyz", UINT64_MAX);
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.found);
+    // Before the first key and after the last key.
+    r = co_await reader.Get(kGetTag, "aaa", UINT64_MAX);
+    EXPECT_FALSE(r.found);
+    r = co_await reader.Get(kGetTag, "zzz", UINT64_MAX);
+    EXPECT_FALSE(r.found);
+  }());
+}
+
+TEST(SstableTest, SmallestLargestTracked) {
+  LsmRig rig;
+  const fs::FileId file = *rig.fs.Create("sst_1");
+  rig.RunTask([&]() -> sim::Task<void> {
+    SstableBuilder builder(rig.fs, file);
+    builder.Add("apple", 1, ValueType::kPut, "1");
+    builder.Add("mango", 2, ValueType::kPut, "2");
+    builder.Add("zebra", 3, ValueType::kPut, "3");
+    EXPECT_EQ(builder.smallest_key(), "apple");
+    EXPECT_EQ(builder.largest_key(), "zebra");
+    EXPECT_EQ(builder.num_entries(), 3u);
+    co_await builder.Finish(kFlushTag);
+  }());
+}
+
+TEST(SstableTest, TombstonesSurfaceAsDeleted) {
+  LsmRig rig;
+  const fs::FileId file = *rig.fs.Create("sst_1");
+  rig.RunTask([&]() -> sim::Task<void> {
+    SstableBuilder builder(rig.fs, file);
+    builder.Add("key", 5, ValueType::kDelete, "");
+    builder.Add("key", 2, ValueType::kPut, "old");
+    co_await builder.Finish(kFlushTag);
+    SstableReader reader(rig.fs, file);
+    auto r = co_await reader.Get(kGetTag, "key", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(r.deleted);
+    // At an older snapshot the PUT is visible.
+    r = co_await reader.Get(kGetTag, "key", 2);
+    EXPECT_TRUE(r.found);
+    EXPECT_FALSE(r.deleted);
+    EXPECT_EQ(r.value, "old");
+  }());
+}
+
+TEST(SstableTest, LookupCostsIndexPlusDataBlock) {
+  LsmRig rig;
+  const fs::FileId file = BuildTestTable(rig, 2000);  // many 4KB blocks
+  SstableReader reader(rig.fs, file);
+  const auto before = rig.sched.tracker().Stats(1);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await reader.Get(kGetTag, "key0001000", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+  }());
+  const auto after = rig.sched.tracker().Stats(1);
+  // Footer + index + one data block = 3 reads (both cached afterwards,
+  // like LevelDB's table cache).
+  EXPECT_EQ(after.read_ops - before.read_ops, 3u);
+
+  const auto mid = rig.sched.tracker().Stats(1);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await reader.Get(kGetTag, "key0000001", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+  }());
+  // Second lookup: one data-block read only.
+  EXPECT_EQ(rig.sched.tracker().Stats(1).read_ops - mid.read_ops, 1u);
+}
+
+TEST(SstableTest, ScanAllYieldsEverythingInOrder) {
+  LsmRig rig;
+  const fs::FileId file = BuildTestTable(rig, 777);
+  SstableReader reader(rig.fs, file);
+  std::vector<std::string> keys;
+  rig.RunTask([&]() -> sim::Task<void> {
+    EXPECT_TRUE((co_await reader.ScanAll(
+                     kGetTag, [&](const Record& r) { keys.emplace_back(r.key); }))
+                    .ok());
+  }());
+  ASSERT_EQ(keys.size(), 777u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.front(), "key0000000");
+  EXPECT_EQ(keys.back(), "key0000776");
+}
+
+TEST(SstableTest, LargeValuesSpanBlocks) {
+  LsmRig rig;
+  const fs::FileId file = *rig.fs.Create("sst_1");
+  const std::string big(64 * 1024, 'B');
+  rig.RunTask([&]() -> sim::Task<void> {
+    SstableBuilder builder(rig.fs, file);
+    builder.Add("big0", 1, ValueType::kPut, big);
+    builder.Add("big1", 2, ValueType::kPut, big);
+    co_await builder.Finish(kFlushTag);
+    SstableReader reader(rig.fs, file);
+    auto r = co_await reader.Get(kGetTag, "big1", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+    if (r.found) {
+      EXPECT_EQ(r.value, big);
+    }
+  }());
+}
+
+TEST(SstableTest, EmptyTableLookups) {
+  LsmRig rig;
+  const fs::FileId file = *rig.fs.Create("sst_1");
+  rig.RunTask([&]() -> sim::Task<void> {
+    SstableBuilder builder(rig.fs, file);
+    co_await builder.Finish(kFlushTag);
+    SstableReader reader(rig.fs, file);
+    auto r = co_await reader.Get(kGetTag, "anything", UINT64_MAX);
+    EXPECT_FALSE(r.found);
+  }());
+}
+
+}  // namespace
+}  // namespace libra::lsm

@@ -1,0 +1,117 @@
+#include "src/lsm/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/lsm/lsm_rig.h"
+
+namespace libra::lsm {
+namespace {
+
+using testing::LsmRig;
+
+const iosched::IoTag kPutTag{1, iosched::AppRequest::kPut,
+                             iosched::InternalOp::kNone};
+
+TEST(WalTest, AppendAndReplay) {
+  LsmRig rig;
+  WriteAheadLog wal(rig.fs, "wal_1");
+  ASSERT_TRUE(wal.Open().ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    EXPECT_TRUE(
+        (co_await wal.Append(kPutTag, "k1", 1, ValueType::kPut, "v1")).ok());
+    EXPECT_TRUE(
+        (co_await wal.Append(kPutTag, "k2", 2, ValueType::kDelete, "")).ok());
+  }());
+  std::vector<Record> records;
+  std::vector<std::string> keys;  // Record holds views; copy out
+  ASSERT_TRUE(wal.Replay([&](const Record& r) {
+                   records.push_back(r);
+                   keys.emplace_back(r.key);
+                 })
+                  .ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(keys[0], "k1");
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].type, ValueType::kPut);
+  EXPECT_EQ(keys[1], "k2");
+  EXPECT_EQ(records[1].type, ValueType::kDelete);
+}
+
+TEST(WalTest, ReplayStopsAtTornTail) {
+  LsmRig rig;
+  WriteAheadLog wal(rig.fs, "wal_1");
+  ASSERT_TRUE(wal.Open().ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    co_await wal.Append(kPutTag, "k1", 1, ValueType::kPut, "v1");
+    co_await wal.Append(kPutTag, "k2", 2, ValueType::kPut, "v2");
+    // Simulate a torn tail: append a frame header with no payload.
+    std::string torn;
+    PutFixed32(&torn, 100);
+    PutFixed32(&torn, 0x12345678);
+    co_await rig.fs.Append(*rig.fs.Open("wal_1"), kPutTag, torn);
+  }());
+  int count = 0;
+  ASSERT_TRUE(wal.Replay([&](const Record&) { ++count; }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(WalTest, AppendsChargeDirectPutIo) {
+  LsmRig rig;
+  WriteAheadLog wal(rig.fs, "wal_1");
+  ASSERT_TRUE(wal.Open().ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    co_await wal.Append(kPutTag, "key", 1, ValueType::kPut,
+                        std::string(4096, 'v'));
+  }());
+  const auto& stats = rig.sched.tracker().Stats(1);
+  EXPECT_EQ(stats.write_ops, 1u);
+  EXPECT_GT(stats.write_bytes, 4096u);  // payload + framing
+}
+
+TEST(WalTest, RemoveDeletesFile) {
+  LsmRig rig;
+  WriteAheadLog wal(rig.fs, "wal_1");
+  ASSERT_TRUE(wal.Open().ok());
+  EXPECT_TRUE(rig.fs.Exists("wal_1"));
+  EXPECT_TRUE(wal.Remove().ok());
+  EXPECT_FALSE(rig.fs.Exists("wal_1"));
+}
+
+TEST(WalTest, SizeTracksAppends) {
+  LsmRig rig;
+  WriteAheadLog wal(rig.fs, "wal_1");
+  ASSERT_TRUE(wal.Open().ok());
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+  rig.RunTask([&]() -> sim::Task<void> {
+    co_await wal.Append(kPutTag, "k", 1, ValueType::kPut, std::string(100, 'v'));
+  }());
+  EXPECT_GT(wal.SizeBytes(), 100u);
+}
+
+TEST(WalTest, ReopenExistingLogReplays) {
+  LsmRig rig;
+  {
+    WriteAheadLog wal(rig.fs, "wal_1");
+    ASSERT_TRUE(wal.Open().ok());
+    rig.RunTask([&]() -> sim::Task<void> {
+      co_await wal.Append(kPutTag, "k", 9, ValueType::kPut, "v");
+    }());
+  }
+  // A second WriteAheadLog over the same file (crash recovery).
+  WriteAheadLog recovered(rig.fs, "wal_1");
+  ASSERT_TRUE(recovered.Open().ok());
+  int count = 0;
+  SequenceNumber seq = 0;
+  ASSERT_TRUE(recovered.Replay([&](const Record& r) {
+                   ++count;
+                   seq = r.seq;
+                 })
+                  .ok());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(seq, 9u);
+}
+
+}  // namespace
+}  // namespace libra::lsm

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/metrics/meter.h"
+#include "src/metrics/table.h"
+
+namespace libra::metrics {
+namespace {
+
+TEST(ThroughputMeterTest, ZeroBeforeStart) {
+  ThroughputMeter m;
+  m.Add(100.0);
+  EXPECT_EQ(m.total(), 0.0);
+  EXPECT_EQ(m.Rate(kSecond), 0.0);
+}
+
+TEST(ThroughputMeterTest, RateOverWindow) {
+  ThroughputMeter m;
+  m.Start(1 * kSecond);
+  m.Add(500.0);
+  m.Add(500.0);
+  EXPECT_DOUBLE_EQ(m.Rate(3 * kSecond), 500.0);  // 1000 over 2s
+  EXPECT_DOUBLE_EQ(m.total(), 1000.0);
+}
+
+TEST(ThroughputMeterTest, RestartResetsCount) {
+  ThroughputMeter m;
+  m.Start(0);
+  m.Add(100.0);
+  m.Start(kSecond);
+  EXPECT_EQ(m.total(), 0.0);
+}
+
+TEST(TimeSeriesTest, RecordsAndAverages) {
+  TimeSeries ts("t");
+  ts.Record(1 * kSecond, 10.0);
+  ts.Record(2 * kSecond, 20.0);
+  ts.Record(3 * kSecond, 30.0);
+  EXPECT_EQ(ts.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(1 * kSecond, 2 * kSecond), 15.0);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(0, 10 * kSecond), 20.0);
+  EXPECT_DOUBLE_EQ(ts.MeanOver(5 * kSecond, 6 * kSecond), 0.0);
+}
+
+TEST(RateSamplerTest, ComputesIntervalRates) {
+  RateSampler s("r");
+  s.Tick(0, 0.0);
+  s.Tick(1 * kSecond, 100.0);
+  s.Tick(2 * kSecond, 300.0);
+  const auto& pts = s.series().points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(pts[1].value, 200.0);
+}
+
+TEST(TableTest, TextRenderingAligns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("name   value"), std::string::npos);
+  EXPECT_NE(text.find("alpha  1"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"x"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("x,,"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"k"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"label", "v1", "v2"});
+  t.AddNumericRow("row", {1.23456, 7.0}, 2);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("row,1.23,7.00"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+}
+
+}  // namespace
+}  // namespace libra::metrics

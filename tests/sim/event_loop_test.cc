@@ -1,0 +1,145 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace libra::sim {
+namespace {
+
+TEST(EventLoopTest, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now(), 0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(30, [&] { order.push_back(3); });
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 30);
+}
+
+TEST(EventLoopTest, FifoAtSameTimestamp) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleAt(42, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, ClockVisibleInsideCallback) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.ScheduleAt(1000, [&] { seen = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(seen, 1000);
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(10, [&] {
+    ++fired;
+    loop.ScheduleAfter(5, [&] { ++fired; });
+  });
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.Now(), 15);
+}
+
+TEST(EventLoopTest, PastTimestampsClampToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(100, [&] {
+    loop.ScheduleAt(50, [&] { EXPECT_EQ(loop.Now(), 100); });
+  });
+  loop.Run();
+  EXPECT_EQ(loop.Now(), 100);
+}
+
+TEST(EventLoopTest, CancelPreventsDispatch) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.ScheduleAt(10, [&] { fired = true; });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, CancelUnknownIdIsNoop) {
+  EventLoop loop;
+  loop.Cancel(0);
+  loop.Cancel(999999);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(100, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.RunUntil(50), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(loop.Now(), 50);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoopTest, RunForAdvancesRelative) {
+  EventLoop loop;
+  loop.RunFor(25);
+  EXPECT_EQ(loop.Now(), 25);
+  loop.RunFor(25);
+  EXPECT_EQ(loop.Now(), 50);
+}
+
+TEST(EventLoopTest, StopBreaksOutOfRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.ScheduleAt(1, [&] {
+    ++fired;
+    loop.Stop();
+  });
+  loop.ScheduleAt(2, [&] { ++fired; });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending_events(), 1u);
+}
+
+TEST(EventLoopTest, RunOneDispatchesSingleEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Post([&] { ++fired; });
+  loop.Post([&] { ++fired; });
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_FALSE(loop.RunOne());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, ManyEventsStressOrdering) {
+  EventLoop loop;
+  SimTime last = -1;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime t = (i * 7919) % 1000;
+    loop.ScheduleAt(t, [&, t] {
+      EXPECT_GE(t, last);
+      last = t;
+      ++count;
+    });
+  }
+  loop.Run();
+  EXPECT_EQ(count, 10000);
+}
+
+}  // namespace
+}  // namespace libra::sim

@@ -1,0 +1,160 @@
+#include "src/sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+
+namespace libra::sim {
+namespace {
+
+Task<int> ReturnFortyTwo() { co_return 42; }
+
+Task<int> AddOne(Task<int> inner) {
+  const int v = co_await std::move(inner);
+  co_return v + 1;
+}
+
+Task<void> RunAndStore(int* out) {
+  *out = co_await ReturnFortyTwo();
+  co_return;
+}
+
+TEST(TaskTest, LazyUntilAwaited) {
+  bool started = false;
+  auto make = [&]() -> Task<void> {
+    started = true;
+    co_return;
+  };
+  Task<void> t = make();
+  EXPECT_FALSE(started);
+  Detach(std::move(t));
+  EXPECT_TRUE(started);
+}
+
+TEST(TaskTest, ReturnsValueThroughAwait) {
+  int result = 0;
+  Detach(RunAndStore(&result));
+  EXPECT_EQ(result, 42);
+}
+
+TEST(TaskTest, NestedAwaitChains) {
+  int result = 0;
+  auto runner = [&]() -> Task<void> {
+    result = co_await AddOne(AddOne(ReturnFortyTwo()));
+  };
+  Detach(runner());
+  EXPECT_EQ(result, 44);
+}
+
+TEST(TaskTest, MoveOnlyResult) {
+  std::unique_ptr<int> out;
+  auto make = []() -> Task<std::unique_ptr<int>> {
+    co_return std::make_unique<int>(9);
+  };
+  auto runner = [&]() -> Task<void> { out = co_await make(); };
+  Detach(runner());
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 9);
+}
+
+TEST(TaskTest, UnawaitedTaskDestroysCleanly) {
+  // The frame must be freed without running the body.
+  bool ran = false;
+  {
+    auto make = [&]() -> Task<void> {
+      ran = true;
+      co_return;
+    };
+    Task<void> t = make();
+    (void)t;
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(TaskTest, SuspendedDetachedTaskResumesViaLoop) {
+  EventLoop loop;
+  std::vector<int> order;
+  auto worker = [&](int id, SimDuration delay) -> Task<void> {
+    co_await SleepFor(loop, delay);
+    order.push_back(id);
+  };
+  Detach(worker(2, 20));
+  Detach(worker(1, 10));
+  Detach(worker(3, 30));
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 30);
+}
+
+TEST(TaskTest, AwaiterPropagatesThroughSuspension) {
+  EventLoop loop;
+  auto leaf = [&]() -> Task<std::string> {
+    co_await SleepFor(loop, 5);
+    co_return std::string("done");
+  };
+  std::string result;
+  auto root = [&]() -> Task<void> { result = co_await leaf(); };
+  Detach(root());
+  EXPECT_TRUE(result.empty());  // still suspended on the timer
+  loop.Run();
+  EXPECT_EQ(result, "done");
+}
+
+TEST(TaskTest, ManySequentialAwaitsDoNotOverflowStack) {
+  EventLoop loop;
+  auto step = [&]() -> Task<int> { co_return 1; };
+  int total = 0;
+  auto root = [&]() -> Task<void> {
+    for (int i = 0; i < 100000; ++i) {
+      total += co_await step();
+    }
+  };
+  Detach(root());
+  loop.Run();
+  EXPECT_EQ(total, 100000);
+}
+
+TEST(TaskTest, TaskGroupJoinsAllChildren) {
+  EventLoop loop;
+  TaskGroup group(loop);
+  int done = 0;
+  auto worker = [&](SimDuration d) -> Task<void> {
+    co_await SleepFor(loop, d);
+    ++done;
+  };
+  for (int i = 1; i <= 10; ++i) {
+    group.Spawn(worker(i * 10));
+  }
+  bool joined = false;
+  auto joiner = [&]() -> Task<void> {
+    co_await group.Join();
+    joined = true;
+    EXPECT_EQ(done, 10);
+  };
+  Detach(joiner());
+  EXPECT_FALSE(joined);
+  loop.Run();
+  EXPECT_TRUE(joined);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(TaskTest, TaskGroupJoinWhenAlreadyEmpty) {
+  EventLoop loop;
+  TaskGroup group(loop);
+  bool joined = false;
+  auto joiner = [&]() -> Task<void> {
+    co_await group.Join();
+    joined = true;
+  };
+  Detach(joiner());
+  loop.Run();
+  EXPECT_TRUE(joined);
+}
+
+}  // namespace
+}  // namespace libra::sim

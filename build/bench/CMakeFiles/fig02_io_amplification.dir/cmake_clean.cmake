@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_io_amplification.dir/fig02_io_amplification.cc.o"
+  "CMakeFiles/fig02_io_amplification.dir/fig02_io_amplification.cc.o.d"
+  "fig02_io_amplification"
+  "fig02_io_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_io_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ssd_curves.dir/fig03_ssd_curves.cc.o"
+  "CMakeFiles/fig03_ssd_curves.dir/fig03_ssd_curves.cc.o.d"
+  "fig03_ssd_curves"
+  "fig03_ssd_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ssd_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

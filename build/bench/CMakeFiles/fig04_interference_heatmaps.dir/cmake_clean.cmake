@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_interference_heatmaps.dir/fig04_interference_heatmaps.cc.o"
+  "CMakeFiles/fig04_interference_heatmaps.dir/fig04_interference_heatmaps.cc.o.d"
+  "fig04_interference_heatmaps"
+  "fig04_interference_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_interference_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

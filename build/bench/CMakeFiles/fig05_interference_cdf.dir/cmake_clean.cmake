@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_interference_cdf.dir/fig05_interference_cdf.cc.o"
+  "CMakeFiles/fig05_interference_cdf.dir/fig05_interference_cdf.cc.o.d"
+  "fig05_interference_cdf"
+  "fig05_interference_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_interference_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_insulation.dir/fig07_insulation.cc.o"
+  "CMakeFiles/fig07_insulation.dir/fig07_insulation.cc.o.d"
+  "fig07_insulation"
+  "fig07_insulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_insulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_reservations.dir/fig11_reservations.cc.o"
+  "CMakeFiles/fig11_reservations.dir/fig11_reservations.cc.o.d"
+  "fig11_reservations"
+  "fig11_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dynamic_demand.dir/fig12_dynamic_demand.cc.o"
+  "CMakeFiles/fig12_dynamic_demand.dir/fig12_dynamic_demand.cc.o.d"
+  "fig12_dynamic_demand"
+  "fig12_dynamic_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dynamic_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_probe.dir/capacity_probe.cpp.o"
+  "CMakeFiles/capacity_probe.dir/capacity_probe.cpp.o.d"
+  "capacity_probe"
+  "capacity_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

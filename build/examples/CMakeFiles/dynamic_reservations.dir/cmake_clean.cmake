@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reservations.dir/dynamic_reservations.cpp.o"
+  "CMakeFiles/dynamic_reservations.dir/dynamic_reservations.cpp.o.d"
+  "dynamic_reservations"
+  "dynamic_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

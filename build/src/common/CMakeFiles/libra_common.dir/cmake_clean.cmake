@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_common.dir/rng.cc.o"
+  "CMakeFiles/libra_common.dir/rng.cc.o.d"
+  "CMakeFiles/libra_common.dir/stats.cc.o"
+  "CMakeFiles/libra_common.dir/stats.cc.o.d"
+  "CMakeFiles/libra_common.dir/status.cc.o"
+  "CMakeFiles/libra_common.dir/status.cc.o.d"
+  "liblibra_common.a"
+  "liblibra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_fs.dir/sim_fs.cc.o"
+  "CMakeFiles/libra_fs.dir/sim_fs.cc.o.d"
+  "liblibra_fs.a"
+  "liblibra_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iosched/capacity.cc" "src/iosched/CMakeFiles/libra_iosched.dir/capacity.cc.o" "gcc" "src/iosched/CMakeFiles/libra_iosched.dir/capacity.cc.o.d"
+  "/root/repo/src/iosched/cost_model.cc" "src/iosched/CMakeFiles/libra_iosched.dir/cost_model.cc.o" "gcc" "src/iosched/CMakeFiles/libra_iosched.dir/cost_model.cc.o.d"
+  "/root/repo/src/iosched/resource_policy.cc" "src/iosched/CMakeFiles/libra_iosched.dir/resource_policy.cc.o" "gcc" "src/iosched/CMakeFiles/libra_iosched.dir/resource_policy.cc.o.d"
+  "/root/repo/src/iosched/resource_tracker.cc" "src/iosched/CMakeFiles/libra_iosched.dir/resource_tracker.cc.o" "gcc" "src/iosched/CMakeFiles/libra_iosched.dir/resource_tracker.cc.o.d"
+  "/root/repo/src/iosched/scheduler.cc" "src/iosched/CMakeFiles/libra_iosched.dir/scheduler.cc.o" "gcc" "src/iosched/CMakeFiles/libra_iosched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/libra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/libra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/libra_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

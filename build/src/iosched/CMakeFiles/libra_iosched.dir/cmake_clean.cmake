@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_iosched.dir/capacity.cc.o"
+  "CMakeFiles/libra_iosched.dir/capacity.cc.o.d"
+  "CMakeFiles/libra_iosched.dir/cost_model.cc.o"
+  "CMakeFiles/libra_iosched.dir/cost_model.cc.o.d"
+  "CMakeFiles/libra_iosched.dir/resource_policy.cc.o"
+  "CMakeFiles/libra_iosched.dir/resource_policy.cc.o.d"
+  "CMakeFiles/libra_iosched.dir/resource_tracker.cc.o"
+  "CMakeFiles/libra_iosched.dir/resource_tracker.cc.o.d"
+  "CMakeFiles/libra_iosched.dir/scheduler.cc.o"
+  "CMakeFiles/libra_iosched.dir/scheduler.cc.o.d"
+  "liblibra_iosched.a"
+  "liblibra_iosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_iosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

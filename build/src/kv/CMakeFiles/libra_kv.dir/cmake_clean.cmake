@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_kv.dir/cache.cc.o"
+  "CMakeFiles/libra_kv.dir/cache.cc.o.d"
+  "CMakeFiles/libra_kv.dir/storage_node.cc.o"
+  "CMakeFiles/libra_kv.dir/storage_node.cc.o.d"
+  "liblibra_kv.a"
+  "liblibra_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

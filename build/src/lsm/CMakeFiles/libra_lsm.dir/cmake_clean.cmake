@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_lsm.dir/db.cc.o"
+  "CMakeFiles/libra_lsm.dir/db.cc.o.d"
+  "CMakeFiles/libra_lsm.dir/format.cc.o"
+  "CMakeFiles/libra_lsm.dir/format.cc.o.d"
+  "CMakeFiles/libra_lsm.dir/memtable.cc.o"
+  "CMakeFiles/libra_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/libra_lsm.dir/sstable.cc.o"
+  "CMakeFiles/libra_lsm.dir/sstable.cc.o.d"
+  "CMakeFiles/libra_lsm.dir/wal.cc.o"
+  "CMakeFiles/libra_lsm.dir/wal.cc.o.d"
+  "liblibra_lsm.a"
+  "liblibra_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

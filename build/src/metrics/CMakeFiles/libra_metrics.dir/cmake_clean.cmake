@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_metrics.dir/meter.cc.o"
+  "CMakeFiles/libra_metrics.dir/meter.cc.o.d"
+  "CMakeFiles/libra_metrics.dir/table.cc.o"
+  "CMakeFiles/libra_metrics.dir/table.cc.o.d"
+  "liblibra_metrics.a"
+  "liblibra_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

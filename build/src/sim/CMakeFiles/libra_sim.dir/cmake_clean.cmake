@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_sim.dir/event_loop.cc.o"
+  "CMakeFiles/libra_sim.dir/event_loop.cc.o.d"
+  "liblibra_sim.a"
+  "liblibra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

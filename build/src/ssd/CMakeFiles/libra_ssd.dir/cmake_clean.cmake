@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_ssd.dir/calibration.cc.o"
+  "CMakeFiles/libra_ssd.dir/calibration.cc.o.d"
+  "CMakeFiles/libra_ssd.dir/device.cc.o"
+  "CMakeFiles/libra_ssd.dir/device.cc.o.d"
+  "CMakeFiles/libra_ssd.dir/ftl.cc.o"
+  "CMakeFiles/libra_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/libra_ssd.dir/profile.cc.o"
+  "CMakeFiles/libra_ssd.dir/profile.cc.o.d"
+  "liblibra_ssd.a"
+  "liblibra_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

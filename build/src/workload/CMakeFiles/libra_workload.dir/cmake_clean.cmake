@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libra_workload.dir/workload.cc.o"
+  "CMakeFiles/libra_workload.dir/workload.cc.o.d"
+  "liblibra_workload.a"
+  "liblibra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_loop_test.cc" "tests/CMakeFiles/sim_test.dir/sim/event_loop_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_loop_test.cc.o.d"
+  "/root/repo/tests/sim/sync_test.cc" "tests/CMakeFiles/sim_test.dir/sim/sync_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/sync_test.cc.o.d"
+  "/root/repo/tests/sim/task_test.cc" "tests/CMakeFiles/sim_test.dir/sim/task_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/task_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/libra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/libra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/libra_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/libra_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosched/CMakeFiles/libra_iosched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/libra_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/libra_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/libra_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/libra_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

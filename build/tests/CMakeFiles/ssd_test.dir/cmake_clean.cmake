@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_test.dir/ssd/calibration_test.cc.o"
+  "CMakeFiles/ssd_test.dir/ssd/calibration_test.cc.o.d"
+  "CMakeFiles/ssd_test.dir/ssd/device_test.cc.o"
+  "CMakeFiles/ssd_test.dir/ssd/device_test.cc.o.d"
+  "CMakeFiles/ssd_test.dir/ssd/ftl_test.cc.o"
+  "CMakeFiles/ssd_test.dir/ssd/ftl_test.cc.o.d"
+  "ssd_test"
+  "ssd_test.pdb"
+  "ssd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,9 +1,13 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <utility>
+
+#include "src/obs/json.h"
 
 #include "src/common/rng.h"
 #include "src/iosched/scheduler.h"
@@ -14,6 +18,48 @@
 #include "src/workload/workload.h"
 
 namespace libra::bench {
+namespace {
+
+// --stats-json capture: sections accumulate as (name, raw JSON document)
+// pairs and are written as one file when the process exits, so every bench
+// gets the flag without changing its main().
+struct StatsCapture {
+  std::string path;
+  std::string current_section = "output";
+  std::vector<std::pair<std::string, std::string>> sections;
+};
+
+StatsCapture* g_stats = nullptr;
+
+void WriteStatsFile() {
+  if (g_stats == nullptr || g_stats->path.empty()) {
+    return;
+  }
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("sections");
+  w.BeginArray();
+  for (const auto& [name, json] : g_stats->sections) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.Key("data");
+    w.Raw(json);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  if (std::FILE* f = std::fopen(g_stats->path.c_str(), "w"); f != nullptr) {
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "stats-json: cannot write %s\n",
+                 g_stats->path.c_str());
+  }
+}
+
+}  // namespace
 
 BenchArgs ParseArgs(int argc, char** argv) {
   BenchArgs args;
@@ -22,9 +68,18 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.full = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       args.csv = true;
+    } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+      args.stats_json = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("flags: --full (paper-size grids)  --csv (CSV output)\n");
+      std::printf(
+          "flags: --full (paper-size grids)  --csv (CSV output)  "
+          "--stats-json=PATH (JSON stats snapshot)\n");
     }
+  }
+  if (!args.stats_json.empty() && g_stats == nullptr) {
+    g_stats = new StatsCapture();
+    g_stats->path = args.stats_json;
+    std::atexit(WriteStatsFile);
   }
   return args;
 }
@@ -46,11 +101,25 @@ void Emit(const BenchArgs& args, const metrics::Table& table) {
   std::fputs(args.csv ? table.ToCsv().c_str() : table.ToText().c_str(),
              stdout);
   std::fputc('\n', stdout);
+  if (g_stats != nullptr) {
+    g_stats->sections.emplace_back(g_stats->current_section, table.ToJson());
+  }
 }
 
 void Section(const BenchArgs& args, const std::string& title) {
   if (!args.csv) {
     std::printf("== %s ==\n", title.c_str());
+  }
+  if (g_stats != nullptr) {
+    g_stats->current_section = title;
+  }
+}
+
+void AddStatsSection(const BenchArgs& args, const std::string& name,
+                     std::string json) {
+  (void)args;
+  if (g_stats != nullptr) {
+    g_stats->sections.emplace_back(name, std::move(json));
   }
 }
 

@@ -19,8 +19,9 @@
 namespace libra::bench {
 
 struct BenchArgs {
-  bool full = false;  // paper-size grids (slower)
-  bool csv = false;   // CSV instead of aligned text
+  bool full = false;        // paper-size grids (slower)
+  bool csv = false;         // CSV instead of aligned text
+  std::string stats_json;   // --stats-json=PATH: machine-readable snapshot
 };
 
 BenchArgs ParseArgs(int argc, char** argv);
@@ -28,11 +29,19 @@ BenchArgs ParseArgs(int argc, char** argv);
 // Calibration for a device profile, computed once per process.
 const ssd::CalibrationTable& TableFor(const ssd::DeviceProfile& profile);
 
-// Emits a table in the format the args request.
+// Emits a table in the format the args request. With --stats-json, the
+// table is also captured (as JSON, under the current Section title) into
+// the stats file written at process exit.
 void Emit(const BenchArgs& args, const metrics::Table& table);
 
-// Prints a section header (skipped in CSV mode).
+// Prints a section header (skipped in CSV mode) and names the sections
+// captured into --stats-json until the next call.
 void Section(const BenchArgs& args, const std::string& title);
+
+// Captures a pre-rendered JSON document (e.g. kv::NodeStatsToJson output)
+// as a named section of the --stats-json file. No-op without the flag.
+void AddStatsSection(const BenchArgs& args, const std::string& name,
+                     std::string json);
 
 // --- raw-IO experiment cell (paper §4.2/§6.2 setup) ---
 //

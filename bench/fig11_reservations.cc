@@ -19,6 +19,7 @@
 
 #include "bench/kv_bench_common.h"
 #include "src/iosched/capacity.h"
+#include "src/kv/node_stats.h"
 #include "src/metrics/meter.h"
 
 namespace libra::bench {
@@ -161,6 +162,13 @@ void RunMode(const BenchArgs& args, ProfileMode mode,
     node.Stop();
     loop.Run();
   }
+
+  // Full-stack observability snapshot for --stats-json, taken while the
+  // node (and its per-tenant histograms / audit log) is still alive.
+  AddStatsSection(args,
+                  mode == ProfileMode::kFull ? "node_snapshot_full_profile"
+                                             : "node_snapshot_object_size",
+                  kv::NodeStatsToJson(node.Snapshot()));
 
   // Fold into per-group phase means.
   const double secs = ToSeconds(phase);

@@ -10,7 +10,8 @@ ResourcePolicy::ResourcePolicy(sim::EventLoop& loop, IoScheduler& scheduler,
     : loop_(loop),
       scheduler_(scheduler),
       capacity_(capacity),
-      options_(options) {
+      options_(options),
+      audit_log_(options.audit_capacity) {
   assert(options_.interval > 0);
 }
 
@@ -114,7 +115,8 @@ void ResourcePolicy::RunIntervalStep() {
   // notify the higher-level policy.
   double scale = 1.0;
   const double cap = capacity_.provisionable();
-  if (total > cap && total > 0.0) {
+  const bool overbooked = total > cap && total > 0.0;
+  if (overbooked) {
     scale = cap / total;
     if (overflow_cb_) {
       overflow_cb_(OverflowEvent{now, total, cap, scale});
@@ -122,6 +124,39 @@ void ResourcePolicy::RunIntervalStep() {
   }
   for (const auto& [tenant, r] : required) {
     scheduler_.SetAllocation(tenant, r * scale);
+  }
+
+  // Audit trail: everything this step read and decided, per tenant.
+  if (options_.audit_capacity > 0) {
+    obs::AuditRecord rec;
+    rec.time_ns = now;
+    rec.total_required_vops = total;
+    rec.capacity_floor_vops = cap;
+    rec.scale = scale;
+    rec.overbooked = overbooked;
+    rec.tenants.reserve(reservations_.size());
+    for (const auto& [tenant, res] : reservations_) {
+      const AppRequestProfile get = ProfileOf(tenant, AppRequest::kGet);
+      const AppRequestProfile put = ProfileOf(tenant, AppRequest::kPut);
+      obs::AuditTenantEntry e;
+      e.tenant = tenant;
+      e.reserved_get_rps = res.get_rps;
+      e.reserved_put_rps = res.put_rps;
+      e.profile_get_direct = get.direct;
+      e.profile_get_flush = get.indirect[static_cast<int>(InternalOp::kFlush)];
+      e.profile_get_compact =
+          get.indirect[static_cast<int>(InternalOp::kCompact)];
+      e.profile_put_direct = put.direct;
+      e.profile_put_flush = put.indirect[static_cast<int>(InternalOp::kFlush)];
+      e.profile_put_compact =
+          put.indirect[static_cast<int>(InternalOp::kCompact)];
+      e.price_get = PriceOf(tenant, AppRequest::kGet);
+      e.price_put = PriceOf(tenant, AppRequest::kPut);
+      e.required_vops = required[tenant];
+      e.granted_vops = required[tenant] * scale;
+      rec.tenants.push_back(e);
+    }
+    audit_log_.Append(std::move(rec));
   }
 }
 

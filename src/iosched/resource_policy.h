@@ -23,6 +23,7 @@
 #include "src/iosched/capacity.h"
 #include "src/iosched/io_tag.h"
 #include "src/iosched/scheduler.h"
+#include "src/obs/audit.h"
 #include "src/sim/event_loop.h"
 
 namespace libra::iosched {
@@ -47,6 +48,8 @@ enum class ProfileMode {
 struct PolicyOptions {
   SimDuration interval = 1 * kSecond;  // paper: once per second
   ProfileMode mode = ProfileMode::kFull;
+  // Bounded provisioning audit log (newest records kept); 0 disables.
+  size_t audit_capacity = 512;
 };
 
 // Overbooking notification passed to higher-level policies.
@@ -89,6 +92,11 @@ class ResourcePolicy {
     return scheduler_.Allocation(tenant);
   }
 
+  // Per-interval provisioning decisions: what each tenant reserved, the
+  // profile components and VOP prices used, what was granted, and whether
+  // (and by how much) overbooking scaled the grants down.
+  const obs::ProvisioningAuditLog& audit_log() const { return audit_log_; }
+
  private:
   // VOP price of one normalized request of class `app` for `tenant`.
   double PriceOf(TenantId tenant, AppRequest app) const;
@@ -107,6 +115,7 @@ class ResourcePolicy {
   bool running_ = false;
   double last_total_vops_ = 0.0;
   SimTime last_roll_time_ = 0;
+  obs::ProvisioningAuditLog audit_log_;
 };
 
 }  // namespace libra::iosched

@@ -33,11 +33,27 @@ IoScheduler::IoScheduler(sim::EventLoop& loop, ssd::SsdDevice& device,
   max_carry_vops_ = std::max(
       {64.0, cost_model_->Cost(ssd::IoType::kRead, max_chunk),
        cost_model_->Cost(ssd::IoType::kWrite, max_chunk)});
+  if (options_.trace_capacity > 0) {
+    trace_ = std::make_unique<obs::TraceRing>(options_.trace_capacity);
+  }
+}
+
+IoScheduler::Tenant& IoScheduler::GetTenant(TenantId id) {
+  Tenant& t = tenants_[id];
+  if (t.lifecycle == nullptr) {
+    t.lifecycle = std::make_unique<TenantLifecycleStats>();
+  }
+  return t;
+}
+
+const TenantLifecycleStats* IoScheduler::lifecycle(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second.lifecycle.get();
 }
 
 void IoScheduler::SetAllocation(TenantId tenant, double vops_per_sec) {
   assert(vops_per_sec >= 0.0);
-  tenants_[tenant].allocation = vops_per_sec;
+  GetTenant(tenant).allocation = vops_per_sec;
 }
 
 double IoScheduler::Allocation(TenantId tenant) const {
@@ -60,9 +76,16 @@ sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
   assert(size > 0);
   assert(tag.tenant != kInvalidTenant);
   sim::OneShot<bool> done(loop_);
-  Tenant& tenant = tenants_[tag.tenant];  // auto-registers (allocation 0)
+  Tenant& tenant = GetTenant(tag.tenant);  // auto-registers (allocation 0)
   auto op = std::make_shared<Op>(Op{tag, type, offset, size});
+  op->submit_time = loop_.Now();
   op->done = &done;
+  if (trace_ != nullptr) {
+    trace_->Record({op->submit_time, obs::TraceEventType::kSubmit, tag.tenant,
+                    static_cast<uint8_t>(tag.app),
+                    static_cast<uint8_t>(tag.internal),
+                    type == ssd::IoType::kWrite, offset, size, 0, 0, 0});
+  }
   tenant.queue.push_back(std::move(op));
   Pump();
   co_await done.Wait();
@@ -122,8 +145,20 @@ void IoScheduler::DispatchChunk(Tenant& tenant, TenantId id) {
   const double cost = cost_model_->Cost(op->type, chunk);
   tenant.deficit -= cost;
   const uint64_t chunk_offset = op->offset + op->dispatched;
+  if (op->dispatched == 0) {
+    // First chunk leaves the DRR queue: the queue-wait span ends here.
+    op->first_dispatch = loop_.Now();
+    if (trace_ != nullptr) {
+      trace_->Record({op->first_dispatch, obs::TraceEventType::kDispatch, id,
+                      static_cast<uint8_t>(op->tag.app),
+                      static_cast<uint8_t>(op->tag.internal),
+                      op->type == ssd::IoType::kWrite, op->offset, op->size, 0,
+                      0, 0});
+    }
+  }
   op->dispatched += chunk;
   ++op->chunks_inflight;
+  ++op->chunks_total;
   ++tenant.chunks_inflight;
   ++inflight_;
   if (op->fully_dispatched()) {
@@ -134,8 +169,26 @@ void IoScheduler::DispatchChunk(Tenant& tenant, TenantId id) {
                  [this, op, chunk, cost, id] {
                    tracker_.RecordIo(op->tag, op->type, chunk, cost);
                    --op->chunks_inflight;
-                   --tenants_[id].chunks_inflight;
+                   Tenant& t = tenants_[id];
+                   --t.chunks_inflight;
                    if (op->fully_dispatched() && op->chunks_inflight == 0) {
+                     const SimTime now = loop_.Now();
+                     const uint64_t queue_wait =
+                         static_cast<uint64_t>(op->first_dispatch -
+                                               op->submit_time);
+                     const uint64_t service =
+                         static_cast<uint64_t>(now - op->first_dispatch);
+                     t.lifecycle->Mutable(op->tag.app, op->tag.internal)
+                         .RecordOp(queue_wait, service, op->chunks_total,
+                                   op->size);
+                     if (trace_ != nullptr) {
+                       trace_->Record({now, obs::TraceEventType::kComplete, id,
+                                       static_cast<uint8_t>(op->tag.app),
+                                       static_cast<uint8_t>(op->tag.internal),
+                                       op->type == ssd::IoType::kWrite,
+                                       op->offset, op->size, op->chunks_total,
+                                       queue_wait, service});
+                     }
                      op->done->Set(true);
                    }
                    --inflight_;

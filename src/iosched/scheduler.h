@@ -41,6 +41,8 @@
 #include "src/iosched/cost_model.h"
 #include "src/iosched/io_tag.h"
 #include "src/iosched/resource_tracker.h"
+#include "src/obs/io_stats.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -53,6 +55,50 @@ struct SchedulerOptions {
   uint32_t chunk_bytes = 128 * 1024;      // split threshold (0x20000)
   bool enable_chunking = true;            // ablation switch
   double round_quantum_vops = 256.0;      // total budget added per round
+  // IO lifecycle event trace: 0 disables; > 0 keeps the newest N events in
+  // a ring (see obs::TraceRing), dumpable as JSONL.
+  size_t trace_capacity = 0;
+};
+
+// Per-tenant IO lifecycle statistics, always on: queue-wait (submit ->
+// first dispatch, i.e. DRR throttling delay) and device-service (first
+// dispatch -> last chunk completion) histograms per (app request, internal
+// op) class, plus op/chunk/byte counts.
+//
+// Classes allocate on first use: a tenant typically exercises 2-4 of the 9
+// (app, internal) combinations, and embedding all of them eagerly (a pair of
+// full histograms each) would put ~170KB of mostly-dead per-tenant state on
+// the completion path's cache/TLB footprint. After the one-time allocation,
+// recording is plain arithmetic.
+struct TenantLifecycleStats {
+  std::unique_ptr<obs::IoClassStats> cls[kNumAppRequests][kNumInternalOps];
+
+  // Get-or-create (allocates at most once per class).
+  obs::IoClassStats& Mutable(AppRequest a, InternalOp i) {
+    std::unique_ptr<obs::IoClassStats>& p =
+        cls[static_cast<int>(a)][static_cast<int>(i)];
+    if (p == nullptr) {
+      p = std::make_unique<obs::IoClassStats>();
+    }
+    return *p;
+  }
+  // nullptr if the class never saw traffic.
+  const obs::IoClassStats* of(AppRequest a, InternalOp i) const {
+    return cls[static_cast<int>(a)][static_cast<int>(i)].get();
+  }
+
+  // All classes folded together (per-tenant rollup).
+  obs::IoClassStats Aggregate() const {
+    obs::IoClassStats out;
+    for (const auto& row : cls) {
+      for (const std::unique_ptr<obs::IoClassStats>& c : row) {
+        if (c != nullptr) {
+          out.Merge(*c);
+        }
+      }
+    }
+    return out;
+  }
 };
 
 class IoScheduler {
@@ -84,6 +130,13 @@ class IoScheduler {
   // Sum of queued (not yet dispatched) chunks across tenants.
   size_t backlog() const;
 
+  // Lifecycle statistics for a tenant; nullptr until the tenant has been
+  // registered (SetAllocation) or has submitted an IO.
+  const TenantLifecycleStats* lifecycle(TenantId tenant) const;
+
+  // Event trace ring; nullptr unless options.trace_capacity > 0.
+  const obs::TraceRing* trace() const { return trace_.get(); }
+
  private:
   struct Op {
     IoTag tag;
@@ -92,6 +145,9 @@ class IoScheduler {
     uint32_t size;
     uint32_t dispatched = 0;      // bytes handed to the device
     uint32_t chunks_inflight = 0;
+    uint32_t chunks_total = 0;    // chunks dispatched over the op's lifetime
+    SimTime submit_time = 0;
+    SimTime first_dispatch = 0;   // valid once dispatched > 0
     sim::OneShot<bool>* done = nullptr;
 
     bool fully_dispatched() const { return dispatched >= size; }
@@ -103,11 +159,17 @@ class IoScheduler {
     int chunks_inflight = 0;  // dispatched, not yet completed
     // shared_ptr: in-flight chunk completions outlive the queue slot.
     std::deque<std::shared_ptr<Op>> queue;
+    // Heap-allocated (large: fixed histogram arrays); created once at
+    // tenant registration, then updated allocation-free.
+    std::unique_ptr<TenantLifecycleStats> lifecycle;
 
     // A tenant is active while it has queued or in-flight work; closed-loop
     // workers mid-IO count as demand (their next op arrives on completion).
     bool active() const { return !queue.empty() || chunks_inflight > 0; }
   };
+
+  // Find-or-create with lifecycle stats attached.
+  Tenant& GetTenant(TenantId id);
 
   sim::Task<void> Submit(const IoTag& tag, ssd::IoType type, uint64_t offset,
                          uint32_t size);
@@ -137,6 +199,7 @@ class IoScheduler {
   uint64_t rounds_ = 0;
   bool pumping_ = false;
   double max_carry_vops_ = 64.0;  // covers the dearest chunk (see ctor)
+  std::unique_ptr<obs::TraceRing> trace_;
 };
 
 }  // namespace libra::iosched

@@ -1,0 +1,211 @@
+#include "src/kv/node_stats.h"
+
+#include "src/obs/json.h"
+
+namespace libra::kv {
+namespace {
+
+using obs::HistogramToJson;
+using obs::JsonWriter;
+
+void WriteIoClassStats(JsonWriter& w, const obs::IoClassStats& s,
+                       bool include_buckets) {
+  w.BeginObject();
+  w.Key("ops");
+  w.Uint(s.ops);
+  w.Key("chunks");
+  w.Uint(s.chunks);
+  w.Key("bytes");
+  w.Uint(s.bytes);
+  w.Key("queue_wait");
+  w.Raw(HistogramToJson(s.queue_wait, include_buckets));
+  w.Key("device_service");
+  w.Raw(HistogramToJson(s.service, include_buckets));
+  w.EndObject();
+}
+
+void WriteAuditRecord(JsonWriter& w, const obs::AuditRecord& rec) {
+  w.BeginObject();
+  w.Key("time_ns");
+  w.Int(rec.time_ns);
+  w.Key("total_required_vops");
+  w.Double(rec.total_required_vops);
+  w.Key("capacity_floor_vops");
+  w.Double(rec.capacity_floor_vops);
+  w.Key("scale");
+  w.Double(rec.scale);
+  w.Key("overbooked");
+  w.Bool(rec.overbooked);
+  w.Key("tenants");
+  w.BeginArray();
+  for (const obs::AuditTenantEntry& e : rec.tenants) {
+    w.BeginObject();
+    w.Key("tenant");
+    w.Uint(e.tenant);
+    w.Key("reserved_get_rps");
+    w.Double(e.reserved_get_rps);
+    w.Key("reserved_put_rps");
+    w.Double(e.reserved_put_rps);
+    w.Key("profile_get");
+    w.BeginObject();
+    w.Key("direct");
+    w.Double(e.profile_get_direct);
+    w.Key("flush");
+    w.Double(e.profile_get_flush);
+    w.Key("compact");
+    w.Double(e.profile_get_compact);
+    w.EndObject();
+    w.Key("profile_put");
+    w.BeginObject();
+    w.Key("direct");
+    w.Double(e.profile_put_direct);
+    w.Key("flush");
+    w.Double(e.profile_put_flush);
+    w.Key("compact");
+    w.Double(e.profile_put_compact);
+    w.EndObject();
+    w.Key("price_get");
+    w.Double(e.price_get);
+    w.Key("price_put");
+    w.Double(e.price_put);
+    w.Key("required_vops");
+    w.Double(e.required_vops);
+    w.Key("granted_vops");
+    w.Double(e.granted_vops);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string NodeStatsToJson(const NodeStats& stats) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("time_ns");
+  w.Int(stats.time_ns);
+
+  w.Key("device");
+  w.BeginObject();
+  w.Key("reads_completed");
+  w.Uint(stats.device.reads_completed);
+  w.Key("writes_completed");
+  w.Uint(stats.device.writes_completed);
+  w.Key("read_bytes");
+  w.Uint(stats.device.read_bytes);
+  w.Key("write_bytes");
+  w.Uint(stats.device.write_bytes);
+  w.Key("gc_pages_moved");
+  w.Uint(stats.device.gc_pages_moved);
+  w.Key("blocks_erased");
+  w.Uint(stats.device.blocks_erased);
+  w.Key("write_amp");
+  w.Double(stats.device.write_amp);
+  w.Key("avg_queue_depth");
+  w.Double(stats.device.avg_queue_depth);
+  w.EndObject();
+
+  w.Key("capacity");
+  w.BeginObject();
+  w.Key("floor_vops");
+  w.Double(stats.capacity_floor_vops);
+  w.Key("estimate_vops");
+  w.Double(stats.capacity_estimate_vops);
+  w.EndObject();
+
+  w.Key("scheduler");
+  w.BeginObject();
+  w.Key("rounds");
+  w.Uint(stats.scheduler_rounds);
+  w.EndObject();
+
+  w.Key("tenants");
+  w.BeginArray();
+  for (const TenantSnapshot& t : stats.tenants) {
+    w.BeginObject();
+    w.Key("tenant");
+    w.Uint(t.tenant);
+    w.Key("reservation");
+    w.BeginObject();
+    w.Key("get_rps");
+    w.Double(t.reservation.get_rps);
+    w.Key("put_rps");
+    w.Double(t.reservation.put_rps);
+    w.EndObject();
+    w.Key("allocation_vops");
+    w.Double(t.allocation_vops);
+    w.Key("requests");
+    w.BeginObject();
+    w.Key("GET");
+    w.Raw(HistogramToJson(t.get_latency, /*include_buckets=*/true));
+    w.Key("PUT");
+    w.Raw(HistogramToJson(t.put_latency, /*include_buckets=*/true));
+    w.EndObject();
+    w.Key("io");
+    w.BeginObject();
+    w.Key("total");
+    WriteIoClassStats(w, t.io_total, /*include_buckets=*/true);
+    w.Key("classes");
+    w.BeginArray();
+    for (const IoClassSnapshot& c : t.io_classes) {
+      w.BeginObject();
+      w.Key("app");
+      w.String(iosched::AppRequestName(c.app));
+      w.Key("internal");
+      w.String(iosched::InternalOpName(c.internal));
+      w.Key("stats");
+      WriteIoClassStats(w, c.stats, /*include_buckets=*/false);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    w.Key("lsm");
+    w.BeginObject();
+    w.Key("puts");
+    w.Uint(t.lsm.puts);
+    w.Key("gets");
+    w.Uint(t.lsm.gets);
+    w.Key("flushes");
+    w.Uint(t.lsm.flushes);
+    w.Key("flush_bytes");
+    w.Uint(t.lsm.flush_bytes);
+    w.Key("flush_ns");
+    w.Uint(t.lsm.flush_ns);
+    w.Key("compactions");
+    w.Uint(t.lsm.compactions);
+    w.Key("compact_bytes_read");
+    w.Uint(t.lsm.compact_bytes_read);
+    w.Key("compact_bytes_written");
+    w.Uint(t.lsm.compact_bytes_written);
+    w.Key("compact_ns");
+    w.Uint(t.lsm.compact_ns);
+    w.Key("stalls");
+    w.Uint(t.lsm.stalls);
+    w.Key("stall_ns");
+    w.Uint(t.lsm.stall_ns);
+    w.Key("tables_probed");
+    w.Uint(t.lsm.tables_probed);
+    w.Key("files_per_level");
+    w.BeginArray();
+    for (int n : t.lsm.files_per_level) {
+      w.Int(n);
+    }
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("audit");
+  w.BeginArray();
+  for (const obs::AuditRecord& rec : stats.audit) {
+    WriteAuditRecord(w, rec);
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace libra::kv

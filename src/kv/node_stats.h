@@ -1,0 +1,65 @@
+// Whole-node observability snapshot (StorageNode::Snapshot()).
+//
+// One struct gathers every layer's view at an instant of simulated time:
+// device counters, capacity model state, per-tenant app-request latency
+// histograms (protocol layer), IO lifecycle histograms per (app request,
+// internal op) class (scheduler), LSM background-work accounting, and the
+// resource policy's provisioning audit trail. NodeStatsToJson renders it as
+// a single JSON document — the payload behind every bench binary's
+// --stats-json flag, with a schema locked down by
+// tests/kv/node_stats_json_test.cc.
+
+#ifndef LIBRA_SRC_KV_NODE_STATS_H_
+#define LIBRA_SRC_KV_NODE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/iosched/io_tag.h"
+#include "src/iosched/resource_policy.h"
+#include "src/lsm/db.h"
+#include "src/obs/audit.h"
+#include "src/obs/histogram.h"
+#include "src/obs/io_stats.h"
+#include "src/ssd/device.h"
+
+namespace libra::kv {
+
+// One (app request, internal op) IO class with activity.
+struct IoClassSnapshot {
+  iosched::AppRequest app = iosched::AppRequest::kNone;
+  iosched::InternalOp internal = iosched::InternalOp::kNone;
+  obs::IoClassStats stats;
+};
+
+struct TenantSnapshot {
+  iosched::TenantId tenant = iosched::kInvalidTenant;
+  iosched::Reservation reservation;
+  double allocation_vops = 0.0;
+  // End-to-end app-request latency (protocol layer; includes cache hits).
+  obs::LatencyHistogram get_latency;
+  obs::LatencyHistogram put_latency;
+  // Scheduler lifecycle rollup across all classes, plus the breakdown.
+  obs::IoClassStats io_total;
+  std::vector<IoClassSnapshot> io_classes;  // only classes with ops > 0
+  lsm::LsmStats lsm;
+};
+
+struct NodeStats {
+  int64_t time_ns = 0;
+  ssd::DeviceStats device;
+  double capacity_floor_vops = 0.0;
+  double capacity_estimate_vops = 0.0;
+  uint64_t scheduler_rounds = 0;
+  std::vector<TenantSnapshot> tenants;
+  std::vector<obs::AuditRecord> audit;  // the policy's retained records
+};
+
+// Renders the snapshot as one JSON document (schema documented in
+// DESIGN.md "Observability"; validated by tests/kv/node_stats_json_test.cc).
+std::string NodeStatsToJson(const NodeStats& stats);
+
+}  // namespace libra::kv
+
+#endif  // LIBRA_SRC_KV_NODE_STATS_H_

@@ -41,6 +41,15 @@ Status StorageNode::AddTenant(TenantId tenant, Reservation reservation) {
   }
   partitions_.emplace(tenant, std::move(db));
   policy_.SetReservation(tenant, reservation);
+  // Resolve the tenant's latency series now; the request path only touches
+  // these pre-registered histograms (see RequestLatency).
+  RequestLatency& rl = request_latency_[tenant];
+  rl.get = &metrics_.GetHistogram(
+      "app_request_latency_ns",
+      {tenant, static_cast<uint8_t>(AppRequest::kGet), 0});
+  rl.put = &metrics_.GetHistogram(
+      "app_request_latency_ns",
+      {tenant, static_cast<uint8_t>(AppRequest::kPut), 0});
   return Status::Ok();
 }
 
@@ -59,7 +68,10 @@ sim::Task<Status> StorageNode::Put(TenantId tenant, const std::string& key,
   if (db == nullptr) {
     co_return Status::NotFound("unknown tenant");
   }
+  const SimTime start = loop_.Now();
   Status s = co_await db->Put(key, value);
+  request_latency_[tenant].put->Record(
+      static_cast<uint64_t>(loop_.Now() - start));
   if (s.ok()) {
     // Normalized app-request accounting happens at the protocol layer
     // (§2.2): reservations are in size-normalized 1KB requests.
@@ -76,7 +88,10 @@ sim::Task<Status> StorageNode::Delete(TenantId tenant, const std::string& key) {
   if (db == nullptr) {
     co_return Status::NotFound("unknown tenant");
   }
+  const SimTime start = loop_.Now();
   Status s = co_await db->Delete(key);
+  request_latency_[tenant].put->Record(
+      static_cast<uint64_t>(loop_.Now() - start));
   if (s.ok()) {
     tracker().RecordAppRequest(tenant, AppRequest::kPut, key.size());
     if (cache_ != nullptr) {
@@ -94,11 +109,14 @@ sim::Task<StorageNode::GetResult> StorageNode::Get(TenantId tenant,
     out.status = Status::NotFound("unknown tenant");
     co_return out;
   }
+  const SimTime start = loop_.Now();
   if (cache_ != nullptr) {
     if (auto hit = cache_->Get(key); hit.has_value()) {
       out.value = std::move(*hit);
       // Cache hits consume no IO; they still count as served requests.
       tracker().RecordAppRequest(tenant, AppRequest::kGet, out.value.size());
+      request_latency_[tenant].get->Record(
+          static_cast<uint64_t>(loop_.Now() - start));
       co_return out;
     }
   }
@@ -107,10 +125,53 @@ sim::Task<StorageNode::GetResult> StorageNode::Get(TenantId tenant,
   out.value = std::move(r.value);
   const uint64_t billed = out.status.ok() ? out.value.size() : 1;
   tracker().RecordAppRequest(tenant, AppRequest::kGet, billed);
+  request_latency_[tenant].get->Record(
+      static_cast<uint64_t>(loop_.Now() - start));
   if (out.status.ok() && cache_ != nullptr) {
     cache_->Put(key, out.value);
   }
   co_return out;
+}
+
+NodeStats StorageNode::Snapshot() const {
+  NodeStats s;
+  s.time_ns = loop_.Now();
+  s.device = device_.stats();
+  s.capacity_floor_vops = capacity_.provisionable();
+  s.capacity_estimate_vops = capacity_.current_estimate();
+  s.scheduler_rounds = scheduler_.rounds();
+  s.tenants.reserve(partitions_.size());
+  for (const auto& [tenant, db] : partitions_) {
+    TenantSnapshot t;
+    t.tenant = tenant;
+    t.reservation = policy_.GetReservation(tenant);
+    t.allocation_vops = scheduler_.Allocation(tenant);
+    if (const auto it = request_latency_.find(tenant);
+        it != request_latency_.end()) {
+      t.get_latency = *it->second.get;
+      t.put_latency = *it->second.put;
+    }
+    if (const iosched::TenantLifecycleStats* lc = scheduler_.lifecycle(tenant);
+        lc != nullptr) {
+      t.io_total = lc->Aggregate();
+      for (int a = 0; a < iosched::kNumAppRequests; ++a) {
+        for (int i = 0; i < iosched::kNumInternalOps; ++i) {
+          const obs::IoClassStats* c = lc->cls[a][i].get();
+          if (c == nullptr || c->ops == 0) {
+            continue;
+          }
+          t.io_classes.push_back(IoClassSnapshot{
+              static_cast<AppRequest>(a), static_cast<iosched::InternalOp>(i),
+              *c});
+        }
+      }
+    }
+    t.lsm = db->stats();
+    s.tenants.push_back(std::move(t));
+  }
+  const auto& records = policy_.audit_log().records();
+  s.audit.assign(records.begin(), records.end());
+  return s;
 }
 
 }  // namespace libra::kv

@@ -22,7 +22,9 @@
 #include "src/iosched/resource_policy.h"
 #include "src/iosched/scheduler.h"
 #include "src/kv/cache.h"
+#include "src/kv/node_stats.h"
 #include "src/lsm/db.h"
+#include "src/obs/registry.h"
 #include "src/sim/event_loop.h"
 #include "src/ssd/calibration.h"
 #include "src/ssd/device.h"
@@ -85,8 +87,21 @@ class StorageNode {
   fs::SimFs& filesystem() { return fs_; }
   lsm::LsmDb* partition(iosched::TenantId tenant);
   const LruCache* cache() const { return cache_.get(); }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Gathers every layer's statistics at the current simulated time; the
+  // JSON rendering is NodeStatsToJson (node_stats.h).
+  NodeStats Snapshot() const;
 
  private:
+  // Per-tenant app-request latency series, resolved once at AddTenant so
+  // the request path records without registry lookups or allocation.
+  struct RequestLatency {
+    obs::LatencyHistogram* get = nullptr;
+    obs::LatencyHistogram* put = nullptr;
+  };
+
   sim::EventLoop& loop_;
   NodeOptions options_;
   ssd::SsdDevice device_;
@@ -96,6 +111,8 @@ class StorageNode {
   iosched::ResourcePolicy policy_;
   std::unique_ptr<LruCache> cache_;
   std::map<iosched::TenantId, std::unique_ptr<lsm::LsmDb>> partitions_;
+  obs::MetricsRegistry metrics_;
+  std::map<iosched::TenantId, RequestLatency> request_latency_;
 };
 
 }  // namespace libra::kv

@@ -103,12 +103,17 @@ sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
                                        std::string_view value,
                                        ValueType type) {
   // Backpressure: L0 overload or both write buffers full.
-  while (WriteStalled()) {
-    co_await stall_mu_.Lock();
-    if (WriteStalled()) {
-      co_await stall_cv_.Wait(stall_mu_);
+  if (WriteStalled()) {
+    const SimTime stall_start = loop_.Now();
+    ++stalls_;
+    while (WriteStalled()) {
+      co_await stall_mu_.Lock();
+      if (WriteStalled()) {
+        co_await stall_cv_.Wait(stall_mu_);
+      }
+      stall_mu_.Unlock();
     }
-    stall_mu_.Unlock();
+    stall_ns_ += static_cast<uint64_t>(loop_.Now() - stall_start);
   }
 
   const SequenceNumber seq = ++seq_;
@@ -250,6 +255,7 @@ sim::Task<StatusOr<LsmDb::TableRef>> LsmDb::BuildTable(
 sim::Task<void> LsmDb::FlushJob() {
   const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kFlush};
   while (imm_ != nullptr) {
+    const SimTime flush_start = loop_.Now();
     // Collect the sealed memtable in order.
     std::vector<MemTable::Entry> entries;
     entries.reserve(imm_->entries());
@@ -260,6 +266,7 @@ sim::Task<void> LsmDb::FlushJob() {
     if (!entries.empty()) {
       auto built = co_await BuildTable(entries, 0, entries.size(), tag);
       if (built.ok()) {
+        flush_bytes_ += (*built)->size_bytes;
         // Install: newest L0 file goes to the front.
         auto next = std::make_shared<Version>(*current_);
         next->levels[0].insert(next->levels[0].begin(), *built);
@@ -267,6 +274,7 @@ sim::Task<void> LsmDb::FlushJob() {
       }
     }
     ++flushes_;
+    flush_ns_ += static_cast<uint64_t>(loop_.Now() - flush_start);
     scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kFlush);
     imm_.reset();
     if (imm_wal_ != nullptr) {
@@ -330,6 +338,7 @@ bool LsmDb::RangesOverlap(const TableHandle& t, std::string_view lo,
 
 sim::Task<Status> LsmDb::CompactLevel(int level) {
   const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kCompact};
+  const SimTime compact_start = loop_.Now();
   scheduler_.tracker().RecordTrigger(tenant_, AppRequest::kPut,
                                      InternalOp::kCompact);
   const int out_level = level + 1;
@@ -469,6 +478,15 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
   }
   current_ = next;
   ++compactions_;
+  for (const std::vector<TableRef>* group : {&inputs, &overlap}) {
+    for (const TableRef& t : *group) {
+      compact_bytes_read_ += t->size_bytes;
+    }
+  }
+  for (const TableRef& t : outputs) {
+    compact_bytes_written_ += t->size_bytes;
+  }
+  compact_ns_ += static_cast<uint64_t>(loop_.Now() - compact_start);
   scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
   stall_cv_.NotifyAll();  // L0 pressure may have cleared
   co_return Status::Ok();
@@ -487,6 +505,13 @@ LsmStats LsmDb::stats() const {
   s.flushes = flushes_;
   s.compactions = compactions_;
   s.tables_probed = tables_probed_;
+  s.flush_bytes = flush_bytes_;
+  s.flush_ns = flush_ns_;
+  s.compact_bytes_read = compact_bytes_read_;
+  s.compact_bytes_written = compact_bytes_written_;
+  s.compact_ns = compact_ns_;
+  s.stalls = stalls_;
+  s.stall_ns = stall_ns_;
   for (const auto& files : current_->levels) {
     s.files_per_level.push_back(static_cast<int>(files.size()));
   }

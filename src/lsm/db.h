@@ -58,6 +58,14 @@ struct LsmStats {
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t tables_probed = 0;  // cumulative per-GET file probes
+  // Background-work and backpressure accounting (observability):
+  uint64_t flush_bytes = 0;            // table bytes written by FLUSH
+  uint64_t flush_ns = 0;               // total sim time inside flushes
+  uint64_t compact_bytes_read = 0;     // input + overlap bytes read
+  uint64_t compact_bytes_written = 0;  // output table bytes written
+  uint64_t compact_ns = 0;             // total sim time inside compactions
+  uint64_t stalls = 0;                 // write-stall episodes entered
+  uint64_t stall_ns = 0;               // total writer time spent stalled
   std::vector<int> files_per_level;
 };
 
@@ -172,6 +180,13 @@ class LsmDb {
   uint64_t flushes_ = 0;
   uint64_t compactions_ = 0;
   uint64_t tables_probed_ = 0;
+  uint64_t flush_bytes_ = 0;
+  uint64_t flush_ns_ = 0;
+  uint64_t compact_bytes_read_ = 0;
+  uint64_t compact_bytes_written_ = 0;
+  uint64_t compact_ns_ = 0;
+  uint64_t stalls_ = 0;
+  uint64_t stall_ns_ = 0;
   std::vector<size_t> compact_cursor_;  // round-robin pick per level
 };
 

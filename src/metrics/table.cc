@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/json.h"
+
 namespace libra::metrics {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -66,8 +68,10 @@ std::string Table::ToText() const {
 }
 
 std::string Table::ToCsv() const {
+  // RFC 4180: quote any field containing a comma, quote, CR, or LF, and
+  // double embedded quotes.
   auto escape = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) {
       return s;
     }
     std::string out = "\"";
@@ -97,6 +101,21 @@ std::string Table::ToCsv() const {
     out += render(row);
   }
   return out;
+}
+
+std::string Table::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginArray();
+  for (const auto& row : rows_) {
+    w.BeginObject();
+    for (size_t c = 0; c < header_.size(); ++c) {
+      w.Key(header_[c]);
+      w.String(c < row.size() ? row[c] : "");
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.Take();
 }
 
 std::string FormatDouble(double v, int precision) {

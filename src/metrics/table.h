@@ -24,8 +24,13 @@ class Table {
   // Aligned fixed-width text rendering.
   std::string ToText() const;
 
-  // RFC-4180-ish CSV rendering.
+  // RFC-4180 CSV rendering (fields with , " CR LF are quoted, embedded
+  // quotes doubled).
   std::string ToCsv() const;
+
+  // JSON rendering: an array of row objects keyed by the header columns
+  // (all values as strings). Used by the benches' --stats-json output.
+  std::string ToJson() const;
 
   size_t num_rows() const { return rows_.size(); }
 

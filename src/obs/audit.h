@@ -1,0 +1,81 @@
+// Provisioning audit log: the resource policy's per-interval decisions.
+//
+// Libra's reservation guarantees are made by a once-per-second control loop
+// (resource_policy.cc) that prices each tenant's reservation under its live
+// EWMA profile and scales allocations into the capacity floor. This log
+// captures every step's inputs and outputs — the record a tenant-facing
+// "why did my allocation change" question needs, and what IOTune/Serifos
+// style tuning of the interval/EWMA parameters reads. Appends happen once
+// per interval per node (not per IO), so a bounded deque is fine.
+//
+// Field types are plain scalars (no iosched includes): obs stays the bottom
+// observability layer and the policy flattens its structs in.
+
+#ifndef LIBRA_SRC_OBS_AUDIT_H_
+#define LIBRA_SRC_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace libra::obs {
+
+// One tenant's row within an interval step.
+struct AuditTenantEntry {
+  uint32_t tenant = 0;
+  // Reservation in normalized (1KB) requests per second.
+  double reserved_get_rps = 0.0;
+  double reserved_put_rps = 0.0;
+  // EWMA profile components (VOPs per normalized request).
+  double profile_get_direct = 0.0;
+  double profile_get_flush = 0.0;
+  double profile_get_compact = 0.0;
+  double profile_put_direct = 0.0;
+  double profile_put_flush = 0.0;
+  double profile_put_compact = 0.0;
+  // Effective VOP prices actually used by the policy (mode-dependent: under
+  // object-size pricing these differ from the full profile totals).
+  double price_get = 0.0;
+  double price_put = 0.0;
+  double required_vops = 0.0;  // priced reservation before scaling
+  double granted_vops = 0.0;   // allocation installed in the scheduler
+};
+
+// One interval step.
+struct AuditRecord {
+  int64_t time_ns = 0;
+  double total_required_vops = 0.0;
+  double capacity_floor_vops = 0.0;
+  double scale = 1.0;  // < 1 when overbooked
+  bool overbooked = false;
+  std::vector<AuditTenantEntry> tenants;
+};
+
+class ProvisioningAuditLog {
+ public:
+  explicit ProvisioningAuditLog(size_t max_records = 512)
+      : max_records_(max_records) {}
+
+  void Append(AuditRecord record) {
+    records_.push_back(std::move(record));
+    ++total_appended_;
+    while (records_.size() > max_records_) {
+      records_.pop_front();
+    }
+  }
+
+  const std::deque<AuditRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  const AuditRecord& back() const { return records_.back(); }
+  // Records appended since construction, including evicted ones.
+  uint64_t total_appended() const { return total_appended_; }
+
+ private:
+  size_t max_records_;
+  uint64_t total_appended_ = 0;
+  std::deque<AuditRecord> records_;
+};
+
+}  // namespace libra::obs
+
+#endif  // LIBRA_SRC_OBS_AUDIT_H_

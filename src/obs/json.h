@@ -1,0 +1,106 @@
+// Minimal JSON support for the observability layer: an append-only writer
+// used to emit stats snapshots, and a small recursive-descent parser used
+// by schema-validating tests and tooling. No third-party dependency — the
+// container bakes in only the C++ toolchain.
+//
+// The writer is deliberately low-level (callers manage {}/[] nesting with
+// the scope helpers); the snapshot emitters are the only intended users.
+// Doubles are rendered with %.17g (round-trippable); NaN/Inf — which JSON
+// cannot represent — are emitted as null, and the parser accepts null for
+// numbers as NaN, so "all percentiles finite" checks detect them.
+
+#ifndef LIBRA_SRC_OBS_JSON_H_
+#define LIBRA_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace libra::obs {
+
+// --- writing ---
+
+class JsonWriter {
+ public:
+  // Value positions: call exactly one per element/field slot.
+  void BeginObject() { Prefix(); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray() { Prefix(); out_ += '['; first_ = true; }
+  void EndArray() { out_ += ']'; first_ = false; }
+
+  // Field key inside an object; follow with exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view v);
+  void Int(int64_t v);
+  void Uint(uint64_t v);
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+
+  // Splices pre-rendered JSON into a value slot (trusted input).
+  void Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  // Comma separation between sibling values.
+  void Prefix() {
+    if (!first_) {
+      out_ += ',';
+    }
+    first_ = false;
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+std::string JsonEscape(std::string_view s);
+
+// --- parsing ---
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member access; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses a complete JSON document. Returns false (and sets *error when
+// non-null) on malformed input or trailing garbage.
+bool JsonParse(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
+
+// --- canonical exports ---
+
+class LatencyHistogram;
+
+// Histogram summary as a JSON object:
+//   {"count":N,"min_ns":N,"max_ns":N,"mean_ns":F,
+//    "p50":N,"p90":N,"p99":N,"p999":N,
+//    "buckets":[[lower_bound,width,count],...]}   (non-empty buckets only)
+// `include_buckets` false drops the buckets array (compact summaries).
+std::string HistogramToJson(const LatencyHistogram& h,
+                            bool include_buckets = true);
+
+}  // namespace libra::obs
+
+#endif  // LIBRA_SRC_OBS_JSON_H_

@@ -1,0 +1,86 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace libra::obs {
+namespace {
+
+// Mirrors the iosched::AppRequest / InternalOp vocabulary (io_tag.h); obs
+// sits below iosched, so the names are duplicated rather than included.
+const char* AppName(uint8_t app) {
+  switch (app) {
+    case 1:
+      return "GET";
+    case 2:
+      return "PUT";
+    default:
+      return "none";
+  }
+}
+
+const char* InternalName(uint8_t internal) {
+  switch (internal) {
+    case 1:
+      return "FLUSH";
+    case 2:
+      return "COMPACT";
+    default:
+      return "direct";
+  }
+}
+
+const char* EventName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kSubmit:
+      return "submit";
+    case TraceEventType::kDispatch:
+      return "dispatch";
+    case TraceEventType::kComplete:
+      return "complete";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity) : ring_(std::max<size_t>(1, capacity)) {}
+
+void TraceRing::Record(const TraceEvent& ev) {
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t n = size();
+  out.reserve(n);
+  // Oldest retained event: head_ when the ring has wrapped, else slot 0.
+  const size_t start = total_ > ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::DumpJsonl() const {
+  std::string out;
+  char buf[320];
+  for (const TraceEvent& ev : Events()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"t\":%lld,\"ev\":\"%s\",\"tenant\":%u,\"app\":\"%s\",\"op\":\"%s\","
+        "\"io\":\"%s\",\"offset\":%llu,\"size\":%u,\"queue_wait_ns\":%llu,"
+        "\"service_ns\":%llu,\"chunks\":%u}\n",
+        static_cast<long long>(ev.time_ns), EventName(ev.type), ev.tenant,
+        AppName(ev.app), InternalName(ev.internal), ev.is_write ? "W" : "R",
+        static_cast<unsigned long long>(ev.offset), ev.size,
+        static_cast<unsigned long long>(ev.queue_wait_ns),
+        static_cast<unsigned long long>(ev.service_ns), ev.chunks);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace libra::obs

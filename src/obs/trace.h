@@ -1,0 +1,74 @@
+// Bounded IO lifecycle event trace.
+//
+// The scheduler (when tracing is enabled) records one event per lifecycle
+// transition — submit, first dispatch, completion — into a fixed-capacity
+// ring: the newest events win, recording is a cursor bump plus a POD store
+// (no allocation), and an idle trace costs one branch per transition.
+// DumpJsonl() renders the surviving events oldest-first as one JSON object
+// per line, the same schema DESIGN.md documents:
+//
+//   {"t":<ns>,"ev":"submit|dispatch|complete","tenant":N,"app":"GET",
+//    "op":"direct","io":"R|W","offset":N,"size":N,
+//    "queue_wait_ns":N,"service_ns":N,"chunks":N}
+//
+// queue_wait_ns/service_ns/chunks are meaningful on "complete" events only
+// (zero otherwise); queue wait is submit -> first dispatch (DRR throttling
+// delay), service is first dispatch -> completion (device time).
+
+#ifndef LIBRA_SRC_OBS_TRACE_H_
+#define LIBRA_SRC_OBS_TRACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace libra::obs {
+
+enum class TraceEventType : uint8_t {
+  kSubmit = 0,
+  kDispatch = 1,
+  kComplete = 2,
+};
+
+struct TraceEvent {
+  int64_t time_ns = 0;
+  TraceEventType type = TraceEventType::kSubmit;
+  uint32_t tenant = 0;
+  uint8_t app = 0;       // iosched::AppRequest
+  uint8_t internal = 0;  // iosched::InternalOp
+  uint8_t is_write = 0;
+  uint64_t offset = 0;
+  uint32_t size = 0;
+  uint32_t chunks = 0;        // complete only
+  uint64_t queue_wait_ns = 0; // complete only
+  uint64_t service_ns = 0;    // complete only
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void Record(const TraceEvent& ev);
+
+  size_t capacity() const { return ring_.size(); }
+  // Events currently retained (<= capacity).
+  size_t size() const { return std::min(total_, ring_.size()); }
+  // Events recorded since construction (dropped ones included).
+  uint64_t total_recorded() const { return total_; }
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  // One JSON object per line, oldest first.
+  std::string DumpJsonl() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;    // next write position
+  uint64_t total_ = 0;
+};
+
+}  // namespace libra::obs
+
+#endif  // LIBRA_SRC_OBS_TRACE_H_

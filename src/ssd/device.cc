@@ -15,6 +15,16 @@ SsdDevice::SsdDevice(sim::EventLoop& loop, DeviceProfile profile,
       die_free_at_(profile_.num_dies, 0),
       die_last_type_(profile_.num_dies, IoType::kRead) {
   stream_ends_.fill(UINT64_MAX);
+  qd_start_time_ = loop_.Now();
+  qd_last_change_ = qd_start_time_;
+}
+
+void SsdDevice::UpdateInflight(int delta) {
+  const SimTime now = loop_.Now();
+  qd_integral_ += static_cast<double>(inflight_) *
+                  static_cast<double>(now - qd_last_change_);
+  qd_last_change_ = now;
+  inflight_ += delta;
 }
 
 SsdDevice::PageSpan SsdDevice::SpanOf(const IoRequest& req) const {
@@ -65,7 +75,7 @@ void SsdDevice::Submit(const IoRequest& req, CompletionFn done) {
   const PageSpan span = SpanOf(req);
   const bool seq = DetectSequential(req);
 
-  ++inflight_;
+  UpdateInflight(+1);
 
   // Controller admission.
   const SimTime t_submit = loop_.Now();
@@ -163,7 +173,7 @@ void SsdDevice::Submit(const IoRequest& req, CompletionFn done) {
 
   assert(completion >= t_submit);
   loop_.ScheduleAt(completion, [this, req, done = std::move(done)] {
-    --inflight_;
+    UpdateInflight(-1);
     if (req.type == IoType::kRead) {
       ++reads_completed_;
       read_bytes_ += req.size;
@@ -212,6 +222,14 @@ DeviceStats SsdDevice::stats() const {
   s.gc_pages_moved = ftl_.gc_pages_moved();
   s.blocks_erased = ftl_.blocks_erased();
   s.write_amp = ftl_.write_amp();
+  const SimTime now = loop_.Now();
+  const double elapsed = static_cast<double>(now - qd_start_time_);
+  if (elapsed > 0.0) {
+    const double integral =
+        qd_integral_ + static_cast<double>(inflight_) *
+                           static_cast<double>(now - qd_last_change_);
+    s.avg_queue_depth = integral / elapsed;
+  }
   return s;
 }
 

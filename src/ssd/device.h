@@ -61,6 +61,8 @@ struct DeviceStats {
   uint64_t gc_pages_moved = 0;
   uint64_t blocks_erased = 0;
   double write_amp = 1.0;
+  // Time-weighted average of in-flight ops since device construction.
+  double avg_queue_depth = 0.0;
 };
 
 class SsdDevice {
@@ -124,7 +126,15 @@ class SsdDevice {
   std::array<uint64_t, kMaxStreams> stream_ends_{};
   int stream_cursor_ = 0;
 
+  // Advances the queue-depth time integral to now, then applies `delta`.
+  void UpdateInflight(int delta);
+
   int inflight_ = 0;
+  // Queue-depth integral: sum of inflight * dt since construction, for the
+  // time-weighted average depth reported in stats().
+  SimTime qd_start_time_ = 0;
+  SimTime qd_last_change_ = 0;
+  double qd_integral_ = 0.0;
   uint64_t reads_completed_ = 0;
   uint64_t writes_completed_ = 0;
   uint64_t read_bytes_ = 0;

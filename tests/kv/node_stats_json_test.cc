@@ -1,0 +1,225 @@
+// Validates the NodeStatsToJson schema end-to-end: drive a two-tenant node
+// under load, snapshot it, parse the JSON back, and check every section the
+// --stats-json consumers rely on — per-tenant request percentiles, queue-wait
+// vs device-service histograms, LSM flush/compaction totals, and the
+// provisioning audit log with its profile components.
+
+#include "src/kv/node_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/kv/storage_node.h"
+#include "src/obs/json.h"
+#include "src/sim/sync.h"
+#include "src/workload/workload.h"
+
+namespace libra::kv {
+namespace {
+
+using obs::JsonParse;
+using obs::JsonValue;
+
+ssd::CalibrationTable SnapshotTable() {
+  ssd::CalibrationTable t;
+  t.sizes_kb = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  t.rand_read_iops = {38000, 36000, 33000, 28000, 16500, 8200, 4100, 2050, 1025};
+  t.rand_write_iops = {13500, 13500, 13400, 10400, 8100, 4000, 2000, 1000, 610};
+  t.seq_read_iops = t.rand_read_iops;
+  t.seq_write_iops = t.rand_write_iops;
+  return t;
+}
+
+// The histogram sub-object HistogramToJson emits. `positive` additionally
+// requires nonzero percentiles (true for service/request latency; queue wait
+// can be legitimately zero when ops dispatch immediately).
+void ExpectHistogramSchema(const JsonValue* h, bool positive) {
+  ASSERT_NE(h, nullptr);
+  ASSERT_TRUE(h->is_object());
+  ASSERT_NE(h->Find("count"), nullptr);
+  EXPECT_GT(h->Find("count")->number, 0.0);
+  for (const char* p : {"p50", "p90", "p99", "p999"}) {
+    const JsonValue* v = h->Find(p);
+    ASSERT_NE(v, nullptr) << p;
+    EXPECT_TRUE(std::isfinite(v->number)) << p;
+    if (positive) {
+      EXPECT_GT(v->number, 0.0) << p;
+    } else {
+      EXPECT_GE(v->number, 0.0) << p;
+    }
+  }
+  EXPECT_LE(h->Find("p50")->number, h->Find("p99")->number);
+  EXPECT_LE(h->Find("min_ns")->number, h->Find("max_ns")->number);
+}
+
+TEST(NodeStatsJsonTest, EmptyNodeSnapshotParses) {
+  sim::EventLoop loop;
+  NodeOptions opt;
+  opt.calibration = SnapshotTable();
+  opt.prefill_bytes = 0;
+  StorageNode node(loop, opt);
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonParse(NodeStatsToJson(node.Snapshot()), &v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v.Find("tenants")->is_array());
+  EXPECT_TRUE(v.Find("tenants")->array.empty());
+  EXPECT_TRUE(v.Find("audit")->array.empty());
+  EXPECT_GT(v.Find("capacity")->Find("floor_vops")->number, 0.0);
+}
+
+TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
+  sim::EventLoop loop;
+  NodeOptions opt;
+  opt.calibration = SnapshotTable();
+  opt.prefill_bytes = 0;
+  // Small memtables so the run includes flushes (and usually compactions).
+  opt.lsm_options.write_buffer_bytes = 256 * 1024;
+  opt.lsm_options.max_bytes_level1 = 1 * kMiB;
+  StorageNode node(loop, opt);
+
+  ASSERT_TRUE(node.AddTenant(1, {1500.0, 500.0}).ok());
+  ASSERT_TRUE(node.AddTenant(2, {500.0, 1500.0}).ok());
+
+  workload::KvWorkloadSpec spec;
+  spec.get_fraction = 0.5;
+  spec.get_size = {4096.0, 0.0};
+  spec.put_size = {4096.0, 0.0};
+  spec.live_bytes_target = 4 * kMiB;
+  spec.workers = 4;
+  workload::KvTenantWorkload wl1(loop, node, 1, spec, 11);
+  workload::KvTenantWorkload wl2(loop, node, 2, spec, 12);
+
+  {
+    sim::TaskGroup preload(loop);
+    preload.Spawn(wl1.Preload());
+    preload.Spawn(wl2.Preload());
+    loop.Run();
+  }
+  node.Start();
+  {
+    sim::TaskGroup group(loop);
+    const SimTime end = loop.Now() + 3 * kSecond;
+    wl1.Start(group, end);
+    wl2.Start(group, end);
+    loop.RunUntil(end + kSecond);
+    node.Stop();
+    loop.Run();
+  }
+
+  const std::string json = NodeStatsToJson(node.Snapshot());
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonParse(json, &v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+
+  EXPECT_GT(v.Find("time_ns")->number, 0.0);
+  const JsonValue* device = v.Find("device");
+  ASSERT_NE(device, nullptr);
+  EXPECT_GT(device->Find("reads_completed")->number, 0.0);
+  EXPECT_GT(device->Find("writes_completed")->number, 0.0);
+  EXPECT_TRUE(std::isfinite(device->Find("avg_queue_depth")->number));
+  EXPECT_GE(device->Find("avg_queue_depth")->number, 0.0);
+  EXPECT_GT(v.Find("capacity")->Find("floor_vops")->number, 0.0);
+  EXPECT_GT(v.Find("scheduler")->Find("rounds")->number, 0.0);
+
+  // --- per-tenant section ---
+  const JsonValue* tenants = v.Find("tenants");
+  ASSERT_TRUE(tenants->is_array());
+  ASSERT_EQ(tenants->array.size(), 2u);
+  for (const JsonValue& t : tenants->array) {
+    SCOPED_TRACE("tenant " + std::to_string(t.Find("tenant")->number));
+    EXPECT_GT(t.Find("reservation")->Find("get_rps")->number, 0.0);
+    EXPECT_GT(t.Find("reservation")->Find("put_rps")->number, 0.0);
+    EXPECT_GE(t.Find("allocation_vops")->number, 0.0);
+
+    // Application-level GET/PUT latency percentiles.
+    ExpectHistogramSchema(t.Find("requests")->Find("GET"), true);
+    ExpectHistogramSchema(t.Find("requests")->Find("PUT"), true);
+
+    // Scheduler lifecycle: queue wait vs device service, ops == samples.
+    const JsonValue* total = t.Find("io")->Find("total");
+    ASSERT_NE(total, nullptr);
+    const double ops = total->Find("ops")->number;
+    EXPECT_GT(ops, 0.0);
+    EXPECT_GE(total->Find("chunks")->number, ops);
+    EXPECT_GT(total->Find("bytes")->number, 0.0);
+    ExpectHistogramSchema(total->Find("queue_wait"), false);
+    ExpectHistogramSchema(total->Find("device_service"), true);
+    EXPECT_EQ(total->Find("queue_wait")->Find("count")->number, ops);
+    EXPECT_EQ(total->Find("device_service")->Find("count")->number, ops);
+
+    // Per-class breakdown sums back to the total and is labeled.
+    const JsonValue* classes = t.Find("io")->Find("classes");
+    ASSERT_TRUE(classes->is_array());
+    ASSERT_FALSE(classes->array.empty());
+    double class_ops = 0.0;
+    bool saw_direct_put = false;
+    for (const JsonValue& c : classes->array) {
+      const std::string& app = c.Find("app")->string_value;
+      const std::string& internal = c.Find("internal")->string_value;
+      EXPECT_TRUE(app == "GET" || app == "PUT" || app == "none") << app;
+      EXPECT_TRUE(internal == "direct" || internal == "FLUSH" ||
+                  internal == "COMPACT")
+          << internal;
+      saw_direct_put |= app == "PUT" && internal == "direct";
+      EXPECT_GT(c.Find("stats")->Find("ops")->number, 0.0);
+      class_ops += c.Find("stats")->Find("ops")->number;
+    }
+    EXPECT_TRUE(saw_direct_put);
+    EXPECT_EQ(class_ops, ops);
+
+    // LSM totals: the small memtable guarantees flush activity.
+    const JsonValue* lsm = t.Find("lsm");
+    EXPECT_GT(lsm->Find("puts")->number, 0.0);
+    EXPECT_GT(lsm->Find("gets")->number, 0.0);
+    EXPECT_GT(lsm->Find("flushes")->number, 0.0);
+    EXPECT_GT(lsm->Find("flush_bytes")->number, 0.0);
+    EXPECT_GT(lsm->Find("flush_ns")->number, 0.0);
+    ASSERT_NE(lsm->Find("compactions"), nullptr);
+    ASSERT_NE(lsm->Find("compact_bytes_read"), nullptr);
+    ASSERT_NE(lsm->Find("compact_bytes_written"), nullptr);
+    ASSERT_NE(lsm->Find("stalls"), nullptr);
+    ASSERT_TRUE(lsm->Find("files_per_level")->is_array());
+  }
+
+  // --- provisioning audit log ---
+  const JsonValue* audit = v.Find("audit");
+  ASSERT_TRUE(audit->is_array());
+  ASSERT_FALSE(audit->array.empty());  // policy ran >= 1 interval
+  const JsonValue& rec = audit->array.back();
+  EXPECT_GT(rec.Find("time_ns")->number, 0.0);
+  EXPECT_GT(rec.Find("capacity_floor_vops")->number, 0.0);
+  EXPECT_GT(rec.Find("total_required_vops")->number, 0.0);
+  EXPECT_GT(rec.Find("scale")->number, 0.0);
+  EXPECT_LE(rec.Find("scale")->number, 1.0);
+  ASSERT_NE(rec.Find("overbooked"), nullptr);
+  ASSERT_EQ(rec.Find("tenants")->array.size(), 2u);
+  for (const JsonValue& e : rec.Find("tenants")->array) {
+    SCOPED_TRACE("audit tenant " + std::to_string(e.Find("tenant")->number));
+    EXPECT_GT(e.Find("reserved_get_rps")->number, 0.0);
+    EXPECT_GT(e.Find("reserved_put_rps")->number, 0.0);
+    for (const char* prof : {"profile_get", "profile_put"}) {
+      const JsonValue* p = e.Find(prof);
+      ASSERT_NE(p, nullptr) << prof;
+      for (const char* comp : {"direct", "flush", "compact"}) {
+        ASSERT_NE(p->Find(comp), nullptr) << prof << "." << comp;
+        EXPECT_GE(p->Find(comp)->number, 0.0) << prof << "." << comp;
+      }
+    }
+    // Profiles have been learned from real traffic, so prices are positive
+    // and the grant follows required * scale.
+    EXPECT_GT(e.Find("price_get")->number, 0.0);
+    EXPECT_GT(e.Find("price_put")->number, 0.0);
+    EXPECT_GT(e.Find("required_vops")->number, 0.0);
+    EXPECT_NEAR(e.Find("granted_vops")->number,
+                e.Find("required_vops")->number * rec.Find("scale")->number,
+                1e-6 * e.Find("required_vops")->number + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace libra::kv

@@ -131,6 +131,71 @@ TEST(ReservationIntegrationTest, ContendingTenantsMeetReservations) {
   // normalized requests per second each).
   EXPECT_GT(res1.get_rps, 500.0);
   EXPECT_GT(res2.put_rps, 200.0);
+
+  // The observability snapshot saw the same run: both tenants' GET and PUT
+  // latency histograms are populated with sane percentiles, and the policy
+  // left one audit record per provisioning interval.
+  const NodeStats snap = node.Snapshot();
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  for (const TenantSnapshot& t : snap.tenants) {
+    SCOPED_TRACE(t.tenant);
+    EXPECT_GT(t.get_latency.count(), 0u);
+    EXPECT_GT(t.put_latency.count(), 0u);
+    for (const obs::LatencyHistogram* h : {&t.get_latency, &t.put_latency}) {
+      const uint64_t p50 = h->Percentile(0.5);
+      const uint64_t p99 = h->Percentile(0.99);
+      EXPECT_GT(p50, 0u);
+      EXPECT_GE(p99, p50);
+      EXPECT_LE(p99, static_cast<uint64_t>(t_end));  // bounded by the run
+    }
+    EXPECT_GT(t.io_total.ops, 0u);
+  }
+  ASSERT_FALSE(snap.audit.empty());
+  EXPECT_GT(snap.audit.back().scale, 0.0);
+  EXPECT_LE(snap.audit.back().scale, 1.0);
+}
+
+TEST(ReservationIntegrationTest, OverbookedReservationsAuditedAndScaled) {
+  // Reservations far beyond the capacity floor: the policy must scale every
+  // grant down proportionally and record the overbooking in the audit log.
+  sim::EventLoop loop;
+  NodeOptions opt;
+  opt.calibration = IntegrationTable();
+  opt.prefill_bytes = 0;
+  StorageNode node(loop, opt);
+
+  ASSERT_TRUE(node.AddTenant(1, Reservation{60000.0, 30000.0}).ok());
+  ASSERT_TRUE(node.AddTenant(2, Reservation{30000.0, 60000.0}).ok());
+  node.Start();
+  loop.RunUntil(3 * kSecond);
+  node.Stop();
+  loop.Run();
+
+  const auto& log = node.policy().audit_log();
+  ASSERT_GT(log.records().size(), 1u);
+  const obs::AuditRecord& rec = log.back();
+  EXPECT_TRUE(rec.overbooked);
+  EXPECT_GT(rec.total_required_vops, rec.capacity_floor_vops);
+  EXPECT_GT(rec.scale, 0.0);
+  EXPECT_LT(rec.scale, 1.0);
+  // scale is exactly the proportional cut the policy applied.
+  EXPECT_NEAR(rec.scale, rec.capacity_floor_vops / rec.total_required_vops,
+              1e-9);
+  ASSERT_EQ(rec.tenants.size(), 2u);
+  double granted_total = 0.0;
+  for (const obs::AuditTenantEntry& e : rec.tenants) {
+    SCOPED_TRACE(e.tenant);
+    EXPECT_GT(e.required_vops, 0.0);
+    EXPECT_NEAR(e.granted_vops, e.required_vops * rec.scale,
+                1e-9 * e.required_vops);
+    EXPECT_LT(e.granted_vops, e.required_vops);
+    granted_total += e.granted_vops;
+    // The scheduler really received the scaled-down grant.
+    EXPECT_NEAR(node.scheduler().Allocation(e.tenant), e.granted_vops,
+                1e-9 * e.granted_vops);
+  }
+  // Grants sum to (at most) the floor — nothing over-promised.
+  EXPECT_LE(granted_total, rec.capacity_floor_vops * (1.0 + 1e-9));
 }
 
 }  // namespace

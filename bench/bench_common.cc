@@ -1,10 +1,15 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "src/obs/json.h"
@@ -70,10 +75,17 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.csv = true;
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
       args.stats_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      args.jobs = std::atoi(argv[i] + 7);
+      if (args.jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        args.jobs = hw > 0 ? static_cast<int>(hw) : 1;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "flags: --full (paper-size grids)  --csv (CSV output)  "
-          "--stats-json=PATH (JSON stats snapshot)\n");
+          "--stats-json=PATH (JSON stats snapshot)  "
+          "--jobs=N (parallel sweep workers; 0 = all cores)\n");
     }
   }
   if (!args.stats_json.empty() && g_stats == nullptr) {
@@ -85,8 +97,12 @@ BenchArgs ParseArgs(int argc, char** argv) {
 }
 
 const ssd::CalibrationTable& TableFor(const ssd::DeviceProfile& profile) {
+  // The lock covers lookup and (cold) calibration; map nodes are stable, so
+  // returned references stay valid across later insertions.
+  static std::mutex mu;
   static std::map<std::string, ssd::CalibrationTable>* cache =
       new std::map<std::string, ssd::CalibrationTable>();
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache->find(profile.name);
   if (it == cache->end()) {
     ssd::CalibrationOptions opt;
@@ -95,6 +111,49 @@ const ssd::CalibrationTable& TableFor(const ssd::DeviceProfile& profile) {
     it = cache->emplace(profile.name, ssd::Calibrate(profile, opt)).first;
   }
   return it->second;
+}
+
+void SweepRunner::ForEach(size_t count,
+                          const std::function<void(size_t)>& fn) const {
+  if (jobs_ <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!failed.exchange(true)) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+  const size_t nthreads =
+      std::min<size_t>(static_cast<size_t>(jobs_), count);
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (size_t t = 0; t < nthreads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
 }
 
 void Emit(const BenchArgs& args, const metrics::Table& table) {

@@ -1,11 +1,14 @@
 // Shared infrastructure for the figure-reproduction benches: flag parsing
-// (--full for the paper's full grids, --csv for machine-readable output),
-// memoized device calibration, and the raw-IO experiment cell runner used
-// by the Fig. 4/5/7/9 harnesses.
+// (--full for the paper's full grids, --csv for machine-readable output,
+// --jobs=N for parallel sweeps), memoized device calibration, the raw-IO
+// experiment cell runner used by the Fig. 4/5/7/9 harnesses, and the
+// thread-pool sweep runner that fans independent cells across cores.
 
 #ifndef LIBRA_BENCH_BENCH_COMMON_H_
 #define LIBRA_BENCH_BENCH_COMMON_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,12 +25,47 @@ struct BenchArgs {
   bool full = false;        // paper-size grids (slower)
   bool csv = false;         // CSV instead of aligned text
   std::string stats_json;   // --stats-json=PATH: machine-readable snapshot
+  int jobs = 1;             // --jobs=N: worker threads for sweeps (0 = all cores)
 };
 
 BenchArgs ParseArgs(int argc, char** argv);
 
-// Calibration for a device profile, computed once per process.
+// Calibration for a device profile, computed once per process. Thread-safe;
+// still, call it once per profile before a parallel sweep (a cold first
+// lookup runs a calibration sim under the cache lock, serializing workers).
 const ssd::CalibrationTable& TableFor(const ssd::DeviceProfile& profile);
+
+// --- parallel sweep runner ---
+//
+// Fans the cells of an experiment sweep across a thread pool. Cells must be
+// independent (each RunRawCell / KV cell builds its own EventLoop, device
+// and scheduler, so they are), and each cell's result is written to its own
+// slot — emission stays serial, in index order, after the pool drains, so
+// output is byte-identical to a serial run regardless of --jobs.
+class SweepRunner {
+ public:
+  // jobs <= 1 runs cells inline on the calling thread (no pool, no
+  // threads). jobs == 0 is resolved by ParseArgs, not here.
+  explicit SweepRunner(int jobs) : jobs_(jobs) {}
+
+  // Runs fn(i) for every i in [0, count), distributing cells to workers by
+  // atomic index in submission order. Returns when all cells finished. If a
+  // cell throws, the first exception is rethrown here after the pool joins.
+  void ForEach(size_t count, const std::function<void(size_t)>& fn) const;
+
+  // ForEach that collects fn(i) into a vector in index order.
+  template <typename R, typename Fn>
+  std::vector<R> Map(size_t count, Fn&& fn) const {
+    std::vector<R> out(count);
+    ForEach(count, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  int jobs() const { return jobs_; }
+
+ private:
+  int jobs_;
+};
 
 // Emits a table in the format the args request. With --stats-json, the
 // table is also captured (as JSON, under the current Section title) into

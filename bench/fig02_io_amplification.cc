@@ -83,34 +83,41 @@ Breakdown RunPoint(const BenchArgs& args, double get_kb, double put_kb,
 int main(int argc, char** argv) {
   using namespace libra::bench;
   const BenchArgs args = ParseArgs(argc, argv);
+  std::vector<double> sizes_kb = args.full
+                                     ? std::vector<double>{1, 4, 8, 16, 32, 64, 128}
+                                     : std::vector<double>{1, 8, 32, 128};
+
+  // All points (the size sweep plus the disjoint-range column) are
+  // independent sims; fan them across --jobs workers and emit in order.
+  TableFor(libra::ssd::Intel320Profile());  // warm before the pool starts
+  SweepRunner runner(args.jobs);
+  const std::vector<Breakdown> points =
+      runner.Map<Breakdown>(sizes_kb.size() + 1, [&](size_t i) {
+        if (i < sizes_kb.size()) {
+          return RunPoint(args, sizes_kb[i], sizes_kb[i], /*disjoint=*/false);
+        }
+        return RunPoint(args, 32, 128, /*disjoint=*/true);
+      });
+
   Section(args, "Figure 2: app-request VOP consumption breakdown (kVOP/s)");
   libra::metrics::Table out({"workload", "GET_read", "PUT_write", "FLUSH_read",
                              "FLUSH_write", "COMPACT_read", "COMPACT_write",
                              "total"});
-  std::vector<double> sizes_kb = args.full
-                                     ? std::vector<double>{1, 4, 8, 16, 32, 64, 128}
-                                     : std::vector<double>{1, 8, 32, 128};
-  for (double kb : sizes_kb) {
-    const Breakdown b = RunPoint(args, kb, kb, /*disjoint=*/false);
+  for (size_t i = 0; i <= sizes_kb.size(); ++i) {
+    const Breakdown& b = points[i];
     const double total = b.get_read + b.put_write + b.flush_read +
                          b.flush_write + b.compact_read + b.compact_write;
-    out.AddNumericRow(libra::metrics::FormatDouble(kb, 0) + "KB",
+    const std::string label =
+        i < sizes_kb.size()
+            ? libra::metrics::FormatDouble(sizes_kb[i], 0) + "KB"
+            : "32/128KB disjoint";
+    out.AddNumericRow(label,
                       {b.get_read / 1000.0, b.put_write / 1000.0,
                        b.flush_read / 1000.0, b.flush_write / 1000.0,
                        b.compact_read / 1000.0, b.compact_write / 1000.0,
                        total / 1000.0},
                       2);
   }
-  // Disjoint-range 32KB GET / 128KB PUT column.
-  const Breakdown b = RunPoint(args, 32, 128, /*disjoint=*/true);
-  const double total = b.get_read + b.put_write + b.flush_read +
-                       b.flush_write + b.compact_read + b.compact_write;
-  out.AddNumericRow("32/128KB disjoint",
-                    {b.get_read / 1000.0, b.put_write / 1000.0,
-                     b.flush_read / 1000.0, b.flush_write / 1000.0,
-                     b.compact_read / 1000.0, b.compact_write / 1000.0,
-                     total / 1000.0},
-                    2);
   Emit(args, out);
   std::printf(
       "paper shape: PUT dominates small sizes; GET share climbs at large "

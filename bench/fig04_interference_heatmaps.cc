@@ -7,10 +7,15 @@
 // The summary line reports the measured capacity floor — the value Libra's
 // capacity model (under)estimates as the provisionable bound (paper: 18
 // kop/s against a 37.5 kop/s interference-free max on the Intel 320).
+//
+// Cells are independent simulations, so they are fanned across --jobs
+// workers; tables are emitted serially afterwards in the fixed map order,
+// making the output byte-identical to a serial run.
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -23,35 +28,6 @@ struct MapSpec {
   double read_fraction;
   double sigma;
 };
-
-void RunMap(const BenchArgs& args, const ssd::DeviceProfile& profile,
-            const MapSpec& map, double* global_min, double* global_max) {
-  const auto sizes = SweepSizesKb(args.full);
-  Section(args, "Figure 4 map: " + map.name + " (kVOP/s)");
-  std::vector<std::string> header = {"write\\read_kb"};
-  for (uint32_t r : sizes) {
-    header.push_back(std::to_string(r));
-  }
-  metrics::Table out(header);
-  for (uint32_t w : sizes) {
-    std::vector<double> row;
-    for (uint32_t r : sizes) {
-      RawCellSpec cell;
-      cell.mode = map.mode;
-      cell.read_fraction = map.read_fraction;
-      cell.size_a_bytes = static_cast<double>(r) * 1024.0;
-      cell.size_b_bytes = static_cast<double>(w) * 1024.0;
-      cell.sigma_bytes = map.sigma;
-      const RawCellResult res = RunRawCell(profile, cell);
-      const double kvops = res.total_vops_per_sec / 1000.0;
-      row.push_back(kvops);
-      *global_min = std::min(*global_min, kvops);
-      *global_max = std::max(*global_max, kvops);
-    }
-    out.AddNumericRow(std::to_string(w), row, 1);
-  }
-  Emit(args, out);
-}
 
 }  // namespace
 }  // namespace libra::bench
@@ -72,11 +48,48 @@ int main(int argc, char** argv) {
       {"50:50, sigma 32K", CellMode::kMixed, 0.50, 32768.0},
       {"50:50, sigma 256K", CellMode::kMixed, 0.50, 262144.0},
   };
+  constexpr size_t kNumMaps = sizeof(maps) / sizeof(maps[0]);
+
+  const auto sizes = SweepSizesKb(args.full);
+  const size_t per_map = sizes.size() * sizes.size();
+
+  TableFor(profile);  // warm the calibration cache before the pool starts
+  SweepRunner runner(args.jobs);
+  const std::vector<double> kvops =
+      runner.Map<double>(kNumMaps * per_map, [&](size_t i) {
+        const MapSpec& map = maps[i / per_map];
+        const size_t c = i % per_map;
+        const uint32_t w = sizes[c / sizes.size()];
+        const uint32_t r = sizes[c % sizes.size()];
+        RawCellSpec cell;
+        cell.mode = map.mode;
+        cell.read_fraction = map.read_fraction;
+        cell.size_a_bytes = static_cast<double>(r) * 1024.0;
+        cell.size_b_bytes = static_cast<double>(w) * 1024.0;
+        cell.sigma_bytes = map.sigma;
+        return RunRawCell(profile, cell).total_vops_per_sec / 1000.0;
+      });
 
   double global_min = 1e30;
   double global_max = 0.0;
-  for (const MapSpec& map : maps) {
-    RunMap(args, profile, map, &global_min, &global_max);
+  for (size_t m = 0; m < kNumMaps; ++m) {
+    Section(args, "Figure 4 map: " + maps[m].name + " (kVOP/s)");
+    std::vector<std::string> header = {"write\\read_kb"};
+    for (uint32_t r : sizes) {
+      header.push_back(std::to_string(r));
+    }
+    libra::metrics::Table out(header);
+    for (size_t wi = 0; wi < sizes.size(); ++wi) {
+      std::vector<double> row;
+      for (size_t ri = 0; ri < sizes.size(); ++ri) {
+        const double v = kvops[m * per_map + wi * sizes.size() + ri];
+        row.push_back(v);
+        global_min = std::min(global_min, v);
+        global_max = std::max(global_max, v);
+      }
+      out.AddNumericRow(std::to_string(sizes[wi]), row, 1);
+    }
+    Emit(args, out);
   }
   std::printf(
       "summary: interference-free max %.1f kVOP/s; measured floor %.1f "

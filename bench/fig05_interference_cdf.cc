@@ -33,22 +33,33 @@ int main(int argc, char** argv) {
       {"50:50", 0.50, 0.0},          {"25:75", 0.25, 0.0},
   };
 
-  // Collect every cell's throughput per series.
+  // Collect every cell's throughput per series. Cells are independent, so
+  // compute them across --jobs workers and fold serially in sweep order.
+  const size_t per_series = sizes.size() * sizes.size();
+  TableFor(profile);  // warm the calibration cache before the pool starts
+  SweepRunner runner(args.jobs);
+  const std::vector<double> cell_vops =
+      runner.Map<double>(std::size(series) * per_series, [&](size_t i) {
+        const Series& ser = series[i / per_series];
+        const size_t c = i % per_series;
+        RawCellSpec cell;
+        cell.mode = CellMode::kMixed;
+        cell.read_fraction = ser.read_fraction;
+        cell.size_a_bytes =
+            static_cast<double>(sizes[c / sizes.size()]) * 1024.0;
+        cell.size_b_bytes =
+            static_cast<double>(sizes[c % sizes.size()]) * 1024.0;
+        cell.sigma_bytes = ser.sigma;
+        return RunRawCell(profile, cell).total_vops_per_sec;
+      });
+
   std::vector<SampleSet> samples(std::size(series));
   double global_min = 1e30;
   for (size_t s = 0; s < std::size(series); ++s) {
-    for (uint32_t r : sizes) {
-      for (uint32_t w : sizes) {
-        RawCellSpec cell;
-        cell.mode = CellMode::kMixed;
-        cell.read_fraction = series[s].read_fraction;
-        cell.size_a_bytes = static_cast<double>(r) * 1024.0;
-        cell.size_b_bytes = static_cast<double>(w) * 1024.0;
-        cell.sigma_bytes = series[s].sigma;
-        const RawCellResult res = RunRawCell(profile, cell);
-        samples[s].Add(res.total_vops_per_sec);
-        global_min = std::min(global_min, res.total_vops_per_sec);
-      }
+    for (size_t c = 0; c < per_series; ++c) {
+      const double vops = cell_vops[s * per_series + c];
+      samples[s].Add(vops);
+      global_min = std::min(global_min, vops);
     }
   }
 

@@ -17,16 +17,28 @@ void RunDevice(const BenchArgs& args, const ssd::DeviceProfile& profile,
                double* mmr_sum, int* mmr_count) {
   const auto& table = TableFor(profile);
   const auto sizes = SweepSizesKb(args.full);
+
+  // Independent cells: simulate across --jobs workers, then emit serially
+  // in the (read size, write size) sweep order.
+  SweepRunner runner(args.jobs);
+  const std::vector<RawCellResult> cells = runner.Map<RawCellResult>(
+      sizes.size() * sizes.size(), [&](size_t i) {
+        RawCellSpec cell;
+        cell.mode = CellMode::kReadWrite;
+        cell.size_a_bytes =
+            static_cast<double>(sizes[i / sizes.size()]) * 1024.0;
+        cell.size_b_bytes =
+            static_cast<double>(sizes[i % sizes.size()]) * 1024.0;
+        return RunRawCell(profile, cell);
+      });
+
   Section(args, "Figure 7: IOP throughput ratios — " + profile.name);
   metrics::Table out({"read_kb", "write_kb", "reader_ratio", "writer_ratio",
                       "tenant_mmr"});
+  size_t cell_idx = 0;
   for (uint32_t r : sizes) {
     for (uint32_t w : sizes) {
-      RawCellSpec cell;
-      cell.mode = CellMode::kReadWrite;
-      cell.size_a_bytes = static_cast<double>(r) * 1024.0;
-      cell.size_b_bytes = static_cast<double>(w) * 1024.0;
-      const RawCellResult res = RunRawCell(profile, cell);
+      const RawCellResult& res = cells[cell_idx++];
 
       const double n = static_cast<double>(res.tenant_iops.size());
       const double expected_read = table.RandReadIops(r * 1024) / n;

@@ -32,17 +32,30 @@ void RunModel(const BenchArgs& args, const ssd::DeviceProfile& profile,
       {"write-write", CellMode::kWriteWrite},
       {"read-write", CellMode::kReadWrite},
   };
+  // All (mix, size a, size b) cells of this model run across --jobs
+  // workers; MMR folding happens serially below, in sweep order.
+  const size_t per_mix = sizes.size() * sizes.size();
+  SweepRunner runner(args.jobs);
+  const std::vector<RawCellResult> cells = runner.Map<RawCellResult>(
+      std::size(mixes) * per_mix, [&](size_t i) {
+        RawCellSpec cell;
+        cell.mode = mixes[i / per_mix].mode;
+        cell.cost_model = model;
+        const size_t c = i % per_mix;
+        cell.size_a_bytes =
+            static_cast<double>(sizes[c / sizes.size()]) * 1024.0;
+        cell.size_b_bytes =
+            static_cast<double>(sizes[c % sizes.size()]) * 1024.0;
+        return RunRawCell(profile, cell);
+      });
+
+  size_t cell_idx = 0;
   for (const MixSpec& mix : mixes) {
     SampleSet iop_mmr;
     SampleSet vop_mmr;
     for (uint32_t a : sizes) {
       for (uint32_t b : sizes) {
-        RawCellSpec cell;
-        cell.mode = mix.mode;
-        cell.cost_model = model;
-        cell.size_a_bytes = static_cast<double>(a) * 1024.0;
-        cell.size_b_bytes = static_cast<double>(b) * 1024.0;
-        const RawCellResult res = RunRawCell(profile, cell);
+        const RawCellResult& res = cells[cell_idx++];
 
         std::vector<double> iop_ratios;
         for (size_t t = 0; t < res.tenant_iops.size(); ++t) {

@@ -63,22 +63,42 @@ int main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv);
   const double floor_kvops = libra::iosched::kIntel320VopFloor / 1000.0;
 
+  // All cells — (a)'s pure sweeps and (b)'s ratio grids — are independent
+  // sims: fan them across --jobs workers, then emit serially in order.
+  const auto sizes = SweepSizesKb(args.full);
+  const double ratios[] = {0.75, 0.50, 0.25, 0.01};
+  const char* names[] = {"75:25", "50:50", "25:75", "1:99"};
+  const size_t n_pure = 2 * sizes.size();             // (GET, PUT) per size
+  const size_t per_ratio = sizes.size() * sizes.size();
+  TableFor(libra::ssd::Intel320Profile());  // warm before the pool starts
+  SweepRunner runner(args.jobs);
+  const std::vector<double> cells = runner.Map<double>(
+      n_pure + std::size(ratios) * per_ratio, [&](size_t i) {
+        if (i < n_pure) {
+          const uint32_t kb = sizes[i / 2];
+          const bool get = (i % 2) == 0;
+          return RunKvCell(args, get ? 1.0 : 0.0, kb, kb, 0.0);
+        }
+        const size_t j = i - n_pure;
+        const size_t c = j % per_ratio;
+        return RunKvCell(args, ratios[j / per_ratio],
+                         sizes[c % sizes.size()], sizes[c / sizes.size()],
+                         4096.0);
+      });
+
   // (a) pure workloads.
   Section(args, "Figure 10a: pure GET / pure PUT VOP throughput (kVOP/s)");
   {
     libra::metrics::Table out({"size_kb", "pure_GET", "pure_PUT"});
-    for (uint32_t kb : SweepSizesKb(args.full)) {
-      const double g = RunKvCell(args, 1.0, kb, kb, 0.0);
-      const double p = RunKvCell(args, 0.0, kb, kb, 0.0);
-      out.AddNumericRow(std::to_string(kb), {g / 1000.0, p / 1000.0}, 1);
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      out.AddNumericRow(std::to_string(sizes[s]),
+                        {cells[2 * s] / 1000.0, cells[2 * s + 1] / 1000.0},
+                        1);
     }
     Emit(args, out);
   }
 
   // (b) mixed ratios over the size grid; (c) distributions.
-  const double ratios[] = {0.75, 0.50, 0.25, 0.01};
-  const char* names[] = {"75:25", "50:50", "25:75", "1:99"};
-  const auto sizes = SweepSizesKb(args.full);
   SampleSet all;
   libra::metrics::Table cdf({"GET:PUT", "min", "p25", "p50", "p80", "max",
                              "floor_over_p80"});
@@ -91,15 +111,15 @@ int main(int argc, char** argv) {
     }
     libra::metrics::Table map(header);
     SampleSet set;
-    for (uint32_t p : sizes) {
+    for (size_t pi = 0; pi < sizes.size(); ++pi) {
       std::vector<double> row;
-      for (uint32_t g : sizes) {
-        const double v = RunKvCell(args, ratios[i], g, p, 4096.0);
+      for (size_t gi = 0; gi < sizes.size(); ++gi) {
+        const double v = cells[n_pure + i * per_ratio + pi * sizes.size() + gi];
         row.push_back(v / 1000.0);
         set.Add(v / 1000.0);
         all.Add(v / 1000.0);
       }
-      map.AddNumericRow(std::to_string(p), row, 1);
+      map.AddNumericRow(std::to_string(sizes[pi]), row, 1);
     }
     Emit(args, map);
     cdf.AddNumericRow(names[i],

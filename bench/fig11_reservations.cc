@@ -59,8 +59,17 @@ double NormalizedRatio(const Group& g) {
   return (g.get_fraction * g.get_kb) / ((1.0 - g.get_fraction) * g.put_kb);
 }
 
-void RunMode(const BenchArgs& args, ProfileMode mode,
-             std::vector<std::vector<PhaseResult>>& results) {
+// One full simulation per profile mode; modes are independent, so main()
+// fans them across --jobs workers. Everything side-effecting (tables,
+// stats-json sections) is returned and emitted serially by the caller, in
+// mode order — the output is byte-identical to a serial run.
+struct ModeResult {
+  std::vector<std::vector<PhaseResult>> groups;
+  std::string stats_name;
+  std::string stats_json;
+};
+
+ModeResult RunMode(const BenchArgs& args, ProfileMode mode) {
   sim::EventLoop loop;
   kv::NodeOptions opt = PrototypeNodeOptions();
   opt.policy_options.mode = mode;
@@ -163,16 +172,16 @@ void RunMode(const BenchArgs& args, ProfileMode mode,
     loop.Run();
   }
 
+  ModeResult result;
   // Full-stack observability snapshot for --stats-json, taken while the
-  // node (and its per-tenant histograms / audit log) is still alive.
-  AddStatsSection(args,
-                  mode == ProfileMode::kFull ? "node_snapshot_full_profile"
-                                             : "node_snapshot_object_size",
-                  kv::NodeStatsToJson(node.Snapshot()));
+  // node (and its per-tenant histograms / audit log) is still alive; the
+  // caller registers it (serially) once the mode finishes.
+  result.stats_name = mode == ProfileMode::kFull ? "node_snapshot_full_profile"
+                                                 : "node_snapshot_object_size";
+  result.stats_json = kv::NodeStatsToJson(node.Snapshot());
 
   // Fold into per-group phase means.
   const double secs = ToSeconds(phase);
-  results.clear();
   for (const Group& g : kGroups) {
     std::vector<PhaseResult> phases(2);
     for (int i = 0; i < g.count; ++i) {
@@ -187,8 +196,9 @@ void RunMode(const BenchArgs& args, ProfileMode mode,
     const double scale = g.first_tenant == 0 ? 0.5 : g.first_tenant == 5 ? 1.5 : 1.0;
     phases[1].get_res = phases[0].get_res * scale;
     phases[1].put_res = phases[0].put_res * scale;
-    results.push_back(phases);
+    result.groups.push_back(phases);
   }
+  return result;
 }
 
 }  // namespace
@@ -202,9 +212,23 @@ int main(int argc, char** argv) {
   const std::pair<ProfileMode, const char*> modes[] = {
       {ProfileMode::kFull, "Libra (profile tracking)"},
       {ProfileMode::kObjectSizeOnly, "No profile (object-size pricing)"}};
-  for (const auto& [mode, label] : modes) {
-    std::vector<std::vector<PhaseResult>> results;
-    RunMode(args, mode, results);
+
+  // The two profile modes are independent simulations: run them across
+  // --jobs workers, then emit in the fixed mode order.
+  TableFor(libra::ssd::Intel320Profile());  // warm before the pool starts
+  SweepRunner runner(args.jobs);
+  const std::vector<ModeResult> mode_results =
+      runner.Map<ModeResult>(std::size(modes), [&](size_t i) {
+        return RunMode(args, modes[i].first);
+      });
+
+  for (size_t mi = 0; mi < std::size(modes); ++mi) {
+    const auto& [mode, label] = modes[mi];
+    (void)mode;
+    const std::vector<std::vector<PhaseResult>>& results =
+        mode_results[mi].groups;
+    AddStatsSection(args, mode_results[mi].stats_name,
+                    mode_results[mi].stats_json);
     Section(args, std::string("Figure 11: ") + label);
     libra::metrics::Table out({"group", "phase", "GET_kreq/s", "GET_res",
                                "GET_ratio", "GET_met", "PUT_kreq/s",

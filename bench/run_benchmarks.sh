@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the microbenchmarks in Release mode and writes the results as
+# google-benchmark JSON to BENCH_micro.json at the repository root.
+#
+# Usage:
+#   bench/run_benchmarks.sh            # full run (default min_time)
+#   BENCH_MIN_TIME=0.05s bench/run_benchmarks.sh   # quick smoke run
+#   BENCH_OUT=path.json bench/run_benchmarks.sh    # alternate output path
+#
+# Compare two runs (e.g. before/after a perf change) with google-benchmark's
+# tools/compare.py, or diff the "real_time" fields of the two JSON files.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BENCH_BUILD_DIR:-${REPO_ROOT}/build-bench}"
+OUT="${BENCH_OUT:-${REPO_ROOT}/BENCH_micro.json}"
+MIN_TIME="${BENCH_MIN_TIME:-}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" --target micro_benchmarks -j"$(nproc)"
+
+ARGS=(--benchmark_format=json --benchmark_out="${OUT}" --benchmark_out_format=json)
+if [[ -n "${MIN_TIME}" ]]; then
+  ARGS+=(--benchmark_min_time="${MIN_TIME}")
+fi
+
+"${BUILD_DIR}/bench/micro_benchmarks" "${ARGS[@]}"
+echo "wrote ${OUT}"

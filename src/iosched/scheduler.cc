@@ -36,19 +36,50 @@ IoScheduler::IoScheduler(sim::EventLoop& loop, ssd::SsdDevice& device,
   if (options_.trace_capacity > 0) {
     trace_ = std::make_unique<obs::TraceRing>(options_.trace_capacity);
   }
+  chunk_ctx_.reserve(static_cast<size_t>(options_.queue_depth));
+}
+
+size_t IoScheduler::LowerBound(TenantId id) const {
+  size_t lo = 0;
+  size_t hi = tenants_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (tenants_[mid].id < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+IoScheduler::Tenant* IoScheduler::FindTenant(TenantId id) {
+  const size_t i = LowerBound(id);
+  return (i < tenants_.size() && tenants_[i].id == id) ? &tenants_[i]
+                                                       : nullptr;
+}
+
+const IoScheduler::Tenant* IoScheduler::FindTenant(TenantId id) const {
+  const size_t i = LowerBound(id);
+  return (i < tenants_.size() && tenants_[i].id == id) ? &tenants_[i]
+                                                       : nullptr;
 }
 
 IoScheduler::Tenant& IoScheduler::GetTenant(TenantId id) {
-  Tenant& t = tenants_[id];
-  if (t.lifecycle == nullptr) {
-    t.lifecycle = std::make_unique<TenantLifecycleStats>();
+  const size_t i = LowerBound(id);
+  if (i < tenants_.size() && tenants_[i].id == id) {
+    return tenants_[i];
   }
-  return t;
+  Tenant t;
+  t.id = id;
+  t.lifecycle = std::make_unique<TenantLifecycleStats>();
+  return *tenants_.insert(tenants_.begin() + static_cast<ptrdiff_t>(i),
+                          std::move(t));
 }
 
 const TenantLifecycleStats* IoScheduler::lifecycle(TenantId tenant) const {
-  const auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? nullptr : it->second.lifecycle.get();
+  const Tenant* t = FindTenant(tenant);
+  return t == nullptr ? nullptr : t->lifecycle.get();
 }
 
 void IoScheduler::SetAllocation(TenantId tenant, double vops_per_sec) {
@@ -57,8 +88,8 @@ void IoScheduler::SetAllocation(TenantId tenant, double vops_per_sec) {
 }
 
 double IoScheduler::Allocation(TenantId tenant) const {
-  const auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? 0.0 : it->second.allocation;
+  const Tenant* t = FindTenant(tenant);
+  return t == nullptr ? 0.0 : t->allocation;
 }
 
 sim::Task<void> IoScheduler::Read(const IoTag& tag, uint64_t offset,
@@ -71,14 +102,60 @@ sim::Task<void> IoScheduler::Write(const IoTag& tag, uint64_t offset,
   return Submit(tag, ssd::IoType::kWrite, offset, size);
 }
 
+IoScheduler::Op* IoScheduler::AllocOp(const IoTag& tag, ssd::IoType type,
+                                      uint64_t offset, uint32_t size) {
+  Op* op;
+  if (!op_free_.empty()) {
+    op = op_free_.back();
+    op_free_.pop_back();
+  } else {
+    op_arena_.emplace_back();
+    op = &op_arena_.back();
+  }
+  op->tag = tag;
+  op->type = type;
+  op->offset = offset;
+  op->size = size;
+  op->dispatched = 0;
+  op->chunks_inflight = 0;
+  op->chunks_total = 0;
+  op->submit_time = loop_.Now();
+  op->first_dispatch = 0;
+  op->done = nullptr;
+  return op;
+}
+
+void IoScheduler::FreeOp(Op* op) {
+  op->done = nullptr;  // recycled Ops must never touch a stale OneShot
+  op_free_.push_back(op);
+}
+
 sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
                                     uint64_t offset, uint32_t size) {
-  assert(size > 0);
   assert(tag.tenant != kInvalidTenant);
   sim::OneShot<bool> done(loop_);
   Tenant& tenant = GetTenant(tag.tenant);  // auto-registers (allocation 0)
-  auto op = std::make_shared<Op>(Op{tag, type, offset, size});
-  op->submit_time = loop_.Now();
+  if (size == 0) {
+    // Zero-size IO: nothing to dispatch or charge. Completes immediately
+    // with zero chunks; recorded in the lifecycle stats so callers can see
+    // the (degenerate) op happened.
+    tenant.lifecycle->Mutable(tag.app, tag.internal).RecordOp(0, 0, 0, 0);
+    if (trace_ != nullptr) {
+      const SimTime now = loop_.Now();
+      trace_->Record({now, obs::TraceEventType::kSubmit, tag.tenant,
+                      static_cast<uint8_t>(tag.app),
+                      static_cast<uint8_t>(tag.internal),
+                      type == ssd::IoType::kWrite, offset, 0, 0, 0, 0});
+      trace_->Record({now, obs::TraceEventType::kComplete, tag.tenant,
+                      static_cast<uint8_t>(tag.app),
+                      static_cast<uint8_t>(tag.internal),
+                      type == ssd::IoType::kWrite, offset, 0, 0, 0, 0});
+    }
+    done.Set(true);
+    co_await done.Wait();
+    co_return;
+  }
+  Op* op = AllocOp(tag, type, offset, size);
   op->done = &done;
   if (trace_ != nullptr) {
     trace_->Record({op->submit_time, obs::TraceEventType::kSubmit, tag.tenant,
@@ -86,7 +163,7 @@ sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
                     static_cast<uint8_t>(tag.internal),
                     type == ssd::IoType::kWrite, offset, size, 0, 0, 0});
   }
-  tenant.queue.push_back(std::move(op));
+  tenant.queue.push_back(op);
   Pump();
   co_await done.Wait();
 }
@@ -101,7 +178,7 @@ uint32_t IoScheduler::NextChunkBytes(const Op& op) const {
 
 size_t IoScheduler::backlog() const {
   size_t n = 0;
-  for (const auto& [id, t] : tenants_) {
+  for (const Tenant& t : tenants_) {
     n += t.queue.size();
   }
   return n;
@@ -110,7 +187,7 @@ size_t IoScheduler::backlog() const {
 bool IoScheduler::NewRound() {
   double weight_sum = 0.0;
   int active = 0;
-  for (const auto& [id, t] : tenants_) {
+  for (const Tenant& t : tenants_) {
     if (t.active()) {
       weight_sum += t.allocation;
       ++active;
@@ -120,7 +197,7 @@ bool IoScheduler::NewRound() {
     return false;
   }
   ++rounds_;
-  for (auto& [id, t] : tenants_) {
+  for (Tenant& t : tenants_) {
     if (!t.active()) {
       // Classic DRR: an idle tenant does not hoard budget (this is what
       // makes the scheduler work-conserving). Debt is kept.
@@ -138,9 +215,19 @@ bool IoScheduler::NewRound() {
   return true;
 }
 
-void IoScheduler::DispatchChunk(Tenant& tenant, TenantId id) {
+uint32_t IoScheduler::AllocChunkCtx() {
+  if (chunk_free_ != kNilIndex) {
+    const uint32_t idx = chunk_free_;
+    chunk_free_ = chunk_ctx_[idx].next_free;
+    return idx;
+  }
+  chunk_ctx_.emplace_back();
+  return static_cast<uint32_t>(chunk_ctx_.size() - 1);
+}
+
+void IoScheduler::DispatchChunk(Tenant& tenant) {
   assert(!tenant.queue.empty());
-  std::shared_ptr<Op> op = tenant.queue.front();
+  Op* op = tenant.queue.front();
   const uint32_t chunk = NextChunkBytes(*op);
   const double cost = cost_model_->Cost(op->type, chunk);
   tenant.deficit -= cost;
@@ -149,8 +236,8 @@ void IoScheduler::DispatchChunk(Tenant& tenant, TenantId id) {
     // First chunk leaves the DRR queue: the queue-wait span ends here.
     op->first_dispatch = loop_.Now();
     if (trace_ != nullptr) {
-      trace_->Record({op->first_dispatch, obs::TraceEventType::kDispatch, id,
-                      static_cast<uint8_t>(op->tag.app),
+      trace_->Record({op->first_dispatch, obs::TraceEventType::kDispatch,
+                      tenant.id, static_cast<uint8_t>(op->tag.app),
                       static_cast<uint8_t>(op->tag.internal),
                       op->type == ssd::IoType::kWrite, op->offset, op->size, 0,
                       0, 0});
@@ -162,43 +249,54 @@ void IoScheduler::DispatchChunk(Tenant& tenant, TenantId id) {
   ++tenant.chunks_inflight;
   ++inflight_;
   if (op->fully_dispatched()) {
-    tenant.queue.pop_front();  // op stays alive via the captured shared_ptr
+    tenant.queue.pop_front();  // op stays alive in the pool until completion
   }
 
+  const uint32_t ctx_idx = AllocChunkCtx();
+  ChunkCtx& ctx = chunk_ctx_[ctx_idx];
+  ctx.op = op;
+  ctx.tenant = tenant.id;
+  ctx.cost = cost;
+  ctx.chunk = chunk;
   device_.Submit(ssd::IoRequest{op->type, chunk_offset, chunk},
-                 [this, op, chunk, cost, id] {
-                   tracker_.RecordIo(op->tag, op->type, chunk, cost);
-                   --op->chunks_inflight;
-                   Tenant& t = tenants_[id];
-                   --t.chunks_inflight;
-                   if (op->fully_dispatched() && op->chunks_inflight == 0) {
-                     const SimTime now = loop_.Now();
-                     const uint64_t queue_wait =
-                         static_cast<uint64_t>(op->first_dispatch -
-                                               op->submit_time);
-                     const uint64_t service =
-                         static_cast<uint64_t>(now - op->first_dispatch);
-                     t.lifecycle->Mutable(op->tag.app, op->tag.internal)
-                         .RecordOp(queue_wait, service, op->chunks_total,
-                                   op->size);
-                     if (trace_ != nullptr) {
-                       trace_->Record({now, obs::TraceEventType::kComplete, id,
-                                       static_cast<uint8_t>(op->tag.app),
-                                       static_cast<uint8_t>(op->tag.internal),
-                                       op->type == ssd::IoType::kWrite,
-                                       op->offset, op->size, op->chunks_total,
-                                       queue_wait, service});
-                     }
-                     op->done->Set(true);
-                   }
-                   --inflight_;
-                   // Deferred so that same-instant worker resumptions (the
-                   // Set above) enqueue their next op first — otherwise a
-                   // closed-loop tenant looks idle for the zero-duration gap
-                   // between completion and resubmission and a round change
-                   // in that gap would wipe its budget.
-                   loop_.Post([this] { Pump(); });
-                 });
+                 [this, ctx_idx] { OnChunkComplete(ctx_idx); });
+}
+
+void IoScheduler::OnChunkComplete(uint32_t index) {
+  // Copy out, then recycle the slot: the Pump below may dispatch into it.
+  const ChunkCtx ctx = chunk_ctx_[index];
+  chunk_ctx_[index].next_free = chunk_free_;
+  chunk_free_ = index;
+
+  Op* op = ctx.op;
+  tracker_.RecordIo(op->tag, op->type, ctx.chunk, ctx.cost);
+  --op->chunks_inflight;
+  Tenant& t = *FindTenant(ctx.tenant);  // tenants are never removed
+  --t.chunks_inflight;
+  if (op->fully_dispatched() && op->chunks_inflight == 0) {
+    const SimTime now = loop_.Now();
+    const uint64_t queue_wait =
+        static_cast<uint64_t>(op->first_dispatch - op->submit_time);
+    const uint64_t service =
+        static_cast<uint64_t>(now - op->first_dispatch);
+    t.lifecycle->Mutable(op->tag.app, op->tag.internal)
+        .RecordOp(queue_wait, service, op->chunks_total, op->size);
+    if (trace_ != nullptr) {
+      trace_->Record({now, obs::TraceEventType::kComplete, ctx.tenant,
+                      static_cast<uint8_t>(op->tag.app),
+                      static_cast<uint8_t>(op->tag.internal),
+                      op->type == ssd::IoType::kWrite, op->offset, op->size,
+                      op->chunks_total, queue_wait, service});
+    }
+    op->done->Set(true);
+    FreeOp(op);  // last reference: recycle for the next Submit
+  }
+  --inflight_;
+  // Deferred so that same-instant worker resumptions (the Set above)
+  // enqueue their next op first — otherwise a closed-loop tenant looks
+  // idle for the zero-duration gap between completion and resubmission
+  // and a round change in that gap would wipe its budget.
+  loop_.Post([this] { Pump(); });
 }
 
 void IoScheduler::Pump() {
@@ -210,36 +308,35 @@ void IoScheduler::Pump() {
   // chunk exceeds the deficit cap cannot spin the round counter.
   int refills_left = 8;
   while (inflight_ < options_.queue_depth) {
-    // Scan the ring from the cursor for an eligible (work + budget) tenant.
+    // Scan the ring from the cursor for an eligible (work + budget) tenant:
+    // a single contiguous rotation over the id-sorted tenant vector.
     Tenant* chosen = nullptr;
-    TenantId chosen_id = 0;
     bool any_queued = false;
-    auto consider = [&](TenantId id, Tenant& t) {
-      if (chosen != nullptr || t.queue.empty()) {
-        return;
+    const size_t n = tenants_.size();
+    const size_t start = LowerBound(ring_cursor_);
+    for (size_t k = 0; k < n; ++k) {
+      size_t i = start + k;
+      if (i >= n) {
+        i -= n;
+      }
+      Tenant& t = tenants_[i];
+      if (t.queue.empty()) {
+        continue;
       }
       any_queued = true;
       const Op& head = *t.queue.front();
       const double cost = cost_model_->Cost(head.type, NextChunkBytes(head));
       if (t.deficit + kEps >= cost) {
         chosen = &t;
-        chosen_id = id;
+        break;
       }
-    };
-    for (auto it = tenants_.lower_bound(ring_cursor_); it != tenants_.end();
-         ++it) {
-      consider(it->first, it->second);
-    }
-    for (auto it = tenants_.begin();
-         it != tenants_.end() && it->first < ring_cursor_; ++it) {
-      consider(it->first, it->second);
     }
 
     if (chosen != nullptr) {
       // DRR: keep serving this tenant while it stays eligible (the cursor
       // only moves past it when it runs out of budget or work).
-      ring_cursor_ = chosen_id;
-      DispatchChunk(*chosen, chosen_id);
+      ring_cursor_ = chosen->id;
+      DispatchChunk(*chosen);
       continue;
     }
 
@@ -251,7 +348,7 @@ void IoScheduler::Pump() {
     // in-flight work: its closed-loop workers will resubmit on completion,
     // and refilling now would let cheap-op tenants outrun their shares.
     bool holds_round_open = false;
-    for (const auto& [id, t] : tenants_) {
+    for (const Tenant& t : tenants_) {
       if (t.chunks_inflight > 0 && t.queue.empty() &&
           t.deficit > kMinChunkCostVops) {
         holds_round_open = true;
@@ -266,9 +363,9 @@ void IoScheduler::Pump() {
       // Refills exhausted or impossible: force the ring-next queued tenant
       // into debt so the scheduler always makes progress (the debt is
       // repaid out of future quanta, preserving long-run proportions).
-      for (auto& [id, t] : tenants_) {
+      for (Tenant& t : tenants_) {
         if (!t.queue.empty()) {
-          DispatchChunk(t, id);
+          DispatchChunk(t);
           break;
         }
       }

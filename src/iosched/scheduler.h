@@ -34,7 +34,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -138,27 +137,32 @@ class IoScheduler {
   const obs::TraceRing* trace() const { return trace_.get(); }
 
  private:
+  // Ops live in a scheduler-owned pool (op_arena_ + op_free_) and are
+  // recycled when the last chunk completes — no per-IO allocation after the
+  // pool warms up. Raw Op* are safe: the pool outlives every queue entry
+  // and in-flight chunk context, and an Op is only freed at its single
+  // completion point.
   struct Op {
     IoTag tag;
     ssd::IoType type;
     uint64_t offset;
     uint32_t size;
-    uint32_t dispatched = 0;      // bytes handed to the device
-    uint32_t chunks_inflight = 0;
-    uint32_t chunks_total = 0;    // chunks dispatched over the op's lifetime
-    SimTime submit_time = 0;
-    SimTime first_dispatch = 0;   // valid once dispatched > 0
-    sim::OneShot<bool>* done = nullptr;
+    uint32_t dispatched;       // bytes handed to the device
+    uint32_t chunks_inflight;
+    uint32_t chunks_total;     // chunks dispatched over the op's lifetime
+    SimTime submit_time;
+    SimTime first_dispatch;    // valid once dispatched > 0
+    sim::OneShot<bool>* done;
 
     bool fully_dispatched() const { return dispatched >= size; }
   };
 
   struct Tenant {
+    TenantId id = 0;
     double allocation = 0.0;  // VOP/s (DRR weight)
     double deficit = 0.0;     // VOPs available now
     int chunks_inflight = 0;  // dispatched, not yet completed
-    // shared_ptr: in-flight chunk completions outlive the queue slot.
-    std::deque<std::shared_ptr<Op>> queue;
+    std::deque<Op*> queue;    // owned by the op pool
     // Heap-allocated (large: fixed histogram arrays); created once at
     // tenant registration, then updated allocation-free.
     std::unique_ptr<TenantLifecycleStats> lifecycle;
@@ -168,8 +172,22 @@ class IoScheduler {
     bool active() const { return !queue.empty() || chunks_inflight > 0; }
   };
 
+  // Tenants sit in a dense vector kept sorted by id, so Pump()/NewRound()
+  // iterate contiguously; the sort order makes the DRR ring scan identical
+  // to the previous std::map iteration (deterministic round-robin order).
+  // Registration (rare) inserts in the middle; the hot paths only scan.
+  Tenant* FindTenant(TenantId id);
+  const Tenant* FindTenant(TenantId id) const;
+
   // Find-or-create with lifecycle stats attached.
   Tenant& GetTenant(TenantId id);
+
+  // Index of the first tenant with id >= `id` (== tenants_.size() if none).
+  size_t LowerBound(TenantId id) const;
+
+  Op* AllocOp(const IoTag& tag, ssd::IoType type, uint64_t offset,
+              uint32_t size);
+  void FreeOp(Op* op);
 
   sim::Task<void> Submit(const IoTag& tag, ssd::IoType type, uint64_t offset,
                          uint32_t size);
@@ -183,7 +201,21 @@ class IoScheduler {
   // Replenishes deficits; returns true if any tenant became eligible.
   bool NewRound();
 
-  void DispatchChunk(Tenant& tenant, TenantId id);
+  void DispatchChunk(Tenant& tenant);
+
+  // Per-chunk completion context, recycled through a free list (live
+  // entries bounded by queue_depth). The device completion callback
+  // captures only {this, index} — one reused record per chunk slot instead
+  // of a fresh closure per dispatch.
+  struct ChunkCtx {
+    Op* op = nullptr;
+    TenantId tenant = 0;
+    double cost = 0.0;
+    uint32_t chunk = 0;
+    uint32_t next_free = 0;
+  };
+  uint32_t AllocChunkCtx();
+  void OnChunkComplete(uint32_t index);
 
   sim::EventLoop& loop_;
   ssd::SsdDevice& device_;
@@ -191,9 +223,15 @@ class IoScheduler {
   SchedulerOptions options_;
   ResourceTracker tracker_;
 
-  // std::map keeps round-robin order deterministic across runs.
-  std::map<TenantId, Tenant> tenants_;
-  TenantId ring_cursor_ = 0;  // tenant id to consider next
+  std::vector<Tenant> tenants_;  // sorted by Tenant::id
+  TenantId ring_cursor_ = 0;     // tenant id to consider next
+
+  std::deque<Op> op_arena_;  // stable addresses; Op* handles circulate
+  std::vector<Op*> op_free_;
+
+  static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
+  std::vector<ChunkCtx> chunk_ctx_;
+  uint32_t chunk_free_ = kNilIndex;
 
   int inflight_ = 0;
   uint64_t rounds_ = 0;

@@ -37,9 +37,24 @@ void PutLengthPrefixed(std::string* dst, std::string_view s);
 bool GetLengthPrefixed(std::string_view src, size_t* offset,
                        std::string_view* out);
 
-// --- CRC32 (Castagnoli polynomial, table-driven) ---
+// --- CRC32 (Castagnoli polynomial) ---
+//
+// Computed slice-by-8 in software, or with the CPU's CRC32C instructions
+// (SSE4.2 / ARMv8 CRC) when the host supports them; the implementation is
+// picked once at startup and both produce identical values (the classic
+// reflected CRC32C, e.g. Crc32("123456789") == 0xE3069283).
 
 uint32_t Crc32(std::string_view data);
+
+namespace internal {
+
+// Exposed so tests can pin both paths to the golden vectors regardless of
+// which one the runtime dispatch picks.
+uint32_t Crc32Software(std::string_view data);
+uint32_t Crc32Hardware(std::string_view data);  // valid only if supported
+bool HasHardwareCrc32();
+
+}  // namespace internal
 
 // --- internal key ordering ---
 

@@ -6,48 +6,118 @@
 
 namespace libra::sim {
 
+uint32_t EventLoop::AllocSlot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.Reset();
+  s.live = false;
+  // Generation bump invalidates any EventId still referring to this slot.
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventLoop::EventId EventLoop::ScheduleAt(SimTime when, Callback cb) {
   assert(cb);
   if (when < now_) {
     when = now_;
   }
-  const EventId id = next_id_++;
-  heap_.push_back(Event{when, next_seq_++, id, std::move(cb)});
+  const uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.live = true;
+  const uint32_t gen = s.gen;
+  heap_.push_back(HeapEntry{when, next_seq_++, slot, gen});
   std::push_heap(heap_.begin(), heap_.end());
-  return id;
+  ++live_events_;
+  return MakeId(slot, gen);
 }
 
 void EventLoop::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) {
+  if (id == 0) {
     return;
   }
-  cancelled_.insert(id);
+  const uint32_t slot = static_cast<uint32_t>(id & 0xFFFFFFFFu) - 1;
+  if (slot >= slots_.size()) {
+    return;
+  }
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != static_cast<uint32_t>(id >> 32)) {
+    return;  // already fired, already cancelled, or a stale id
+  }
+  s.live = false;
+  s.cb.Reset();  // release captures eagerly; the heap entry dies lazily
+  --live_events_;
+  ++dead_entries_;
+  CompactIfWorthwhile();
 }
 
-bool EventLoop::PopNext(Event& out) {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    const auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+void EventLoop::CompactIfWorthwhile() {
+  // Lazy cancellation leaves dead entries in the heap until they surface.
+  // A workload that schedules far-future timeouts and cancels them (timer
+  // wheels) would otherwise grow the heap without bound; once dead entries
+  // are the majority, rebuild. Amortized O(1) per cancel.
+  if (heap_.size() < 64 || dead_entries_ * 2 < heap_.size()) {
+    return;
+  }
+  auto dead = [this](const HeapEntry& e) {
+    if (slots_[e.slot].live) {
+      return false;
     }
-    out = std::move(ev);
+    FreeSlot(e.slot);
     return true;
+  };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end());
+  dead_entries_ = 0;
+}
+
+bool EventLoop::SkimCancelled() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    // A slot is freed only when its (unique) heap entry is removed, so the
+    // generations always agree here.
+    assert(slots_[top.slot].gen == top.gen);
+    if (slots_[top.slot].live) {
+      return true;
+    }
+    FreeSlot(top.slot);
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    --dead_entries_;
   }
   return false;
+}
+
+EventLoop::Callback EventLoop::TakeTop() {
+  std::pop_heap(heap_.begin(), heap_.end());
+  const HeapEntry e = heap_.back();
+  heap_.pop_back();
+  assert(e.when >= now_);
+  now_ = e.when;
+  // Move the callback out before freeing: the callback may schedule new
+  // events and grow slots_, invalidating references.
+  Callback cb = std::move(slots_[e.slot].cb);
+  FreeSlot(e.slot);
+  --live_events_;
+  return cb;
 }
 
 uint64_t EventLoop::Run() {
   stopped_ = false;
   uint64_t dispatched = 0;
-  Event ev;
-  while (!stopped_ && PopNext(ev)) {
-    assert(ev.when >= now_);
-    now_ = ev.when;
-    ev.cb();
+  while (!stopped_ && SkimCancelled()) {
+    Callback cb = TakeTop();
+    cb();
     ++dispatched;
   }
   return dispatched;
@@ -57,19 +127,11 @@ uint64_t EventLoop::RunUntil(SimTime deadline) {
   stopped_ = false;
   uint64_t dispatched = 0;
   while (!stopped_) {
-    // Peek: find the earliest live event without committing to running it.
-    Event ev;
-    if (!PopNext(ev)) {
+    if (!SkimCancelled() || heap_.front().when > deadline) {
       break;
     }
-    if (ev.when > deadline) {
-      // Put it back; it belongs to a later epoch.
-      heap_.push_back(std::move(ev));
-      std::push_heap(heap_.begin(), heap_.end());
-      break;
-    }
-    now_ = ev.when;
-    ev.cb();
+    Callback cb = TakeTop();
+    cb();
     ++dispatched;
   }
   if (now_ < deadline && !stopped_) {
@@ -79,12 +141,11 @@ uint64_t EventLoop::RunUntil(SimTime deadline) {
 }
 
 bool EventLoop::RunOne() {
-  Event ev;
-  if (!PopNext(ev)) {
+  if (!SkimCancelled()) {
     return false;
   }
-  now_ = ev.when;
-  ev.cb();
+  Callback cb = TakeTop();
+  cb();
   return true;
 }
 

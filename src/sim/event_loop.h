@@ -5,23 +5,32 @@
 // run is deterministic given the workload seeds. The loop dispatches events
 // in (time, insertion-order) order; callbacks run with the clock set to the
 // event's timestamp.
+//
+// Hot-path design (every simulated IO chunk is at least one event here):
+//  - Callbacks are SmallFn: captures up to 48 bytes live inline, so
+//    scheduling performs no heap allocation.
+//  - The heap orders 24-byte POD entries {when, seq, slot|gen}; the callback
+//    itself sits in a slot table and is never moved by sift operations.
+//  - Cancellation is lazy: Cancel() is O(1) — it clears the slot's live bit
+//    (destroying the callback eagerly) and the dead heap entry is discarded
+//    when it surfaces. Slot generations make stale EventIds harmless, and a
+//    compaction pass bounds the number of dead entries, so repeated
+//    schedule/cancel patterns (timeouts) cannot grow the heap without bound.
 
 #ifndef LIBRA_SRC_SIM_EVENT_LOOP_H_
 #define LIBRA_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
-#include <functional>
-#include <limits>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/sim/small_fn.h"
 
 namespace libra::sim {
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
   using EventId = uint64_t;
 
   EventLoop() = default;
@@ -43,8 +52,8 @@ class EventLoop {
   // for this instant.
   EventId Post(Callback cb) { return ScheduleAt(now_, std::move(cb)); }
 
-  // Cancels a pending event. Cancelling an already-fired or unknown id is a
-  // no-op.
+  // Cancels a pending event in O(1). Cancelling an already-fired, already-
+  // cancelled, or unknown id is a no-op.
   void Cancel(EventId id);
 
   // Runs events until the queue drains (or Stop() is called). Returns the
@@ -64,18 +73,21 @@ class EventLoop {
   // Makes Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 
-  bool empty() const { return heap_.size() == cancelled_.size(); }
-  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  // Live (scheduled, not yet fired or cancelled) events. Cancelled entries
+  // still awaiting lazy removal from the heap are not counted.
+  bool empty() const { return live_events_ == 0; }
+  size_t pending_events() const { return live_events_; }
 
  private:
-  struct Event {
+  // POD heap entry: sift operations move 24 bytes with no callback traffic.
+  struct HeapEntry {
     SimTime when;
     uint64_t seq;  // tie-break: FIFO at equal timestamps
-    EventId id;
-    Callback cb;
+    uint32_t slot;
+    uint32_t gen;
 
     // Min-heap via std::push_heap's max-heap comparator inversion.
-    bool operator<(const Event& other) const {
+    bool operator<(const HeapEntry& other) const {
       if (when != other.when) {
         return when > other.when;
       }
@@ -83,15 +95,43 @@ class EventLoop {
     }
   };
 
-  // Pops the earliest non-cancelled event; returns false when empty.
-  bool PopNext(Event& out);
+  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    Callback cb;
+    uint32_t gen = 0;
+    uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    // slot+1 keeps 0 an always-invalid id.
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+
+  // Pops cancelled entries off the heap top; returns false when no live
+  // event remains. On true, heap_.front() is the next live event.
+  bool SkimCancelled();
+
+  // Pops heap_.front() (must be live) and returns its callback with the
+  // slot freed; sets now_ to the event time.
+  Callback TakeTop();
+
+  // Rebuilds the heap without dead entries once they dominate it.
+  void CompactIfWorthwhile();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   bool stopped_ = false;
-  std::vector<Event> heap_;
-  std::unordered_set<EventId> cancelled_;
+  size_t live_events_ = 0;
+  size_t dead_entries_ = 0;  // cancelled, still in heap_
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace libra::sim

@@ -1,0 +1,136 @@
+// Move-only `void()` callable with inline storage — the event-loop and
+// device-completion callback type.
+//
+// The simulator schedules one event per IO chunk, so callback plumbing is a
+// first-order cost of every experiment. std::function pays a heap
+// allocation (libstdc++: captures > 16 bytes) plus an indirect manager call
+// per move; SmallFn stores captures up to kInlineBytes in place and moves
+// trivially-copyable captures with memcpy, so the schedule/dispatch path
+// performs no allocations at all. Captures larger than kInlineBytes still
+// work — they fall back to a single heap cell — but the hot paths
+// (scheduler chunk completions, device completion events, coroutine
+// resumptions) are all sized to fit inline.
+
+#ifndef LIBRA_SRC_SIM_SMALL_FN_H_
+#define LIBRA_SRC_SIM_SMALL_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace libra::sim {
+
+class SmallFn {
+ public:
+  // Budgeted for the largest hot-path capture (scheduler/device completion
+  // contexts: a this-pointer, a request, and a couple of words of state).
+  static constexpr size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): callback sink
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  // Destroys the stored callable (eagerly releasing captures); the SmallFn
+  // becomes empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) {
+        ops_->destroy(buf_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the stored callable lives in the inline buffer (test hook for
+  // the no-allocation guarantee).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // nullptr => the buffer is relocated with memcpy.
+    void (*relocate)(void* dst, void* src);
+    // nullptr => trivially destructible.
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static D* Stored(void* p) {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*Stored<D>(p))(); },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              D* s = Stored<D>(src);
+              ::new (dst) D(std::move(*s));
+              s->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* p) { Stored<D>(p)->~D(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**Stored<D*>(p))(); },
+      nullptr,  // relocating the owning pointer is a memcpy
+      [](void* p) { delete *Stored<D*>(p); },
+      /*inline_storage=*/false,
+  };
+
+  void MoveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate == nullptr) {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      } else {
+        ops_->relocate(buf_, other.buf_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace libra::sim
+
+#endif  // LIBRA_SRC_SIM_SMALL_FN_H_

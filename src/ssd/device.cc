@@ -172,17 +172,39 @@ void SsdDevice::Submit(const IoRequest& req, CompletionFn done) {
   }
 
   assert(completion >= t_submit);
-  loop_.ScheduleAt(completion, [this, req, done = std::move(done)] {
-    UpdateInflight(-1);
-    if (req.type == IoType::kRead) {
-      ++reads_completed_;
-      read_bytes_ += req.size;
-    } else {
-      ++writes_completed_;
-      write_bytes_ += req.size;
-    }
-    done();
-  });
+  const uint32_t idx = AllocPending();
+  PendingIo& pending = pending_[idx];
+  pending.done = std::move(done);
+  pending.type = req.type;
+  pending.size = req.size;
+  loop_.ScheduleAt(completion, [this, idx] { CompleteIo(idx); });
+}
+
+uint32_t SsdDevice::AllocPending() {
+  if (pending_free_ != kNilPending) {
+    const uint32_t idx = pending_free_;
+    pending_free_ = pending_[idx].next_free;
+    return idx;
+  }
+  pending_.emplace_back();
+  return static_cast<uint32_t>(pending_.size() - 1);
+}
+
+void SsdDevice::CompleteIo(uint32_t index) {
+  UpdateInflight(-1);
+  // Move the callback out before recycling: it may submit a new IO and
+  // reuse (or grow) the pending table.
+  CompletionFn done = std::move(pending_[index].done);
+  if (pending_[index].type == IoType::kRead) {
+    ++reads_completed_;
+    read_bytes_ += pending_[index].size;
+  } else {
+    ++writes_completed_;
+    write_bytes_ += pending_[index].size;
+  }
+  pending_[index].next_free = pending_free_;
+  pending_free_ = index;
+  done();
 }
 
 sim::Task<void> SsdDevice::SubmitAwait(IoRequest req) {

@@ -28,12 +28,12 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/common/units.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/small_fn.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/ssd/ftl.h"
@@ -67,7 +67,9 @@ struct DeviceStats {
 
 class SsdDevice {
  public:
-  using CompletionFn = std::function<void()>;
+  // Inline-storage callback: completions are pooled in the device (see
+  // pending_ below), so submitting an IO performs no heap allocation.
+  using CompletionFn = sim::SmallFn;
 
   SsdDevice(sim::EventLoop& loop, DeviceProfile profile,
             DeviceOptions options = {});
@@ -111,6 +113,20 @@ class SsdDevice {
 
   SimDuration GcPageCost() const;
 
+  // In-flight completion records, recycled through a free list. The
+  // completion event captures only {this, index}, which fits the event
+  // loop's inline callback storage; the record itself holds the caller's
+  // callback and the fields the completion path needs. Live records are
+  // bounded by the in-flight IO count (the scheduler's queue depth).
+  struct PendingIo {
+    CompletionFn done;
+    IoType type = IoType::kRead;
+    uint32_t size = 0;
+    uint32_t next_free = 0;
+  };
+  uint32_t AllocPending();
+  void CompleteIo(uint32_t index);
+
   sim::EventLoop& loop_;
   DeviceProfile profile_;
   DeviceOptions options_;
@@ -128,6 +144,10 @@ class SsdDevice {
 
   // Advances the queue-depth time integral to now, then applies `delta`.
   void UpdateInflight(int delta);
+
+  std::vector<PendingIo> pending_;
+  uint32_t pending_free_ = kNilPending;
+  static constexpr uint32_t kNilPending = 0xFFFFFFFFu;
 
   int inflight_ = 0;
   // Queue-depth integral: sum of inflight * dt since construction, for the

@@ -376,5 +376,134 @@ TEST(SchedulerTest, TracingDisabledByDefault) {
   EXPECT_EQ(rig.sched.trace(), nullptr);
 }
 
+// --- chunking boundary cases ---
+
+// Helper: one awaited read of `size`, returning the tenant's chunk count
+// from lifecycle stats.
+uint64_t ChunksForRead(Rig& rig, uint32_t size) {
+  rig.sched.SetAllocation(0, 100000.0);
+  auto t = [&]() -> sim::Task<void> {
+    co_await rig.sched.Read({0, AppRequest::kGet, InternalOp::kNone}, 0, size);
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  const TenantLifecycleStats* stats = rig.sched.lifecycle(0);
+  EXPECT_NE(stats, nullptr);
+  const obs::IoClassStats* cls = stats->of(AppRequest::kGet, InternalOp::kNone);
+  EXPECT_NE(cls, nullptr);
+  EXPECT_EQ(cls->ops, 1u);
+  EXPECT_EQ(cls->bytes, size);
+  return cls->chunks;
+}
+
+TEST(SchedulerTest, IoOfExactlyChunkBytesIsOneChunk) {
+  Rig rig;
+  const uint32_t chunk = SchedulerOptions{}.chunk_bytes;
+  EXPECT_EQ(ChunksForRead(rig, chunk), 1u);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_ops, 1u);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_bytes, chunk);
+}
+
+TEST(SchedulerTest, IoOneByteOverChunkBytesSplitsInTwo) {
+  Rig rig;
+  const uint32_t chunk = SchedulerOptions{}.chunk_bytes;
+  EXPECT_EQ(ChunksForRead(rig, chunk + 1), 2u);
+  // Physical split: a full chunk plus a 1-byte remainder.
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_ops, 2u);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_bytes, chunk + 1u);
+}
+
+TEST(SchedulerTest, IoOneByteUnderChunkBytesIsOneChunk) {
+  Rig rig;
+  const uint32_t chunk = SchedulerOptions{}.chunk_bytes;
+  EXPECT_EQ(ChunksForRead(rig, chunk - 1), 1u);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_ops, 1u);
+}
+
+TEST(SchedulerTest, ZeroSizeIoCompletesImmediately) {
+  Rig rig;
+  rig.sched.SetAllocation(0, 1000.0);
+  bool done = false;
+  auto t = [&]() -> sim::Task<void> {
+    co_await rig.sched.Read({0, AppRequest::kGet, InternalOp::kNone}, 0, 0);
+    done = true;
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.sched.inflight(), 0);
+  EXPECT_EQ(rig.sched.backlog(), 0u);
+  // No physical IO, no VOPs charged; the lifecycle op is recorded with
+  // zero chunks and bytes.
+  EXPECT_EQ(rig.sched.tracker().Stats(0).read_ops, 0u);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).vops, 0.0);
+  const TenantLifecycleStats* stats = rig.sched.lifecycle(0);
+  ASSERT_NE(stats, nullptr);
+  const obs::IoClassStats* cls = stats->of(AppRequest::kGet, InternalOp::kNone);
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->ops, 1u);
+  EXPECT_EQ(cls->chunks, 0u);
+  EXPECT_EQ(cls->bytes, 0u);
+}
+
+// Op-pool recycling: many sequential awaited ops circulate through the same
+// pooled Op slots; each op's OneShot must complete exactly once (a recycled
+// Op double-completing a waiter would either resume a dead coroutine or
+// complete a later op early — both show up here as a wrong count or crash).
+TEST(SchedulerTest, OpPoolRecyclingNeverDoubleCompletes) {
+  Rig rig;
+  rig.sched.SetAllocation(0, 100000.0);
+  int completions = 0;
+  auto t = [&]() -> sim::Task<void> {
+    for (int i = 0; i < 200; ++i) {
+      // Mix sizes so recycled Ops see different chunk counts (1 and 3).
+      const uint32_t size = (i % 2 == 0) ? 4096u : 300u * 1024u;
+      co_await rig.sched.Read({0, AppRequest::kGet, InternalOp::kNone},
+                              static_cast<uint64_t>(i) * kMiB, size);
+      ++completions;
+    }
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  EXPECT_EQ(completions, 200);
+  EXPECT_EQ(rig.sched.inflight(), 0);
+  EXPECT_EQ(rig.sched.backlog(), 0u);
+  const obs::IoClassStats* cls =
+      rig.sched.lifecycle(0)->of(AppRequest::kGet, InternalOp::kNone);
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->ops, 200u);
+  EXPECT_EQ(cls->chunks, 100u * 1u + 100u * 3u);
+}
+
+TEST(SchedulerTest, ConcurrentTenantsRecyclePooledOpsCleanly) {
+  Rig rig;
+  const SimTime end = 300 * kMillisecond;
+  {
+    sim::TaskGroup group(rig.loop);
+    for (int t = 0; t < 4; ++t) {
+      rig.sched.SetAllocation(t, 1000.0);
+      for (int w = 0; w < 4; ++w) {
+        group.Spawn(rig.Worker(t, t % 2 == 0 ? ssd::IoType::kRead
+                                             : ssd::IoType::kWrite,
+                               t % 2 == 0 ? 4 * 1024 : 256 * 1024, end));
+      }
+    }
+    rig.loop.Run();
+  }
+  EXPECT_EQ(rig.sched.inflight(), 0);
+  EXPECT_EQ(rig.sched.backlog(), 0u);
+  // Every submitted op completed exactly once: per-class op counts match
+  // the all-classes aggregate, and byte totals reconcile.
+  for (int t = 0; t < 4; ++t) {
+    const TenantLifecycleStats* stats = rig.sched.lifecycle(t);
+    ASSERT_NE(stats, nullptr);
+    const obs::IoClassStats agg = stats->Aggregate();
+    EXPECT_GT(agg.ops, 0u);
+    EXPECT_GE(agg.chunks, agg.ops);
+    const auto& s = rig.sched.tracker().Stats(t);
+    EXPECT_EQ(agg.bytes, s.read_bytes + s.write_bytes);
+  }
+}
+
 }  // namespace
 }  // namespace libra::iosched

@@ -53,6 +53,58 @@ TEST(FormatTest, Crc32KnownVector) {
   EXPECT_EQ(Crc32(""), 0u);
 }
 
+// RFC 3720 (iSCSI) CRC32C test vectors plus short-tail cases, pinned on
+// every implementation path the host has: the slice-by-8 software path
+// always, and the hardware (SSE4.2 / ARMv8 CRC) path when supported —
+// whichever the public Crc32 dispatches to must agree byte-for-byte.
+TEST(FormatTest, Crc32GoldenVectorsOnAllPaths) {
+  struct Vector {
+    std::string data;
+    uint32_t crc;
+  };
+  std::string ascending(32, '\0');
+  std::string descending(32, '\0');
+  for (int i = 0; i < 32; ++i) {
+    ascending[i] = static_cast<char>(i);
+    descending[i] = static_cast<char>(31 - i);
+  }
+  const Vector vectors[] = {
+      {"", 0x00000000u},
+      {"a", 0xC1D04330u},
+      {"123456789", 0xE3069283u},
+      {std::string(32, '\0'), 0x8A9136AAu},
+      {std::string(32, '\xff'), 0x62A8AB43u},
+      {ascending, 0x46DD794Eu},
+      {descending, 0x113FDB5Cu},
+  };
+  for (const Vector& v : vectors) {
+    EXPECT_EQ(Crc32(v.data), v.crc) << "dispatch, len=" << v.data.size();
+    EXPECT_EQ(internal::Crc32Software(v.data), v.crc)
+        << "software, len=" << v.data.size();
+    if (internal::HasHardwareCrc32()) {
+      EXPECT_EQ(internal::Crc32Hardware(v.data), v.crc)
+          << "hardware, len=" << v.data.size();
+    }
+  }
+}
+
+// Unaligned starts and every tail length 0..8 — exercises the 8-byte main
+// loop plus the 4/2/1-byte tail handling of both implementations.
+TEST(FormatTest, Crc32PathsAgreeOnArbitraryLengths) {
+  std::string data(4096 + 9, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>((i * 131) ^ (i >> 3));
+  }
+  for (size_t len : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 63u, 64u, 4096u, 4105u}) {
+    const std::string_view slice(data.data(), len);
+    const uint32_t sw = internal::Crc32Software(slice);
+    EXPECT_EQ(Crc32(slice), sw) << "len=" << len;
+    if (internal::HasHardwareCrc32()) {
+      EXPECT_EQ(internal::Crc32Hardware(slice), sw) << "len=" << len;
+    }
+  }
+}
+
 TEST(FormatTest, Crc32DetectsCorruption) {
   std::string a = "some payload";
   std::string b = a;

@@ -125,6 +125,119 @@ TEST(EventLoopTest, RunOneDispatchesSingleEvent) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(EventLoopTest, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  int fired = 0;
+  const auto id = loop.ScheduleAt(10, [&] { ++fired; });
+  loop.ScheduleAt(20, [&] { ++fired; });
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+  // The id's slot has been recycled; cancelling it must not disturb
+  // anything scheduled afterwards.
+  loop.Cancel(id);
+  bool later = false;
+  loop.ScheduleAt(30, [&] { later = true; });
+  loop.Cancel(id);  // again, with a live event in the (possibly reused) slot
+  loop.Run();
+  EXPECT_TRUE(later);
+}
+
+TEST(EventLoopTest, StaleIdCannotCancelSlotReuse) {
+  EventLoop loop;
+  bool first = false;
+  const auto id = loop.ScheduleAt(10, [&] { first = true; });
+  loop.Run();
+  EXPECT_TRUE(first);
+  // The new event likely reuses the fired event's slot; the stale id must
+  // not hit it (generations differ).
+  bool second = false;
+  loop.ScheduleAt(20, [&] { second = true; });
+  loop.Cancel(id);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Run();
+  EXPECT_TRUE(second);
+}
+
+TEST(EventLoopTest, DoubleCancelIsNoop) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.ScheduleAt(10, [&] { fired = true; });
+  loop.Cancel(id);
+  loop.Cancel(id);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.Run(), 0u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, PendingCountExactUnderLazyCancellation) {
+  EventLoop loop;
+  std::vector<EventLoop::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(loop.ScheduleAt(10 + i, [] {}));
+  }
+  EXPECT_EQ(loop.pending_events(), 10u);
+  // Cancel every other one: the count must drop immediately even though
+  // the heap entries are removed lazily.
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    loop.Cancel(ids[i]);
+  }
+  EXPECT_EQ(loop.pending_events(), 5u);
+  EXPECT_FALSE(loop.empty());
+  EXPECT_EQ(loop.Run(), 5u);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoopTest, EmptyTrueWhenAllPendingCancelled) {
+  EventLoop loop;
+  const auto a = loop.ScheduleAt(10, [] {});
+  const auto b = loop.ScheduleAt(20, [] {});
+  loop.Cancel(a);
+  loop.Cancel(b);
+  // Dead entries may still sit in the heap, but no live work remains.
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.Run(), 0u);
+}
+
+TEST(EventLoopTest, ScheduleCancelChurnDoesNotLeakBookkeeping) {
+  // Timeout pattern: every round schedules a far-future timeout and cancels
+  // the previous one. Lazy cancellation must compact, and the live count
+  // must stay exact throughout.
+  EventLoop loop;
+  EventLoop::EventId prev = 0;
+  int timeouts_fired = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (prev != 0) {
+      loop.Cancel(prev);
+    }
+    prev = loop.ScheduleAt(1000000 + i, [&] { ++timeouts_fired; });
+    EXPECT_EQ(loop.pending_events(), 1u);
+  }
+  EXPECT_EQ(loop.Run(), 1u);  // only the last timeout survives
+  EXPECT_EQ(timeouts_fired, 1);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, CancelInterleavedWithDispatchKeepsOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventLoop::EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(loop.ScheduleAt(10 * (i + 1), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  // Cancel 1, 3, 5, 7 from inside event 0.
+  loop.ScheduleAt(5, [&] {
+    for (size_t i = 1; i < ids.size(); i += 2) {
+      loop.Cancel(ids[i]);
+    }
+  });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6}));
+}
+
 TEST(EventLoopTest, ManyEventsStressOrdering) {
   EventLoop loop;
   SimTime last = -1;

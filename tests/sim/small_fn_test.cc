@@ -1,0 +1,96 @@
+#include "src/sim/small_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace libra::sim {
+namespace {
+
+TEST(SmallFnTest, DefaultConstructedIsEmpty) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFnTest, SmallCaptureStoredInline) {
+  int x = 0;
+  SmallFn fn([&x] { ++x; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(SmallFnTest, CaptureUpToInlineLimitStaysInline) {
+  struct Blob {
+    char bytes[SmallFn::kInlineBytes - sizeof(int*)];
+  };
+  int hits = 0;
+  int* counter = &hits;
+  Blob blob{};
+  blob.bytes[0] = 7;
+  SmallFn fn([counter, blob] { *counter += blob.bytes[0]; });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(SmallFnTest, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[SmallFn::kInlineBytes + 1];
+  };
+  int hits = 0;
+  int* counter = &hits;
+  Big big{};
+  big.bytes[0] = 3;
+  SmallFn fn([counter, big] { *counter += big.bytes[0]; });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(SmallFnTest, NonTriviallyCopyableCaptureWorks) {
+  auto owned = std::make_shared<int>(5);
+  std::weak_ptr<int> weak = owned;
+  int got = 0;
+  {
+    SmallFn fn([owned, &got] { got = *owned; });
+    owned.reset();
+    EXPECT_FALSE(weak.expired());  // the closure keeps it alive
+    fn();
+    EXPECT_EQ(got, 5);
+  }
+  EXPECT_TRUE(weak.expired());  // destroyed with the SmallFn
+}
+
+TEST(SmallFnTest, MoveTransfersOwnership) {
+  auto owned = std::make_shared<int>(9);
+  std::weak_ptr<int> weak = owned;
+  int got = 0;
+  SmallFn a([owned, &got] { got = *owned; });
+  owned.reset();
+  SmallFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(got, 9);
+  b.Reset();
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(SmallFnTest, MoveAssignReleasesPreviousTarget) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> weak_first = first;
+  SmallFn a([first] { (void)first; });
+  first.reset();
+  SmallFn b([] {});
+  a = std::move(b);
+  EXPECT_TRUE(weak_first.expired());  // old closure destroyed on assignment
+  EXPECT_TRUE(static_cast<bool>(a));
+  a();
+}
+
+}  // namespace
+}  // namespace libra::sim

@@ -67,7 +67,7 @@ double RunMixedCell(const ssd::DeviceProfile& profile, const AblationSpec& ab,
 
 int main(int argc, char** argv) {
   using namespace libra::bench;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   const auto profile = libra::ssd::Intel320Profile();
 
   AblationSpec specs[4];

@@ -66,7 +66,7 @@ void WriteStatsFile() {
 
 }  // namespace
 
-BenchArgs ParseArgs(int argc, char** argv) {
+BenchArgs ParseCommonFlags(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
@@ -81,11 +81,14 @@ BenchArgs ParseArgs(int argc, char** argv) {
         const unsigned hw = std::thread::hardware_concurrency();
         args.jobs = hw > 0 ? static_cast<int>(hw) : 1;
       }
+    } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      args.nodes = std::max(1, std::atoi(argv[i] + 8));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "flags: --full (paper-size grids)  --csv (CSV output)  "
           "--stats-json=PATH (JSON stats snapshot)  "
-          "--jobs=N (parallel sweep workers; 0 = all cores)\n");
+          "--jobs=N (parallel sweep workers; 0 = all cores)  "
+          "--nodes=N (cluster size, multi-node benches)\n");
     }
   }
   if (!args.stats_json.empty() && g_stats == nullptr) {

@@ -26,9 +26,19 @@ struct BenchArgs {
   bool csv = false;         // CSV instead of aligned text
   std::string stats_json;   // --stats-json=PATH: machine-readable snapshot
   int jobs = 1;             // --jobs=N: worker threads for sweeps (0 = all cores)
+  int nodes = 4;            // --nodes=N: cluster size (multi-node benches)
 };
 
-BenchArgs ParseArgs(int argc, char** argv);
+// Parses the flags shared by every bench binary (--full, --csv,
+// --stats-json=PATH, --jobs=N, --nodes=N) and installs the --stats-json
+// capture hook. Unknown flags are ignored so binaries can layer their own
+// parsing on top.
+BenchArgs ParseCommonFlags(int argc, char** argv);
+
+[[deprecated("use bench::ParseCommonFlags")]]
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  return ParseCommonFlags(argc, argv);
+}
 
 // Calibration for a device profile, computed once per process. Thread-safe;
 // still, call it once per profile before a parallel sweep (a cold first

@@ -82,7 +82,7 @@ Breakdown RunPoint(const BenchArgs& args, double get_kb, double put_kb,
 
 int main(int argc, char** argv) {
   using namespace libra::bench;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   std::vector<double> sizes_kb = args.full
                                      ? std::vector<double>{1, 4, 8, 16, 32, 64, 128}
                                      : std::vector<double>{1, 8, 32, 128};

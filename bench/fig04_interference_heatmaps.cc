@@ -34,7 +34,7 @@ struct MapSpec {
 
 int main(int argc, char** argv) {
   using namespace libra::bench;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   const auto profile = libra::ssd::Intel320Profile();
 
   const MapSpec maps[] = {

@@ -23,7 +23,7 @@ struct Series {
 int main(int argc, char** argv) {
   using namespace libra::bench;
   using libra::SampleSet;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   const auto profile = libra::ssd::Intel320Profile();
   const auto sizes = SweepSizesKb(args.full);
 

@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace libra::bench;
   using libra::ssd::IoType;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   const auto profile = libra::ssd::Intel320Profile();
   libra::iosched::ExactCostModel model(TableFor(profile));
 

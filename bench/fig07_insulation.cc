@@ -82,7 +82,7 @@ void RunDevice(const BenchArgs& args, const ssd::DeviceProfile& profile,
 
 int main(int argc, char** argv) {
   using namespace libra::bench;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   double mmr_sum = 0.0;
   int mmr_count = 0;
   RunDevice(args, libra::ssd::Intel320Profile(), &mmr_sum, &mmr_count);

@@ -88,7 +88,7 @@ void RunModel(const BenchArgs& args, const ssd::DeviceProfile& profile,
 
 int main(int argc, char** argv) {
   using namespace libra::bench;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   const auto profile = libra::ssd::Intel320Profile();
 
   libra::metrics::Table iop_table(

@@ -60,7 +60,7 @@ double RunKvCell(const BenchArgs& args, double get_fraction, double get_kb,
 int main(int argc, char** argv) {
   using namespace libra::bench;
   using libra::SampleSet;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
   const double floor_kvops = libra::iosched::kIntel320VopFloor / 1000.0;
 
   // All cells — (a)'s pure sweeps and (b)'s ratio grids — are independent

@@ -206,7 +206,7 @@ ModeResult RunMode(const BenchArgs& args, ProfileMode mode) {
 
 int main(int argc, char** argv) {
   using namespace libra::bench;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
 
   using libra::iosched::ProfileMode;
   const std::pair<ProfileMode, const char*> modes[] = {

@@ -57,7 +57,7 @@ workload::KvWorkloadSpec MakeSpec(const BenchArgs& args, const GroupSpec& g) {
 int main(int argc, char** argv) {
   using namespace libra;
   using namespace libra::bench;
-  const BenchArgs args = ParseArgs(argc, argv);
+  const BenchArgs args = ParseCommonFlags(argc, argv);
 
   sim::EventLoop loop;
   kv::NodeOptions opt = PrototypeNodeOptions();

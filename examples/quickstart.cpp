@@ -1,15 +1,20 @@
-// Quickstart: bring up a Libra-provisioned storage node, register a tenant
-// with an app-request reservation, and serve GET/PUT traffic.
+// Quickstart: bring up a provisioned multi-node cluster, admit a tenant
+// with a global app-request reservation, and serve GET/PUT traffic through
+// a TenantHandle.
 //
 //   $ ./examples/quickstart
 //
-// Walks through the full stack: device calibration -> cost model -> node
-// with scheduler + resource policy -> tenant requests on the coroutine
-// runtime.
+// Walks through the full stack: device calibration -> cost model -> N
+// storage nodes behind the Cluster API -> global provisioner splitting the
+// tenant's reservation across nodes -> tenant requests on the coroutine
+// runtime. (For the single-node surface underneath, see
+// examples/dynamic_reservations.cpp.)
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "src/kv/storage_node.h"
+#include "src/cluster/cluster.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/task.h"
 #include "src/ssd/calibration.h"
@@ -18,7 +23,7 @@ using namespace libra;
 
 int main() {
   // 1. Calibrate the device (a deployment does this once per SSD model;
-  //    see paper §4.3). The table feeds the VOP cost model.
+  //    see paper §4.3). The table feeds every node's VOP cost model.
   const ssd::DeviceProfile profile = ssd::Intel320Profile();
   std::printf("calibrating %s...\n", profile.name.c_str());
   ssd::CalibrationOptions copt;
@@ -27,57 +32,79 @@ int main() {
   std::printf("  max IOP throughput: %.0f op/s (the VOP normalizer)\n",
               table.max_iops());
 
-  // 2. Build the storage node: LSM partitions over Libra over the SSD.
+  // 2. Build the cluster: four identical storage nodes (LSM partitions over
+  //    Libra over the SSD) on one loop, sharded by consistent hashing.
   sim::EventLoop loop;
-  kv::NodeOptions options;
-  options.device_profile = profile;
-  options.calibration = table;
-  kv::NodeOptions node_options = options;
-  kv::StorageNode node(loop, node_options);
+  cluster::ClusterOptions options;
+  options.num_nodes = 4;
+  options.node_options.device_profile = profile;
+  options.node_options.calibration = table;
+  cluster::Cluster cl(loop, options);
 
-  // 3. Register a tenant with a local reservation: 2000 normalized (1KB)
-  //    GET/s and 1000 normalized PUT/s. A system-wide policy (e.g. Pisces)
-  //    would compute these per node from the tenant's global SLA.
-  const iosched::TenantId tenant = 42;
-  if (Status s = node.AddTenant(tenant, {2000.0, 1000.0}); !s.ok()) {
-    std::printf("AddTenant failed: %s\n", s.ToString().c_str());
+  // 3. Admit a tenant with a *global* reservation: 2000 normalized (1KB)
+  //    GET/s and 1000 normalized PUT/s, cluster-wide. Admission control
+  //    checks every hosting node's capacity up front; the global
+  //    provisioner then keeps splitting the reservation across nodes in
+  //    proportion to where the tenant's demand actually lands.
+  Result<cluster::TenantHandle> admitted =
+      cl.AddTenant(42, cluster::GlobalReservation{2000.0, 1000.0});
+  if (!admitted.ok()) {
+    std::printf("AddTenant failed: %s\n",
+                admitted.status().ToString().c_str());
     return 1;
   }
-  node.Start();  // the resource policy reprovisions every second
+  cluster::TenantHandle tenant = admitted.value();
+  cl.Start();  // node policies + global provisioner, 1s intervals
 
-  // 4. Issue requests. Application code is written as coroutines; each
-  //    co_await suspends until Libra schedules the IO.
+  // 4. Issue requests through the handle. Application code is written as
+  //    coroutines; each co_await suspends until the owning node's scheduler
+  //    serves the IO. Keys route to nodes by shard — the caller never
+  //    addresses a node.
   auto client = [&]() -> sim::Task<void> {
-    Status s = co_await node.Put(tenant, "user:1001", "alice");
+    Status s = co_await tenant.Put("user:1001", "alice");
     std::printf("PUT user:1001 -> %s (t=%.3fs)\n", s.ToString().c_str(),
                 ToSeconds(loop.Now()));
-    s = co_await node.Put(tenant, "user:1002", "bob");
+    s = co_await tenant.Put("user:1002", "bob");
     std::printf("PUT user:1002 -> %s\n", s.ToString().c_str());
 
-    auto r = co_await node.Get(tenant, "user:1001");
-    std::printf("GET user:1001 -> %s value=%s\n", r.status.ToString().c_str(),
-                r.value.c_str());
+    Result<std::string> r = co_await tenant.Get("user:1001");
+    std::printf("GET user:1001 -> %s value=%s\n",
+                r.status().ToString().c_str(), r.value().c_str());
 
-    s = co_await node.Delete(tenant, "user:1002");
+    // MultiGet fans the lookups out concurrently (possibly to different
+    // nodes) and returns results in key order. (Built as a named vector:
+    // GCC 12 miscompiles braced initializer lists inside coroutines.)
+    std::vector<std::string> batch;
+    batch.push_back("user:1001");
+    batch.push_back("user:1002");
+    const auto many = co_await tenant.MultiGet(batch);
+    std::printf("MULTIGET -> [%s, %s]\n", many[0].value().c_str(),
+                many[1].value().c_str());
+
+    s = co_await tenant.Delete("user:1002");
     std::printf("DEL user:1002 -> %s\n", s.ToString().c_str());
-    r = co_await node.Get(tenant, "user:1002");
+    r = co_await tenant.Get("user:1002");
     std::printf("GET user:1002 -> %s (expected not_found)\n",
-                r.status.ToString().c_str());
+                r.status().ToString().c_str());
   };
   sim::Detach(client());
-  // The policy keeps a 1s timer pending while started, so bound the run,
-  // stop it, and drain the rest.
+  // Started policies keep timers pending, so bound the run, stop, drain.
   loop.RunUntil(loop.Now() + 5 * kSecond);
-  node.Stop();
+  cl.Stop();
   loop.Run();
 
-  // 5. Inspect what the tenant's requests cost.
-  const auto& stats = node.tracker().Stats(tenant);
-  std::printf("tenant %u consumed %.2f VOPs over %llu IOs (%llu bytes)\n",
-              tenant, stats.vops,
-              static_cast<unsigned long long>(stats.total_ops()),
-              static_cast<unsigned long long>(stats.total_bytes()));
-  std::printf("VOP allocation provisioned by the policy: %.1f VOP/s\n",
-              node.scheduler().Allocation(tenant));
+  // 5. Inspect where the requests landed and what they cost.
+  const auto homes = cl.shard_map().Assignment(42);
+  std::printf("shard homes:");
+  for (const int node : homes) {
+    std::printf(" %d", node);
+  }
+  std::printf("\n");
+  double vops = 0.0;
+  for (int n = 0; n < cl.num_nodes(); ++n) {
+    vops += cl.node(n).tracker().Stats(42).vops;
+  }
+  std::printf("tenant 42 consumed %.2f VOPs across %d nodes\n", vops,
+              cl.num_nodes());
   return 0;
 }

@@ -1,0 +1,468 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "src/cluster/global_provisioner.h"
+#include "src/sim/sync.h"
+
+namespace libra::cluster {
+
+using iosched::AppRequest;
+using iosched::Reservation;
+using iosched::TenantId;
+
+namespace {
+
+// Poll cadence for shard gates (migration drain / routing suspension).
+// Simulated time, so the only cost is a handful of extra events.
+constexpr SimDuration kGatePoll = 200 * kMicrosecond;
+
+Status ValidateGlobal(const GlobalReservation& r) {
+  if (!(r.get_rps >= 0.0) || !(r.put_rps >= 0.0)) {
+    return Status::InvalidArgument(
+        "global reservation rates must be finite and non-negative (get_rps=" +
+        std::to_string(r.get_rps) + ", put_rps=" + std::to_string(r.put_rps) +
+        ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- TenantHandle ---
+
+sim::Task<Status> TenantHandle::Put(const std::string& key,
+                                    const std::string& value) {
+  if (!valid()) {
+    co_return Status::FailedPrecondition("invalid tenant handle");
+  }
+  co_return co_await cluster_->Put(tenant_, key, value);
+}
+
+sim::Task<Status> TenantHandle::Delete(const std::string& key) {
+  if (!valid()) {
+    co_return Status::FailedPrecondition("invalid tenant handle");
+  }
+  co_return co_await cluster_->Delete(tenant_, key);
+}
+
+sim::Task<Result<std::string>> TenantHandle::Get(const std::string& key) {
+  if (!valid()) {
+    co_return Result<std::string>(
+        Status::FailedPrecondition("invalid tenant handle"));
+  }
+  co_return co_await cluster_->Get(tenant_, key);
+}
+
+namespace {
+
+// Arguments by value: the coroutine frame must own the key for its whole
+// lifetime (the caller's loop variable dies before completion).
+sim::Task<void> GetInto(TenantHandle handle, std::string key,
+                        Result<std::string>* out) {
+  *out = co_await handle.Get(key);
+}
+
+}  // namespace
+
+sim::Task<std::vector<Result<std::string>>> TenantHandle::MultiGet(
+    const std::vector<std::string>& keys) {
+  std::vector<Result<std::string>> out(keys.size());
+  if (!valid()) {
+    for (auto& r : out) {
+      r = Result<std::string>(
+          Status::FailedPrecondition("invalid tenant handle"));
+    }
+    co_return out;
+  }
+  // Fan out: every lookup is its own coroutine, so keys on different nodes
+  // (and different shards of the same node) proceed concurrently; results
+  // land in `keys` order regardless of completion order.
+  sim::TaskGroup group(cluster_->loop_);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    group.Spawn(GetInto(*this, keys[i], &out[i]));
+  }
+  co_await group.Join();
+  co_return out;
+}
+
+// --- Cluster ---
+
+Cluster::Cluster(sim::EventLoop& loop, ClusterOptions options)
+    : loop_(loop),
+      options_(std::move(options)),
+      shard_map_(ShardMapOptions{options_.num_nodes,
+                                 options_.shards_per_tenant,
+                                 options_.vnodes_per_node,
+                                 options_.placement_seed}) {
+  assert(options_.num_nodes > 0);
+  nodes_.reserve(options_.num_nodes);
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<kv::StorageNode>(loop_, options_.node_options));
+  }
+  provisioner_ = std::make_unique<GlobalProvisioner>(loop_, *this,
+                                                     options_.provisioner);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Start() {
+  for (auto& n : nodes_) {
+    n->Start();
+  }
+  provisioner_->Start();
+}
+
+void Cluster::Stop() {
+  provisioner_->Stop();
+  for (auto& n : nodes_) {
+    n->Stop();
+  }
+}
+
+double Cluster::AdmissionPrice(AppRequest app) const {
+  // Direct cost of one normalized (1KB) request under the shared cost
+  // model; headroom stands in for amplification unobservable at admission.
+  const auto& model = nodes_[0]->scheduler().cost_model();
+  const ssd::IoType type =
+      app == AppRequest::kGet ? ssd::IoType::kRead : ssd::IoType::kWrite;
+  return model.Cost(type, 1024) * options_.admission_headroom;
+}
+
+double Cluster::PricedVops(const Reservation& r) const {
+  return r.get_rps * AdmissionPrice(AppRequest::kGet) +
+         r.put_rps * AdmissionPrice(AppRequest::kPut);
+}
+
+std::map<int, Reservation> Cluster::EvenSplit(
+    TenantId tenant, const GlobalReservation& global) const {
+  const std::vector<int> slots = shard_map_.SlotsPerNode(tenant);
+  const double total = static_cast<double>(shard_map_.shards_per_tenant());
+  std::map<int, Reservation> split;
+  int last_node = -1;
+  for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
+    if (slots[n] > 0) {
+      last_node = n;
+    }
+  }
+  double used_get = 0.0;
+  double used_put = 0.0;
+  for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
+    if (slots[n] == 0) {
+      continue;
+    }
+    if (n == last_node) {
+      // Exact-sum invariant: the last hosting node takes the remainder.
+      split[n] = Reservation{global.get_rps - used_get,
+                             global.put_rps - used_put};
+    } else {
+      const double share = static_cast<double>(slots[n]) / total;
+      split[n] = Reservation{global.get_rps * share, global.put_rps * share};
+      used_get += split[n].get_rps;
+      used_put += split[n].put_rps;
+    }
+  }
+  return split;
+}
+
+Status Cluster::CheckAdmission(
+    TenantId tenant, const std::map<int, Reservation>& split) const {
+  for (const auto& [n, share] : split) {
+    double provisioned = 0.0;
+    for (const auto& [other, state] : tenants_) {
+      if (other == tenant) {
+        continue;
+      }
+      if (const auto it = state.split.find(n); it != state.split.end()) {
+        provisioned += PricedVops(it->second);
+      }
+    }
+    const double incoming = PricedVops(share);
+    const double budget =
+        options_.admission_utilization * nodes_[n]->capacity().provisionable();
+    if (provisioned + incoming > budget) {
+      return Status::ResourceExhausted(
+          "admission rejected: node " + std::to_string(n) + " would carry " +
+          std::to_string(provisioned + incoming) + " VOP/s (" +
+          std::to_string(provisioned) + " provisioned + " +
+          std::to_string(incoming) + " for tenant " + std::to_string(tenant) +
+          "), over " + std::to_string(budget) + " = " +
+          std::to_string(options_.admission_utilization) +
+          " * capacity floor " +
+          std::to_string(nodes_[n]->capacity().provisionable()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::ApplySplit(TenantId tenant,
+                           const std::map<int, Reservation>& split) {
+  TenantState& state = tenants_[tenant];
+  // Nodes that dropped out of the split (all slots migrated away) fall back
+  // to a zero local reservation: the partition still exists and may hold
+  // tombstones, but earns no provisioned VOPs.
+  for (const auto& [n, old_share] : state.split) {
+    if (split.count(n) == 0 && nodes_[n]->HasTenant(tenant)) {
+      if (Status s = nodes_[n]->UpdateReservation(tenant, Reservation{});
+          !s.ok()) {
+        return s;
+      }
+    }
+  }
+  for (const auto& [n, share] : split) {
+    Status s = nodes_[n]->HasTenant(tenant)
+                   ? nodes_[n]->UpdateReservation(tenant, share)
+                   : nodes_[n]->AddTenant(tenant, share);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  state.split = split;
+  return Status::Ok();
+}
+
+Result<TenantHandle> Cluster::AddTenant(TenantId tenant,
+                                        GlobalReservation reservation) {
+  if (tenants_.count(tenant) > 0) {
+    return Result<TenantHandle>(Status::AlreadyExists(
+        "tenant " + std::to_string(tenant) + " already admitted"));
+  }
+  if (Status s = ValidateGlobal(reservation); !s.ok()) {
+    return Result<TenantHandle>(std::move(s));
+  }
+  const std::map<int, Reservation> split = EvenSplit(tenant, reservation);
+  if (Status s = CheckAdmission(tenant, split); !s.ok()) {
+    return Result<TenantHandle>(std::move(s));
+  }
+  tenants_[tenant].global = reservation;
+  if (Status s = ApplySplit(tenant, split); !s.ok()) {
+    tenants_.erase(tenant);
+    return Result<TenantHandle>(std::move(s));
+  }
+  return Result<TenantHandle>(TenantHandle(this, tenant));
+}
+
+Status Cluster::UpdateGlobalReservation(TenantId tenant,
+                                        GlobalReservation reservation) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  if (Status s = ValidateGlobal(reservation); !s.ok()) {
+    return s;
+  }
+  // Re-split evenly now; the provisioner re-weights by demand next interval.
+  const std::map<int, Reservation> split = EvenSplit(tenant, reservation);
+  if (Status s = CheckAdmission(tenant, split); !s.ok()) {
+    return s;
+  }
+  it->second.global = reservation;
+  return ApplySplit(tenant, split);
+}
+
+Result<TenantHandle> Cluster::Handle(TenantId tenant) {
+  if (tenants_.count(tenant) == 0) {
+    return Result<TenantHandle>(
+        Status::NotFound("unknown tenant " + std::to_string(tenant)));
+  }
+  return Result<TenantHandle>(TenantHandle(this, tenant));
+}
+
+GlobalReservation Cluster::global_reservation(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? GlobalReservation{} : it->second.global;
+}
+
+std::vector<TenantId> Cluster::tenants() const {
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [t, state] : tenants_) {
+    out.push_back(t);
+  }
+  return out;
+}
+
+double Cluster::GlobalNormalizedTotal(TenantId tenant, AppRequest app) const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    total += n->tracker().NormalizedRequestsTotal(tenant, app);
+  }
+  return total;
+}
+
+// --- request routing ---
+
+sim::Task<int> Cluster::AwaitRoutable(TenantId tenant, int slot) {
+  ShardState& ss = Shard(tenant, slot);
+  while (ss.migrating) {
+    co_await sim::SleepFor(loop_, kGatePoll);
+  }
+  // Resolve the home only after the gate: a migration that completed while
+  // we slept re-homed the slot.
+  co_return shard_map_.HomeOf(tenant, slot);
+}
+
+sim::Task<Status> Cluster::Put(TenantId tenant, std::string key,
+                               std::string value) {
+  if (tenants_.count(tenant) == 0) {
+    co_return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  const int slot = shard_map_.SlotOfKey(key);
+  const int node = co_await AwaitRoutable(tenant, slot);
+  ShardState& ss = Shard(tenant, slot);
+  ++ss.inflight;
+  Status s = co_await nodes_[node]->Put(tenant, key, value);
+  --ss.inflight;
+  co_return s;
+}
+
+sim::Task<Status> Cluster::Delete(TenantId tenant, std::string key) {
+  if (tenants_.count(tenant) == 0) {
+    co_return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  const int slot = shard_map_.SlotOfKey(key);
+  const int node = co_await AwaitRoutable(tenant, slot);
+  ShardState& ss = Shard(tenant, slot);
+  ++ss.inflight;
+  Status s = co_await nodes_[node]->Delete(tenant, key);
+  --ss.inflight;
+  co_return s;
+}
+
+sim::Task<Result<std::string>> Cluster::Get(TenantId tenant, std::string key) {
+  if (tenants_.count(tenant) == 0) {
+    co_return Result<std::string>(
+        Status::NotFound("unknown tenant " + std::to_string(tenant)));
+  }
+  const int slot = shard_map_.SlotOfKey(key);
+  const int node = co_await AwaitRoutable(tenant, slot);
+  ShardState& ss = Shard(tenant, slot);
+  ++ss.inflight;
+  Result<std::string> r = co_await nodes_[node]->Get(tenant, key);
+  --ss.inflight;
+  co_return r;
+}
+
+// --- shard migration ---
+
+sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
+                                        int to_node) {
+  if (tenants_.count(tenant) == 0) {
+    co_return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  if (slot < 0 || slot >= shard_map_.shards_per_tenant()) {
+    co_return Status::InvalidArgument("slot out of range");
+  }
+  if (to_node < 0 || to_node >= num_nodes()) {
+    co_return Status::InvalidArgument("node out of range");
+  }
+  const int from = shard_map_.HomeOf(tenant, slot);
+  if (from == to_node) {
+    co_return Status::Ok();
+  }
+  ShardState& ss = Shard(tenant, slot);
+  if (ss.migrating) {
+    co_return Status::FailedPrecondition("shard already migrating");
+  }
+  ss.migrating = true;  // gate: new requests to this shard now suspend
+  ++active_migrations_;
+  // Coroutine-frame destructor order releases the gate on every co_return
+  // path, success or error.
+  struct GateRelease {
+    ShardState* ss;
+    int* active;
+    ~GateRelease() {
+      ss->migrating = false;
+      --*active;
+    }
+  } release{&ss, &active_migrations_};
+
+  // Drain: let in-flight requests on the shard finish.
+  while (ss.inflight > 0) {
+    co_await sim::SleepFor(loop_, kGatePoll);
+  }
+
+  kv::StorageNode& src = *nodes_[from];
+  kv::StorageNode& dst = *nodes_[to_node];
+  if (!dst.HasTenant(tenant)) {
+    // Best-effort registration; the provisioner assigns it a real share of
+    // the global reservation at its next split.
+    if (Status s = dst.AddTenant(tenant, Reservation{}); !s.ok()) {
+      co_return s;
+    }
+  }
+  lsm::LsmDb* src_db = src.partition(tenant);
+  lsm::LsmDb* dst_db = dst.partition(tenant);
+  if (src_db == nullptr || dst_db == nullptr) {
+    co_return Status::Internal("missing partition during migration");
+  }
+
+  // Copy every live key of the migrating slot. The drain read and the
+  // re-home writes are charged to the tenant as unattributed IO (no app
+  // request class), so its GET/PUT profiles are not distorted.
+  const iosched::IoTag drain_tag{tenant, AppRequest::kNone,
+                                 iosched::InternalOp::kNone};
+  std::vector<std::pair<std::string, std::string>> moving;
+  Status scan = co_await src_db->ScanLive(
+      drain_tag, [&](std::string_view k, std::string_view v) {
+        if (shard_map_.SlotOfKey(k) == slot) {
+          moving.emplace_back(std::string(k), std::string(v));
+        }
+      });
+  if (!scan.ok()) {
+    co_return scan;
+  }
+  for (const auto& [k, v] : moving) {
+    if (Status s = co_await dst_db->Put(k, v); !s.ok()) {
+      co_return s;
+    }
+  }
+  // Tombstone the moved keys at the source only after the copy fully
+  // succeeded (re-running a failed migration must still see them).
+  for (const auto& [k, v] : moving) {
+    if (Status s = co_await src_db->Delete(k); !s.ok()) {
+      co_return s;
+    }
+  }
+
+  shard_map_.Rehome(tenant, slot, to_node);
+  // GateRelease clears `migrating`; gated requests re-resolve to the new
+  // home once the coroutine returns.
+
+  obs::RebalanceRecord rec;
+  rec.kind = obs::RebalanceRecord::Kind::kMigration;
+  rec.time_ns = loop_.Now();
+  rec.tenant = tenant;
+  rec.slot = slot;
+  rec.from_node = from;
+  rec.to_node = to_node;
+  rec.keys_moved = moving.size();
+  rebalance_log_.Append(rec);
+  co_return Status::Ok();
+}
+
+ClusterStats Cluster::Snapshot() const {
+  ClusterStats s;
+  s.time_ns = loop_.Now();
+  s.nodes.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    s.nodes.push_back(n->Snapshot());
+  }
+  s.tenants.reserve(tenants_.size());
+  for (const auto& [t, state] : tenants_) {
+    ClusterStats::TenantEntry e;
+    e.tenant = t;
+    e.global = state.global;
+    e.slot_homes = shard_map_.Assignment(t);
+    s.tenants.push_back(std::move(e));
+  }
+  s.rebalances.assign(rebalance_log_.records().begin(),
+                      rebalance_log_.records().end());
+  return s;
+}
+
+}  // namespace libra::cluster

@@ -1,0 +1,238 @@
+// Multi-node cluster layer: the tier above Libra's per-node enforcement.
+//
+// The paper positions Libra as the bottom half of a two-tier system (§1,
+// Fig. 1): a system-wide policy such as Pisces partitions each tenant's
+// global reservation into per-node local reservations, and Libra makes each
+// node's share achievable. Cluster is that tier: it owns N StorageNodes on
+// one EventLoop, shards each tenant's keyspace across nodes by consistent
+// hashing (ShardMap), and runs a GlobalProvisioner that periodically
+// re-splits every tenant's global app-request reservation in proportion to
+// observed per-node demand, with hysteresis, node-level admission control,
+// and shard migration off persistently overbooked nodes.
+//
+// Clients do not address nodes or carry raw TenantIds through call sites:
+// AddTenant returns a TenantHandle whose Get/Put/Delete/MultiGet coroutines
+// route each key to the node homing its shard, suspending while that shard
+// is mid-migration.
+
+#ifndef LIBRA_SRC_CLUSTER_CLUSTER_H_
+#define LIBRA_SRC_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/shard_map.h"
+#include "src/common/status.h"
+#include "src/iosched/io_tag.h"
+#include "src/iosched/resource_policy.h"
+#include "src/kv/node_stats.h"
+#include "src/kv/storage_node.h"
+#include "src/obs/audit.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+
+namespace libra::cluster {
+
+class Cluster;
+class GlobalProvisioner;
+
+// A tenant's system-wide reservation in normalized (1KB) requests per
+// second — the quantity the provisioner splits into per-node
+// iosched::Reservations.
+using GlobalReservation = iosched::Reservation;
+
+struct GlobalProvisionerOptions {
+  SimDuration interval = 1 * kSecond;
+  // EWMA weight for per-(tenant, node) demand smoothing.
+  double demand_alpha = 0.3;
+  // A new split is applied only when some node's share of the global
+  // reservation moves by more than this fraction of the global rate —
+  // the anti-thrash hysteresis band.
+  double hysteresis = 0.05;
+  // Every hosting node keeps at least this fraction of the global
+  // reservation, so a shard that goes quiet can still ramp back up.
+  double min_share = 0.02;
+  // Consecutive overbooked provisioning intervals on one node before a
+  // shard migration fires; <= 0 disables automatic migration.
+  int overbook_intervals_before_migration = 3;
+};
+
+struct ClusterOptions {
+  int num_nodes = 4;
+  int shards_per_tenant = 8;
+  int vnodes_per_node = 64;
+  uint64_t placement_seed = 0x11b7a5eed;
+  kv::NodeOptions node_options;  // every node is configured identically
+  GlobalProvisionerOptions provisioner;
+  // Admission control: a tenant is admitted only if, on every node hosting
+  // its shards, already-provisioned VOP demand plus the tenant's share
+  // stays within this fraction of the node's capacity floor. Demand is
+  // priced at the cost model's normalized-request price times the headroom
+  // factor (a stand-in for unobserved amplification at admission time).
+  double admission_utilization = 0.95;
+  double admission_headroom = 1.0;
+};
+
+// Client surface for one tenant: routes requests to the node homing each
+// key's shard. Cheap to copy; valid while the Cluster lives. A
+// default-constructed handle is inert (valid() == false) so
+// Result<TenantHandle> has a well-defined error payload.
+class TenantHandle {
+ public:
+  TenantHandle() = default;
+
+  bool valid() const { return cluster_ != nullptr; }
+  iosched::TenantId tenant() const { return tenant_; }
+
+  sim::Task<Status> Put(const std::string& key, const std::string& value);
+  sim::Task<Status> Delete(const std::string& key);
+  sim::Task<Result<std::string>> Get(const std::string& key);
+  // Issues all lookups concurrently; results are in `keys` order.
+  sim::Task<std::vector<Result<std::string>>> MultiGet(
+      const std::vector<std::string>& keys);
+
+ private:
+  friend class Cluster;
+  TenantHandle(Cluster* cluster, iosched::TenantId tenant)
+      : cluster_(cluster), tenant_(tenant) {}
+
+  Cluster* cluster_ = nullptr;
+  iosched::TenantId tenant_ = iosched::kInvalidTenant;
+};
+
+// Cluster-wide observability snapshot (rendered by ClusterStatsToJson).
+struct ClusterStats {
+  int64_t time_ns = 0;
+  std::vector<kv::NodeStats> nodes;
+  struct TenantEntry {
+    iosched::TenantId tenant = iosched::kInvalidTenant;
+    GlobalReservation global;
+    std::vector<int> slot_homes;  // node per slot
+  };
+  std::vector<TenantEntry> tenants;
+  std::vector<obs::RebalanceRecord> rebalances;
+};
+
+std::string ClusterStatsToJson(const ClusterStats& stats);
+
+class Cluster {
+ public:
+  Cluster(sim::EventLoop& loop, ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Admits a tenant with a global reservation and registers it (with its
+  // initial even split) on every node hosting one of its shards. Fails with
+  // kAlreadyExists (duplicate), kInvalidArgument (malformed reservation) or
+  // kResourceExhausted (admission control: some hosting node cannot absorb
+  // the tenant's share; the message names the node and the shortfall).
+  Result<TenantHandle> AddTenant(iosched::TenantId tenant,
+                                 GlobalReservation reservation);
+
+  // Replaces a tenant's global reservation, subject to the same admission
+  // check against the other tenants' current provisioned demand.
+  Status UpdateGlobalReservation(iosched::TenantId tenant,
+                                 GlobalReservation reservation);
+
+  // Handle for an already-admitted tenant (kNotFound otherwise).
+  Result<TenantHandle> Handle(iosched::TenantId tenant);
+
+  // Starts/stops every node's resource policy and the global provisioner.
+  void Start();
+  void Stop();
+
+  // Drains (tenant, slot) on its current home and re-homes it on `to_node`:
+  // new requests to the shard suspend, in-flight ones finish, live keys are
+  // copied over and tombstoned at the source, then the map flips and gated
+  // requests proceed. Key-preserving by construction; the copy IO is
+  // charged to the tenant (unattributed class, so request profiles stay
+  // clean).
+  sim::Task<Status> MigrateShard(iosched::TenantId tenant, int slot,
+                                 int to_node);
+
+  // --- introspection ---
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  kv::StorageNode& node(int i) { return *nodes_[i]; }
+  const ShardMap& shard_map() const { return shard_map_; }
+  GlobalProvisioner& provisioner() { return *provisioner_; }
+  const obs::RebalanceLog& rebalance_log() const { return rebalance_log_; }
+  GlobalReservation global_reservation(iosched::TenantId tenant) const;
+  std::vector<iosched::TenantId> tenants() const;
+
+  // Cumulative normalized requests served for `tenant` across all nodes
+  // (evaluation harnesses take deltas for global achieved rates).
+  double GlobalNormalizedTotal(iosched::TenantId tenant,
+                               iosched::AppRequest app) const;
+
+  ClusterStats Snapshot() const;
+
+ private:
+  friend class GlobalProvisioner;
+  friend class TenantHandle;
+
+  // Per-(tenant, slot) routing state. inflight gates migration draining;
+  // migrating gates new requests.
+  struct ShardState {
+    bool migrating = false;
+    int inflight = 0;
+  };
+
+  static uint64_t ShardKey(iosched::TenantId tenant, int slot) {
+    return (static_cast<uint64_t>(tenant) << 32) | static_cast<uint32_t>(slot);
+  }
+  ShardState& Shard(iosched::TenantId tenant, int slot) {
+    return shards_[ShardKey(tenant, slot)];
+  }
+
+  // --- request routing (TenantHandle forwards here) ---
+  sim::Task<Status> Put(iosched::TenantId tenant, std::string key,
+                        std::string value);
+  sim::Task<Status> Delete(iosched::TenantId tenant, std::string key);
+  sim::Task<Result<std::string>> Get(iosched::TenantId tenant,
+                                     std::string key);
+
+  // Suspends while (tenant, slot) is migrating, then returns its home node.
+  sim::Task<int> AwaitRoutable(iosched::TenantId tenant, int slot);
+
+  // VOP price of one normalized (1KB) request at admission time.
+  double AdmissionPrice(iosched::AppRequest app) const;
+  // Priced VOP demand of a local reservation share.
+  double PricedVops(const iosched::Reservation& r) const;
+  // Even initial split of `global` for `tenant`: per-node reservations
+  // proportional to hosted slot counts, summing exactly to `global`.
+  std::map<int, iosched::Reservation> EvenSplit(
+      iosched::TenantId tenant, const GlobalReservation& global) const;
+  // Admission check: can `tenant` place `split` on top of the currently
+  // provisioned demand of every other tenant?
+  Status CheckAdmission(iosched::TenantId tenant,
+                        const std::map<int, iosched::Reservation>& split) const;
+  // Installs a split on the nodes (registering the tenant where missing)
+  // and remembers it as the tenant's current split.
+  Status ApplySplit(iosched::TenantId tenant,
+                    const std::map<int, iosched::Reservation>& split);
+
+  sim::EventLoop& loop_;
+  ClusterOptions options_;
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<kv::StorageNode>> nodes_;
+  std::unique_ptr<GlobalProvisioner> provisioner_;
+
+  struct TenantState {
+    GlobalReservation global;
+    // Current per-node split (what the nodes' policies were last told).
+    std::map<int, iosched::Reservation> split;
+  };
+  std::map<iosched::TenantId, TenantState> tenants_;
+  std::map<uint64_t, ShardState> shards_;
+  obs::RebalanceLog rebalance_log_;
+  int active_migrations_ = 0;  // MigrateShard calls currently draining/copying
+};
+
+}  // namespace libra::cluster
+
+#endif  // LIBRA_SRC_CLUSTER_CLUSTER_H_

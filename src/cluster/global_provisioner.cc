@@ -1,0 +1,323 @@
+#include "src/cluster/global_provisioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/iosched/resource_tracker.h"
+#include "src/sim/task.h"
+
+namespace libra::cluster {
+
+namespace {
+
+uint64_t DemandKey(iosched::TenantId tenant, int node) {
+  return (static_cast<uint64_t>(tenant) << 32) | static_cast<uint32_t>(node);
+}
+
+// Fire-and-forget wrapper for automatic migrations: the provisioner must not
+// block its interval timer on a drain. Failures leave the shard where it was
+// (MigrateShard is key-preserving on every error path), so the next
+// overbooked streak simply retries.
+sim::Task<void> RunMigration(Cluster* cluster, iosched::TenantId tenant,
+                             int slot, int to_node) {
+  (void)co_await cluster->MigrateShard(tenant, slot, to_node);
+}
+
+}  // namespace
+
+GlobalProvisioner::GlobalProvisioner(sim::EventLoop& loop, Cluster& cluster,
+                                     GlobalProvisionerOptions options)
+    : loop_(loop), cluster_(cluster), options_(options) {
+  assert(options_.interval > 0);
+  overbooked_streak_.assign(static_cast<size_t>(cluster_.num_nodes()), 0);
+  audit_seen_.assign(static_cast<size_t>(cluster_.num_nodes()), 0);
+}
+
+GlobalProvisioner::~GlobalProvisioner() { Stop(); }
+
+void GlobalProvisioner::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  auto reschedule = [this](auto&& self) -> void {
+    pending_event_ = loop_.ScheduleAfter(options_.interval, [this, self] {
+      if (!running_) {
+        return;
+      }
+      RunIntervalStep();
+      self(self);
+    });
+  };
+  reschedule(reschedule);
+}
+
+void GlobalProvisioner::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_event_ != 0) {
+    loop_.Cancel(pending_event_);
+    pending_event_ = 0;
+  }
+}
+
+void GlobalProvisioner::RunIntervalStep() {
+  const SimTime now = loop_.Now();
+  const bool first_step = last_step_time_ < 0;
+  for (const iosched::TenantId tenant : cluster_.tenants()) {
+    const std::vector<int> slots = cluster_.shard_map_.SlotsPerNode(tenant);
+    for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
+      if (slots[n] > 0) {
+        UpdateDemand(tenant, n);
+      }
+    }
+    if (!first_step) {
+      ResplitTenant(tenant);
+    }
+  }
+  last_step_time_ = now;
+  CheckOverbooking();
+}
+
+void GlobalProvisioner::UpdateDemand(iosched::TenantId tenant,
+                                     int node_index) {
+  const auto& tracker = cluster_.nodes_[node_index]->tracker();
+  const double get_total = tracker.NormalizedRequestsTotal(
+      tenant, iosched::AppRequest::kGet);
+  const double put_total = tracker.NormalizedRequestsTotal(
+      tenant, iosched::AppRequest::kPut);
+
+  auto [it, created] = demand_.try_emplace(DemandKey(tenant, node_index),
+                                           options_.demand_alpha);
+  NodeDemand& d = it->second;
+  const double elapsed =
+      last_step_time_ < 0 ? 0.0 : ToSeconds(loop_.Now() - last_step_time_);
+  if (!created && elapsed > 0.0) {
+    d.get_rate.Observe((get_total - d.last_get_total) / elapsed);
+    d.put_rate.Observe((put_total - d.last_put_total) / elapsed);
+  }
+  d.last_get_total = get_total;
+  d.last_put_total = put_total;
+}
+
+double GlobalProvisioner::DemandShare(iosched::TenantId tenant,
+                                      int node) const {
+  const auto it = demand_.find(DemandKey(tenant, node));
+  if (it == demand_.end()) {
+    return 0.0;
+  }
+  double mine = it->second.get_rate.Value() + it->second.put_rate.Value();
+  double total = 0.0;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    const auto nit = demand_.find(DemandKey(tenant, n));
+    if (nit != demand_.end()) {
+      total += nit->second.get_rate.Value() + nit->second.put_rate.Value();
+    }
+  }
+  return total > 0.0 ? mine / total : 0.0;
+}
+
+void GlobalProvisioner::ResplitTenant(iosched::TenantId tenant) {
+  const auto tit = cluster_.tenants_.find(tenant);
+  if (tit == cluster_.tenants_.end()) {
+    return;
+  }
+  const GlobalReservation global = tit->second.global;
+
+  const std::vector<int> slots = cluster_.shard_map_.SlotsPerNode(tenant);
+  std::vector<int> hosting;
+  int total_slots = 0;
+  for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
+    if (slots[n] > 0) {
+      hosting.push_back(n);
+      total_slots += slots[n];
+    }
+  }
+  if (hosting.empty()) {
+    return;
+  }
+
+  // Demand-proportional shares per request class, falling back to
+  // slot-proportional while a class is entirely unobserved, floored at
+  // min_share and renormalized so every hosting node can ramp back up.
+  const size_t k = hosting.size();
+  std::vector<double> get_d(k, 0.0);
+  std::vector<double> put_d(k, 0.0);
+  double get_total = 0.0;
+  double put_total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const auto dit = demand_.find(DemandKey(tenant, hosting[i]));
+    if (dit != demand_.end()) {
+      get_d[i] = dit->second.get_rate.Value();
+      put_d[i] = dit->second.put_rate.Value();
+    }
+    get_total += get_d[i];
+    put_total += put_d[i];
+  }
+  auto shares = [&](const std::vector<double>& demand, double total) {
+    std::vector<double> s(k);
+    double sum = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      s[i] = total > 1e-9
+                 ? demand[i] / total
+                 : static_cast<double>(slots[hosting[i]]) / total_slots;
+      s[i] = std::max(s[i], options_.min_share);
+      sum += s[i];
+    }
+    for (double& v : s) {
+      v /= sum;
+    }
+    return s;
+  };
+  const std::vector<double> get_share = shares(get_d, get_total);
+  const std::vector<double> put_share = shares(put_d, put_total);
+
+  // All but the last hosting node take their proportional cut; the last
+  // takes the remainder so the split sums exactly to the global rate.
+  std::map<int, iosched::Reservation> split;
+  double get_used = 0.0;
+  double put_used = 0.0;
+  for (size_t i = 0; i + 1 < k; ++i) {
+    iosched::Reservation r;
+    r.get_rps = global.get_rps * get_share[i];
+    r.put_rps = global.put_rps * put_share[i];
+    get_used += r.get_rps;
+    put_used += r.put_rps;
+    split[hosting[i]] = r;
+  }
+  iosched::Reservation last;
+  last.get_rps = std::max(0.0, global.get_rps - get_used);
+  last.put_rps = std::max(0.0, global.put_rps - put_used);
+  split[hosting[k - 1]] = last;
+
+  // Hysteresis: apply only when some node's share moved by more than the
+  // band, as a fraction of the tenant's total global rate. A change in the
+  // hosting set (migration) always passes.
+  const auto& current = tit->second.split;
+  double max_change = 0.0;
+  bool hosting_changed = current.size() != split.size();
+  for (const auto& [node, r] : split) {
+    const auto cit = current.find(node);
+    if (cit == current.end()) {
+      hosting_changed = true;
+      break;
+    }
+    max_change = std::max(max_change,
+                          std::abs(r.get_rps - cit->second.get_rps) +
+                              std::abs(r.put_rps - cit->second.put_rps));
+  }
+  const double denom = std::max(1.0, global.get_rps + global.put_rps);
+  if (!hosting_changed && !current.empty() &&
+      max_change / denom < options_.hysteresis) {
+    return;
+  }
+
+  if (!cluster_.ApplySplit(tenant, split).ok()) {
+    return;
+  }
+  ++splits_applied_;
+
+  obs::RebalanceRecord rec;
+  rec.kind = obs::RebalanceRecord::Kind::kSplit;
+  rec.time_ns = loop_.Now();
+  rec.tenant = tenant;
+  rec.nodes = static_cast<int>(k);
+  cluster_.rebalance_log_.Append(rec);
+}
+
+void GlobalProvisioner::CheckOverbooking() {
+  // Advance per-node streaks from the nodes' provisioning audit logs (one
+  // record per policy interval; the watermark skips already-seen records).
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    const auto& log = cluster_.nodes_[n]->policy().audit_log();
+    const uint64_t total = log.total_appended();
+    if (total > audit_seen_[n]) {
+      audit_seen_[n] = total;
+      overbooked_streak_[n] =
+          log.back().overbooked ? overbooked_streak_[n] + 1 : 0;
+    }
+  }
+  if (options_.overbook_intervals_before_migration <= 0 ||
+      cluster_.active_migrations_ > 0) {
+    return;  // disabled, or a migration is already draining
+  }
+
+  // Most persistently overbooked node past the threshold (lowest index on
+  // ties, for determinism).
+  int src = -1;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    if (overbooked_streak_[n] >= options_.overbook_intervals_before_migration &&
+        (src < 0 || overbooked_streak_[n] > overbooked_streak_[src])) {
+      src = n;
+    }
+  }
+  if (src < 0) {
+    return;
+  }
+
+  // Victim: the tenant with the highest smoothed demand on the overbooked
+  // node — moving its hottest shard sheds the most load per migration.
+  iosched::TenantId victim = iosched::kInvalidTenant;
+  double victim_demand = -1.0;
+  for (const auto& [tenant, state] : cluster_.tenants_) {
+    if (cluster_.shard_map_.SlotsPerNode(tenant)[src] == 0) {
+      continue;
+    }
+    double d = 0.0;
+    if (const auto dit = demand_.find(DemandKey(tenant, src));
+        dit != demand_.end()) {
+      d = dit->second.get_rate.Value() + dit->second.put_rate.Value();
+    }
+    if (d > victim_demand) {
+      victim_demand = d;
+      victim = tenant;
+    }
+  }
+  if (victim == iosched::kInvalidTenant) {
+    overbooked_streak_[src] = 0;
+    return;
+  }
+  int slot = -1;
+  const std::vector<int> assignment = cluster_.shard_map_.Assignment(victim);
+  for (int s = 0; s < static_cast<int>(assignment.size()); ++s) {
+    if (assignment[s] == src) {
+      slot = s;
+      break;
+    }
+  }
+  assert(slot >= 0);
+
+  // Target: the least-provisioned node that is not itself on an overbooked
+  // streak (any other node as a last resort).
+  int dst = -1;
+  double dst_load = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 2 && dst < 0; ++pass) {
+    for (int n = 0; n < cluster_.num_nodes(); ++n) {
+      if (n == src || (pass == 0 && overbooked_streak_[n] > 0)) {
+        continue;
+      }
+      double load = 0.0;
+      for (const auto& [tenant, state] : cluster_.tenants_) {
+        if (const auto sit = state.split.find(n); sit != state.split.end()) {
+          load += cluster_.PricedVops(sit->second);
+        }
+      }
+      if (load < dst_load) {
+        dst_load = load;
+        dst = n;
+      }
+    }
+  }
+  if (dst < 0) {
+    return;
+  }
+
+  ++migrations_started_;
+  overbooked_streak_[src] = 0;  // give the migration time to take effect
+  sim::Detach(RunMigration(&cluster_, victim, slot, dst));
+}
+
+}  // namespace libra::cluster

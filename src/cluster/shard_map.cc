@@ -1,0 +1,106 @@
+#include "src/cluster/shard_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace libra::cluster {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over the key bytes, then mixed; byte-wise, so no platform
+// endianness leaks into placement.
+uint64_t HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+uint64_t OverrideKey(uint32_t tenant, int slot) {
+  return (static_cast<uint64_t>(tenant) << 32) |
+         static_cast<uint32_t>(slot);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(ShardMapOptions options) : options_(options) {
+  assert(options_.num_nodes > 0);
+  assert(options_.shards_per_tenant > 0);
+  assert(options_.vnodes_per_node > 0);
+  ring_.reserve(static_cast<size_t>(options_.num_nodes) *
+                static_cast<size_t>(options_.vnodes_per_node));
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    for (int v = 0; v < options_.vnodes_per_node; ++v) {
+      const uint64_t point =
+          Mix64(options_.seed ^ (static_cast<uint64_t>(n) * 0x9e3779b1ULL) ^
+                (static_cast<uint64_t>(v) << 32));
+      ring_.push_back(RingPoint{point, n});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int ShardMap::SlotOfKey(std::string_view key) const {
+  return static_cast<int>(HashKey(key) %
+                          static_cast<uint64_t>(options_.shards_per_tenant));
+}
+
+int ShardMap::RingLookup(uint64_t point) const {
+  // First ring point at or after `point`, wrapping to the smallest.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const RingPoint& rp, uint64_t p) { return rp.point < p; });
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->node;
+}
+
+int ShardMap::HomeOf(uint32_t tenant, int slot) const {
+  assert(slot >= 0 && slot < options_.shards_per_tenant);
+  if (const auto it = overrides_.find(OverrideKey(tenant, slot));
+      it != overrides_.end()) {
+    return it->second;
+  }
+  const uint64_t point =
+      Mix64(options_.seed ^ (static_cast<uint64_t>(tenant) * 0x85ebca6bULL) ^
+            (static_cast<uint64_t>(slot) * 0xc2b2ae35ULL));
+  return RingLookup(point);
+}
+
+int ShardMap::NodeOfKey(uint32_t tenant, std::string_view key) const {
+  return HomeOf(tenant, SlotOfKey(key));
+}
+
+std::vector<int> ShardMap::Assignment(uint32_t tenant) const {
+  std::vector<int> out(options_.shards_per_tenant);
+  for (int s = 0; s < options_.shards_per_tenant; ++s) {
+    out[s] = HomeOf(tenant, s);
+  }
+  return out;
+}
+
+std::vector<int> ShardMap::SlotsPerNode(uint32_t tenant) const {
+  std::vector<int> out(options_.num_nodes, 0);
+  for (int s = 0; s < options_.shards_per_tenant; ++s) {
+    ++out[HomeOf(tenant, s)];
+  }
+  return out;
+}
+
+void ShardMap::Rehome(uint32_t tenant, int slot, int node) {
+  assert(slot >= 0 && slot < options_.shards_per_tenant);
+  assert(node >= 0 && node < options_.num_nodes);
+  overrides_[OverrideKey(tenant, slot)] = node;
+}
+
+}  // namespace libra::cluster

@@ -84,6 +84,44 @@ class Status {
   std::string message_;
 };
 
+// Result<T>: a Status plus a T payload, the uniform result shape of the KV
+// request surface (StorageNode::Get, the cluster layer's TenantHandle::Get /
+// MultiGet, and cluster routing). Unlike StatusOr, a Result always holds a T
+// — default-constructed on error — so the migration from the historical
+// `struct GetResult { Status status; std::string value; }` is mechanical
+// (`r.status` -> `r.status()`, `r.value` -> `r.value()`), and containers of
+// Result (MultiGet) need no sentinel. value() on an error returns the
+// default-constructed payload; callers gate on ok() for meaning.
+template <typename T>
+class Result {
+ public:
+  // Default: OK with a default-constructed payload (mirrors the old
+  // GetResult zero state).
+  Result() = default;
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status, T value)
+      : status_(std::move(status)), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
 // StatusOr<T>: either a value or a non-OK status. Access to value() on an
 // error is a programming bug and asserts.
 template <typename T>

@@ -29,9 +29,28 @@ StorageNode::StorageNode(sim::EventLoop& loop, NodeOptions options)
   }
 }
 
+namespace {
+
+// Negative or non-finite rates are malformed; zero is legal (best-effort
+// tenant, provisioned purely by work conservation).
+Status ValidateReservation(const Reservation& r) {
+  if (!(r.get_rps >= 0.0) || !(r.put_rps >= 0.0)) {
+    return Status::InvalidArgument(
+        "reservation rates must be finite and non-negative (get_rps=" +
+        std::to_string(r.get_rps) + ", put_rps=" + std::to_string(r.put_rps) +
+        ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status StorageNode::AddTenant(TenantId tenant, Reservation reservation) {
   if (partitions_.count(tenant) > 0) {
     return Status::AlreadyExists("tenant exists");
+  }
+  if (Status s = ValidateReservation(reservation); !s.ok()) {
+    return s;
   }
   auto db = std::make_unique<lsm::LsmDb>(loop_, fs_, scheduler_, tenant,
                                          "tenant_" + std::to_string(tenant),
@@ -53,13 +72,30 @@ Status StorageNode::AddTenant(TenantId tenant, Reservation reservation) {
   return Status::Ok();
 }
 
-void StorageNode::UpdateReservation(TenantId tenant, Reservation reservation) {
+Status StorageNode::UpdateReservation(TenantId tenant,
+                                      Reservation reservation) {
+  if (partitions_.count(tenant) == 0) {
+    return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  if (Status s = ValidateReservation(reservation); !s.ok()) {
+    return s;
+  }
   policy_.SetReservation(tenant, reservation);
+  return Status::Ok();
 }
 
 lsm::LsmDb* StorageNode::partition(TenantId tenant) {
   const auto it = partitions_.find(tenant);
   return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<TenantId> StorageNode::tenants() const {
+  std::vector<TenantId> out;
+  out.reserve(partitions_.size());
+  for (const auto& [tenant, db] : partitions_) {
+    out.push_back(tenant);
+  }
+  return out;
 }
 
 sim::Task<Status> StorageNode::Put(TenantId tenant, const std::string& key,
@@ -101,34 +137,31 @@ sim::Task<Status> StorageNode::Delete(TenantId tenant, const std::string& key) {
   co_return s;
 }
 
-sim::Task<StorageNode::GetResult> StorageNode::Get(TenantId tenant,
-                                                   const std::string& key) {
-  GetResult out;
+sim::Task<Result<std::string>> StorageNode::Get(TenantId tenant,
+                                                const std::string& key) {
   lsm::LsmDb* db = partition(tenant);
   if (db == nullptr) {
-    out.status = Status::NotFound("unknown tenant");
-    co_return out;
+    co_return Result<std::string>(Status::NotFound("unknown tenant"));
   }
   const SimTime start = loop_.Now();
   if (cache_ != nullptr) {
     if (auto hit = cache_->Get(key); hit.has_value()) {
-      out.value = std::move(*hit);
+      Result<std::string> out(std::move(*hit));
       // Cache hits consume no IO; they still count as served requests.
-      tracker().RecordAppRequest(tenant, AppRequest::kGet, out.value.size());
+      tracker().RecordAppRequest(tenant, AppRequest::kGet, out.value().size());
       request_latency_[tenant].get->Record(
           static_cast<uint64_t>(loop_.Now() - start));
       co_return out;
     }
   }
   lsm::LsmDb::GetResult r = co_await db->Get(key);
-  out.status = r.status;
-  out.value = std::move(r.value);
-  const uint64_t billed = out.status.ok() ? out.value.size() : 1;
+  Result<std::string> out(std::move(r.status), std::move(r.value));
+  const uint64_t billed = out.ok() ? out.value().size() : 1;
   tracker().RecordAppRequest(tenant, AppRequest::kGet, billed);
   request_latency_[tenant].get->Record(
       static_cast<uint64_t>(loop_.Now() - start));
-  if (out.status.ok() && cache_ != nullptr) {
-    cache_->Put(key, out.value);
+  if (out.ok() && cache_ != nullptr) {
+    cache_->Put(key, out.value());
   }
   co_return out;
 }

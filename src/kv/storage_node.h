@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/fs/sim_fs.h"
@@ -56,10 +57,16 @@ class StorageNode {
   StorageNode& operator=(const StorageNode&) = delete;
 
   // Registers a tenant with its local app-request reservation and creates
-  // its partition.
+  // its partition. Rejects duplicate tenants (kAlreadyExists) and malformed
+  // reservations (kInvalidArgument: negative or non-finite rates; zero is
+  // legal and means best-effort).
   Status AddTenant(iosched::TenantId tenant, iosched::Reservation reservation);
-  void UpdateReservation(iosched::TenantId tenant,
-                         iosched::Reservation reservation);
+
+  // Replaces a registered tenant's reservation. Rejects unknown tenants
+  // (kNotFound) and malformed reservations (kInvalidArgument), mirroring
+  // AddTenant.
+  Status UpdateReservation(iosched::TenantId tenant,
+                           iosched::Reservation reservation);
 
   // Starts the resource policy's periodic reprovisioning.
   void Start() { policy_.Start(); }
@@ -71,11 +78,12 @@ class StorageNode {
                         const std::string& value);
   sim::Task<Status> Delete(iosched::TenantId tenant, const std::string& key);
 
-  struct GetResult {
-    Status status;
-    std::string value;
-  };
-  sim::Task<GetResult> Get(iosched::TenantId tenant, const std::string& key);
+  // The request surface's uniform result shape (also used by the cluster
+  // layer's TenantHandle::Get / MultiGet).
+  using GetResult [[deprecated("use libra::Result<std::string>")]] =
+      Result<std::string>;
+  sim::Task<Result<std::string>> Get(iosched::TenantId tenant,
+                                     const std::string& key);
 
   // --- introspection for evaluation harnesses ---
 
@@ -86,6 +94,10 @@ class StorageNode {
   ssd::SsdDevice& device() { return device_; }
   fs::SimFs& filesystem() { return fs_; }
   lsm::LsmDb* partition(iosched::TenantId tenant);
+  bool HasTenant(iosched::TenantId tenant) const {
+    return partitions_.count(tenant) > 0;
+  }
+  std::vector<iosched::TenantId> tenants() const;
   const LruCache* cache() const { return cache_.get(); }
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }

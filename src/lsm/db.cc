@@ -498,6 +498,59 @@ sim::Task<void> LsmDb::WaitIdle() {
   }
 }
 
+sim::Task<Status> LsmDb::ScanLive(
+    const iosched::IoTag& tag,
+    const std::function<void(std::string_view key, std::string_view value)>&
+        fn) {
+  const SequenceNumber snapshot = seq_;
+  // Pin the version and the memtables' contents before any suspension: the
+  // merge below must see one consistent cut of the tree.
+  const VersionRef base = current_;
+  std::vector<MemTable::Entry> entries;
+  for (const MemTable* mt : {mem_.get(), imm_.get()}) {
+    if (mt == nullptr) {
+      continue;
+    }
+    MemTable::Iterator it(mt);
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      entries.push_back(it.entry());
+    }
+  }
+  auto collect = [&entries, snapshot](const Record& rec) {
+    if (rec.seq <= snapshot) {
+      entries.push_back(MemTable::Entry{std::string(rec.key),
+                                        std::string(rec.value), rec.seq,
+                                        rec.type});
+    }
+  };
+  for (const std::vector<TableRef>& level : base->levels) {
+    for (const TableRef& t : level) {
+      Status s = co_await t->reader->ScanAll(tag, collect);
+      if (!s.ok()) {
+        co_return s;
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const MemTable::Entry& a, const MemTable::Entry& b) {
+              return CompareInternalKey(a.key, a.seq, b.key, b.seq) < 0;
+            });
+  std::string last_user_key;
+  bool have_last = false;
+  for (const MemTable::Entry& e : entries) {
+    if (have_last && e.key == last_user_key) {
+      continue;  // shadowed older version
+    }
+    last_user_key = e.key;
+    have_last = true;
+    if (e.type == ValueType::kDelete) {
+      continue;  // dead key
+    }
+    fn(e.key, e.value);
+  }
+  co_return Status::Ok();
+}
+
 LsmStats LsmDb::stats() const {
   LsmStats s;
   s.puts = puts_;

@@ -24,6 +24,7 @@
 #ifndef LIBRA_SRC_LSM_DB_H_
 #define LIBRA_SRC_LSM_DB_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,17 @@ class LsmDb {
 
   // Awaits quiescence of background flush/compaction work.
   sim::Task<void> WaitIdle();
+
+  // Reads every live (non-deleted) key/value visible at the current sequence
+  // number, in user-key order, and yields each via `fn`. Table reads are
+  // charged to the tenant under `tag` (the cluster layer's shard-migration
+  // drain uses an unattributed tag so profiles stay clean). The scan merges
+  // memtable, sealed memtable, and all levels; concurrent writes during the
+  // scan are not reflected.
+  sim::Task<Status> ScanLive(
+      const iosched::IoTag& tag,
+      const std::function<void(std::string_view key, std::string_view value)>&
+          fn);
 
   LsmStats stats() const;
   int NumFilesAtLevel(int level) const;

@@ -51,6 +51,49 @@ struct AuditRecord {
   std::vector<AuditTenantEntry> tenants;
 };
 
+// One cluster-layer rebalance action: a global provisioner either re-split a
+// tenant's global reservation across nodes or migrated a shard off a
+// persistently overbooked node. Plain scalars only, like AuditRecord: obs
+// stays below the cluster layer.
+struct RebalanceRecord {
+  enum class Kind { kSplit, kMigration };
+  Kind kind = Kind::kSplit;
+  int64_t time_ns = 0;
+  uint32_t tenant = 0;
+  // kSplit: number of nodes the reservation was spread over.
+  // kMigration: shard slot moved, source and destination node.
+  int nodes = 0;
+  int slot = -1;
+  int from_node = -1;
+  int to_node = -1;
+  uint64_t keys_moved = 0;  // kMigration only
+};
+
+// Bounded cluster rebalance history (newest records kept).
+class RebalanceLog {
+ public:
+  explicit RebalanceLog(size_t max_records = 512)
+      : max_records_(max_records) {}
+
+  void Append(RebalanceRecord record) {
+    records_.push_back(record);
+    ++total_appended_;
+    while (records_.size() > max_records_) {
+      records_.pop_front();
+    }
+  }
+
+  const std::deque<RebalanceRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  const RebalanceRecord& back() const { return records_.back(); }
+  uint64_t total_appended() const { return total_appended_; }
+
+ private:
+  size_t max_records_;
+  uint64_t total_appended_ = 0;
+  std::deque<RebalanceRecord> records_;
+};
+
 class ProvisioningAuditLog {
  public:
   explicit ProvisioningAuditLog(size_t max_records = 512)

@@ -1,0 +1,312 @@
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/global_provisioner.h"
+#include "src/obs/json.h"
+#include "src/sim/sync.h"
+#include "src/workload/workload.h"
+
+namespace libra::cluster {
+namespace {
+
+using iosched::Reservation;
+using iosched::TenantId;
+
+ssd::CalibrationTable TestTable() {
+  ssd::CalibrationTable t;
+  t.sizes_kb = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  t.rand_read_iops = {38000, 36000, 33000, 28000, 16500, 8200, 4100, 2050, 1025};
+  t.rand_write_iops = {13500, 13500, 13400, 10400, 8100, 4000, 2000, 1000, 610};
+  t.seq_read_iops = t.rand_read_iops;
+  t.seq_write_iops = t.rand_write_iops;
+  return t;
+}
+
+ClusterOptions TestOptions(int nodes = 4) {
+  ClusterOptions opt;
+  opt.num_nodes = nodes;
+  opt.node_options.calibration = TestTable();
+  opt.node_options.lsm_options.write_buffer_bytes = 256 * 1024;
+  opt.node_options.lsm_options.max_bytes_level1 = 1 * kMiB;
+  opt.node_options.prefill_bytes = 64 * kMiB;
+  return opt;
+}
+
+struct ClusterRig {
+  sim::EventLoop loop;
+  Cluster cl;
+
+  explicit ClusterRig(int nodes = 4) : cl(loop, TestOptions(nodes)) {}
+
+  void RunTask(sim::Task<void> t) {
+    sim::Detach(std::move(t));
+    loop.Run();
+  }
+};
+
+// Coroutines that outlive their spawning statement must be free functions
+// taking parameters by value: arguments are copied into the coroutine
+// frame, whereas a capturing lambda's closure is a temporary that dies at
+// the end of the full expression while the coroutine is still suspended.
+sim::Task<void> ReadLoop(sim::EventLoop* loop, TenantHandle tenant,
+                         std::vector<std::string> keys, SimTime end,
+                         uint64_t* reads) {
+  size_t i = 0;
+  while (loop->Now() < end) {
+    Result<std::string> r = co_await tenant.Get(keys[i++ % keys.size()]);
+    EXPECT_TRUE(r.ok());
+    ++*reads;
+    // Memtable-resident GETs complete in zero simulated time; yield so the
+    // clock advances and the migration coroutine interleaves.
+    co_await sim::SleepFor(*loop, 100 * kMicrosecond);
+  }
+}
+
+sim::Task<void> MigrateAndCheck(Cluster* cl, TenantId tenant, int slot,
+                                int to) {
+  const Status s = co_await cl->MigrateShard(tenant, slot, to);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(ClusterTest, HandleRoundTrip) {
+  ClusterRig rig;
+  Result<TenantHandle> h = rig.cl.AddTenant(1, GlobalReservation{500.0, 500.0});
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  TenantHandle tenant = h.value();
+  EXPECT_TRUE(tenant.valid());
+  EXPECT_EQ(tenant.tenant(), 1u);
+  rig.RunTask([&]() -> sim::Task<void> {
+    EXPECT_TRUE((co_await tenant.Put("k1", "v1")).ok());
+    EXPECT_TRUE((co_await tenant.Put("k2", "v2")).ok());
+    Result<std::string> r = co_await tenant.Get("k1");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "v1");
+    EXPECT_TRUE((co_await tenant.Delete("k2")).ok());
+    r = co_await tenant.Get("k2");
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  }());
+}
+
+TEST(ClusterTest, MultiGetPreservesKeyOrder) {
+  ClusterRig rig;
+  TenantHandle tenant = rig.cl.AddTenant(1, GlobalReservation{}).value();
+  rig.RunTask([&]() -> sim::Task<void> {
+    for (int i = 0; i < 16; ++i) {
+      co_await tenant.Put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    std::vector<std::string> keys;
+    for (int i = 15; i >= 0; --i) {
+      keys.push_back("k" + std::to_string(i));
+    }
+    keys.push_back("missing");
+    const auto results = co_await tenant.MultiGet(keys);
+    EXPECT_EQ(results.size(), keys.size());
+    if (results.size() != keys.size()) {
+      co_return;
+    }
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_TRUE(results[i].ok()) << keys[i];
+      EXPECT_EQ(results[i].value(), "v" + std::to_string(15 - i));
+    }
+    EXPECT_EQ(results[16].status().code(), StatusCode::kNotFound);
+  }());
+}
+
+TEST(ClusterTest, InvalidHandleFailsClosed) {
+  TenantHandle inert;
+  EXPECT_FALSE(inert.valid());
+  sim::EventLoop loop;
+  sim::Detach([](TenantHandle h) -> sim::Task<void> {
+    EXPECT_EQ((co_await h.Put("k", "v")).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ((co_await h.Get("k")).status().code(),
+              StatusCode::kFailedPrecondition);
+  }(inert));
+  loop.Run();
+}
+
+TEST(ClusterTest, DuplicateAndMalformedTenantsRejected) {
+  ClusterRig rig;
+  ASSERT_TRUE(rig.cl.AddTenant(1, GlobalReservation{10.0, 10.0}).ok());
+  EXPECT_EQ(rig.cl.AddTenant(1, GlobalReservation{}).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(rig.cl.AddTenant(2, GlobalReservation{-1.0, 0.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rig.cl.Handle(7).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(rig.cl.Handle(1).ok());
+}
+
+TEST(ClusterTest, AdmissionRejectsOverbookedTenant) {
+  ClusterRig rig;
+  ASSERT_TRUE(rig.cl.AddTenant(1, GlobalReservation{1000.0, 500.0}).ok());
+  const Result<TenantHandle> refused =
+      rig.cl.AddTenant(2, GlobalReservation{5.0e6, 5.0e6});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  // The status names the node and the budget it would blow.
+  EXPECT_NE(refused.status().message().find("node"), std::string::npos);
+  EXPECT_NE(refused.status().message().find("capacity floor"),
+            std::string::npos);
+  // The refused tenant left no residue on any node.
+  for (int n = 0; n < rig.cl.num_nodes(); ++n) {
+    EXPECT_FALSE(rig.cl.node(n).HasTenant(2));
+  }
+  EXPECT_FALSE(rig.cl.Handle(2).ok());
+}
+
+TEST(ClusterTest, InitialSplitSumsExactlyToGlobal) {
+  ClusterRig rig;
+  const GlobalReservation global{1234.5, 678.9};
+  ASSERT_TRUE(rig.cl.AddTenant(1, global).ok());
+  double get_sum = 0.0;
+  double put_sum = 0.0;
+  for (int n = 0; n < rig.cl.num_nodes(); ++n) {
+    const Reservation r = rig.cl.node(n).policy().GetReservation(1);
+    get_sum += r.get_rps;
+    put_sum += r.put_rps;
+  }
+  EXPECT_DOUBLE_EQ(get_sum, global.get_rps);
+  EXPECT_DOUBLE_EQ(put_sum, global.put_rps);
+}
+
+TEST(ClusterTest, UpdateGlobalReservationReinstallsSplit) {
+  ClusterRig rig;
+  ASSERT_TRUE(rig.cl.AddTenant(1, GlobalReservation{100.0, 100.0}).ok());
+  EXPECT_EQ(rig.cl.UpdateGlobalReservation(9, GlobalReservation{}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      rig.cl.UpdateGlobalReservation(1, GlobalReservation{5.0e6, 0.0}).code(),
+      StatusCode::kResourceExhausted);
+  ASSERT_TRUE(
+      rig.cl.UpdateGlobalReservation(1, GlobalReservation{400.0, 40.0}).ok());
+  EXPECT_DOUBLE_EQ(rig.cl.global_reservation(1).get_rps, 400.0);
+  double get_sum = 0.0;
+  for (int n = 0; n < rig.cl.num_nodes(); ++n) {
+    get_sum += rig.cl.node(n).policy().GetReservation(1).get_rps;
+  }
+  EXPECT_DOUBLE_EQ(get_sum, 400.0);
+}
+
+TEST(ClusterTest, MigrationPreservesEveryKey) {
+  ClusterRig rig;
+  TenantHandle tenant =
+      rig.cl.AddTenant(1, GlobalReservation{100.0, 100.0}).value();
+
+  constexpr int kKeys = 200;
+  auto key_of = [](int i) { return "obj-" + std::to_string(i); };
+  rig.RunTask([&]() -> sim::Task<void> {
+    for (int i = 0; i < kKeys; ++i) {
+      co_await tenant.Put(key_of(i), "value-" + std::to_string(i));
+    }
+  }());
+
+  const ShardMap& map = rig.cl.shard_map();
+  const int slot = map.SlotOfKey(key_of(0));
+  const int from = map.HomeOf(1, slot);
+  const int to = (from + 1) % rig.cl.num_nodes();
+
+  rig.RunTask([&]() -> sim::Task<void> {
+    const Status s = co_await rig.cl.MigrateShard(1, slot, to);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }());
+  EXPECT_EQ(map.HomeOf(1, slot), to);
+
+  // Every key reads back through the handle; migrated keys are gone from
+  // the source node and live on the destination.
+  rig.RunTask([&]() -> sim::Task<void> {
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string key = key_of(i);
+      Result<std::string> r = co_await tenant.Get(key);
+      EXPECT_TRUE(r.ok()) << key;
+      EXPECT_EQ(r.value(), "value-" + std::to_string(i));
+      if (map.SlotOfKey(key) == slot) {
+        const auto on_src = co_await rig.cl.node(from).Get(1, key);
+        EXPECT_EQ(on_src.status().code(), StatusCode::kNotFound) << key;
+        const auto on_dst = co_await rig.cl.node(to).Get(1, key);
+        EXPECT_TRUE(on_dst.ok()) << key;
+      }
+    }
+  }());
+
+  // The rebalance log recorded the move with a key count.
+  ASSERT_FALSE(rig.cl.rebalance_log().empty());
+  const obs::RebalanceRecord& rec = rig.cl.rebalance_log().back();
+  EXPECT_EQ(rec.kind, obs::RebalanceRecord::Kind::kMigration);
+  EXPECT_EQ(rec.from_node, from);
+  EXPECT_EQ(rec.to_node, to);
+  EXPECT_GT(rec.keys_moved, 0u);
+}
+
+TEST(ClusterTest, MigrationUnderLiveTrafficLosesNothing) {
+  ClusterRig rig;
+  TenantHandle tenant =
+      rig.cl.AddTenant(1, GlobalReservation{100.0, 100.0}).value();
+  auto key_of = [](int i) { return "live-" + std::to_string(i); };
+  rig.RunTask([&]() -> sim::Task<void> {
+    for (int i = 0; i < 64; ++i) {
+      co_await tenant.Put(key_of(i), "v");
+    }
+  }());
+  const int slot = rig.cl.shard_map().SlotOfKey(key_of(0));
+  const int to =
+      (rig.cl.shard_map().HomeOf(1, slot) + 1) % rig.cl.num_nodes();
+
+  // Readers hammer the migrating shard's keys while the migration drains
+  // and flips; gated requests must suspend and then succeed.
+  uint64_t reads = 0;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(key_of(i));
+  }
+  {
+    sim::TaskGroup group(rig.loop);
+    group.Spawn(ReadLoop(&rig.loop, tenant, keys,
+                         rig.loop.Now() + 200 * kMillisecond, &reads));
+    group.Spawn(MigrateAndCheck(&rig.cl, 1, slot, to));
+    rig.loop.Run();
+  }
+  EXPECT_GT(reads, 0u);
+  EXPECT_EQ(rig.cl.shard_map().HomeOf(1, slot), to);
+}
+
+TEST(ClusterTest, MigrateShardValidatesArguments) {
+  ClusterRig rig;
+  ASSERT_TRUE(rig.cl.AddTenant(1, GlobalReservation{}).ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    EXPECT_EQ((co_await rig.cl.MigrateShard(9, 0, 1)).code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ((co_await rig.cl.MigrateShard(1, -1, 1)).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ((co_await rig.cl.MigrateShard(1, 0, 99)).code(),
+              StatusCode::kInvalidArgument);
+    // Migrating a slot to its current home is a no-op success.
+    const int home = rig.cl.shard_map().HomeOf(1, 0);
+    EXPECT_TRUE((co_await rig.cl.MigrateShard(1, 0, home)).ok());
+  }());
+}
+
+TEST(ClusterTest, SnapshotCoversNodesTenantsAndRebalances) {
+  ClusterRig rig(2);
+  ASSERT_TRUE(rig.cl.AddTenant(1, GlobalReservation{10.0, 10.0}).ok());
+  const ClusterStats stats = rig.cl.Snapshot();
+  EXPECT_EQ(stats.nodes.size(), 2u);
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].tenant, 1u);
+  EXPECT_EQ(stats.tenants[0].slot_homes.size(),
+            static_cast<size_t>(rig.cl.shard_map().shards_per_tenant()));
+  const std::string json = ClusterStatsToJson(stats);
+  obs::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(obs::JsonParse(json, &parsed, &error)) << error;
+  ASSERT_NE(parsed.Find("nodes"), nullptr);
+  EXPECT_EQ(parsed.Find("nodes")->array.size(), 2u);
+  ASSERT_NE(parsed.Find("tenants"), nullptr);
+  EXPECT_EQ(parsed.Find("tenants")->array.size(), 1u);
+}
+
+}  // namespace
+}  // namespace libra::cluster

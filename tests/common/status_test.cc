@@ -35,6 +35,45 @@ TEST(StatusTest, AllCodesHaveNames) {
   }
 }
 
+TEST(ResultTest, DefaultIsOkWithDefaultValue) {
+  Result<std::string> r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "payload");
+  EXPECT_EQ(*r, "payload");
+  EXPECT_EQ(r->size(), 7u);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<std::string> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or("fallback"), "fallback");
+  // Unlike StatusOr, the value slot is always present (default-constructed
+  // on error) so call sites can read it unconditionally.
+  EXPECT_EQ(r.value(), "");
+}
+
+TEST(ResultTest, StatusAndValueTogether) {
+  // A lookup can carry both (e.g. partial reads); both survive.
+  Result<std::string> r(Status::DataLoss("torn"), std::string("prefix"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.value(), "prefix");
+}
+
+TEST(ResultTest, MutableAndMoveAccess) {
+  Result<std::string> r = std::string("abc");
+  r.value() += "d";
+  EXPECT_EQ(*r, "abcd");
+  const std::string out = std::move(r).value();
+  EXPECT_EQ(out, "abcd");
+}
+
 TEST(StatusOrTest, HoldsValue) {
   StatusOr<int> v = 42;
   ASSERT_TRUE(v.ok());

@@ -87,7 +87,7 @@ TEST(ReservationIntegrationTest, ContendingTenantsMeetReservations) {
       const double v_put = target / (ratio * price_get + price_put);
       Reservation r{ratio * v_put, v_put};
       (t == 1 ? res1 : res2) = r;
-      node.UpdateReservation(t, r);
+      EXPECT_TRUE(node.UpdateReservation(t, r).ok());
     }
   });
 

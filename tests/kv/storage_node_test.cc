@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/workload/workload.h"
 
 namespace libra::kv {
@@ -45,8 +47,8 @@ TEST(StorageNodeTest, AddTenantAndRoundTrip) {
   rig.RunTask([&]() -> sim::Task<void> {
     EXPECT_TRUE((co_await rig.node.Put(1, "k", "v")).ok());
     auto r = co_await rig.node.Get(1, "k");
-    EXPECT_TRUE(r.status.ok());
-    EXPECT_EQ(r.value, "v");
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), "v");
   }());
 }
 
@@ -62,8 +64,41 @@ TEST(StorageNodeTest, UnknownTenantRejected) {
     EXPECT_EQ((co_await rig.node.Put(9, "k", "v")).code(),
               StatusCode::kNotFound);
     auto r = co_await rig.node.Get(9, "k");
-    EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   }());
+}
+
+TEST(StorageNodeTest, UpdateReservationValidates) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {100.0, 100.0}).ok());
+  // Unknown tenants and malformed rates are rejected with the reason.
+  EXPECT_EQ(rig.node.UpdateReservation(9, {10.0, 10.0}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(rig.node.UpdateReservation(1, {-1.0, 10.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rig.node.UpdateReservation(1, {10.0, -1.0}).code(),
+            StatusCode::kInvalidArgument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(rig.node.UpdateReservation(1, {nan, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+  // A failed update leaves the previous reservation installed.
+  EXPECT_EQ(rig.node.policy().GetReservation(1).get_rps, 100.0);
+  // Zero is legal (an existing tenant downgraded to best-effort).
+  EXPECT_TRUE(rig.node.UpdateReservation(1, {}).ok());
+  EXPECT_EQ(rig.node.policy().GetReservation(1).get_rps, 0.0);
+  // And valid updates land.
+  EXPECT_TRUE(rig.node.UpdateReservation(1, {250.0, 125.0}).ok());
+  EXPECT_EQ(rig.node.policy().GetReservation(1).put_rps, 125.0);
+}
+
+TEST(StorageNodeTest, AddTenantValidatesReservation) {
+  NodeRig rig;
+  EXPECT_EQ(rig.node.AddTenant(1, {-5.0, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(rig.node.HasTenant(1));
+  EXPECT_TRUE(rig.node.AddTenant(1, {}).ok());
+  EXPECT_TRUE(rig.node.HasTenant(1));
+  EXPECT_EQ(rig.node.tenants(), std::vector<iosched::TenantId>{1});
 }
 
 TEST(StorageNodeTest, TenantsAreIsolatedNamespaces) {
@@ -75,8 +110,8 @@ TEST(StorageNodeTest, TenantsAreIsolatedNamespaces) {
     co_await rig.node.Put(2, "shared-key", "tenant2");
     auto r1 = co_await rig.node.Get(1, "shared-key");
     auto r2 = co_await rig.node.Get(2, "shared-key");
-    EXPECT_EQ(r1.value, "tenant1");
-    EXPECT_EQ(r2.value, "tenant2");
+    EXPECT_EQ(r1.value(), "tenant1");
+    EXPECT_EQ(r2.value(), "tenant2");
   }());
 }
 
@@ -87,7 +122,7 @@ TEST(StorageNodeTest, DeleteRemovesKey) {
     co_await rig.node.Put(1, "k", "v");
     EXPECT_TRUE((co_await rig.node.Delete(1, "k")).ok());
     auto r = co_await rig.node.Get(1, "k");
-    EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   }());
 }
 
@@ -113,7 +148,7 @@ TEST(StorageNodeTest, CacheHitConsumesNoIo) {
     co_await rig.node.Put(1, "k", std::string(1024, 'v'));
     const uint64_t reads_before = rig.node.tracker().Stats(1).read_ops;
     auto r = co_await rig.node.Get(1, "k");  // write-through: cache hit
-    EXPECT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.status().ok());
     EXPECT_EQ(rig.node.tracker().Stats(1).read_ops, reads_before);
   }());
   EXPECT_GT(rig.node.cache()->hits(), 0u);

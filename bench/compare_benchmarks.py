@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage:
+  bench/compare_benchmarks.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+
+Benchmarks are matched by name; only names present in BOTH files are
+compared (new benchmarks in the candidate and retired ones in the baseline
+are reported but never fail the gate). A benchmark regresses when its
+candidate real_time exceeds baseline real_time by more than --threshold
+(default 20%). Exit status: 0 = no regressions, 1 = at least one, 2 = bad
+input.
+
+The committed BENCH_micro.json at the repo root is the baseline; refresh it
+with bench/run_benchmarks.sh after an intentional perf change. CI's
+bench-smoke job runs this with a loose threshold — short-min-time runs on
+shared runners are noisy, so the gate there catches order-of-magnitude
+cliffs, not percent-level drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for every benchmark entry in the file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetition runs).
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        real_time = entry.get("real_time")
+        if name is None or real_time is None:
+            continue
+        # Normalize to nanoseconds so files with different time_unit compare.
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            sys.exit(f"error: {path}: unknown time_unit {unit!r} for {name}")
+        out[name] = real_time * scale
+    if not out:
+        sys.exit(f"error: {path}: no benchmark entries found")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when candidate benchmarks regress vs a baseline.")
+    parser.add_argument("baseline", help="baseline google-benchmark JSON")
+    parser.add_argument("candidate", help="candidate google-benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed fractional real_time increase (default 0.20 = +20%%)")
+    args = parser.parse_args()
+    if args.threshold < 0:
+        sys.exit("error: --threshold must be >= 0")
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+    shared = sorted(base.keys() & cand.keys())
+    if not shared:
+        sys.exit("error: no benchmark names in common")
+
+    for name in sorted(base.keys() - cand.keys()):
+        print(f"  [only in baseline]  {name}")
+    for name in sorted(cand.keys() - base.keys()):
+        print(f"  [only in candidate] {name}")
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  delta")
+    for name in shared:
+        b, c = base[name], cand[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  REGRESSION"
+        print(f"{name:<{width}}  {b:>10.1f}ns  {c:>10.1f}ns  "
+              f"{delta:+7.1%}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: {len(shared)} benchmarks within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

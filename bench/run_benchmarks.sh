@@ -6,9 +6,16 @@
 #   bench/run_benchmarks.sh            # full run (default min_time)
 #   BENCH_MIN_TIME=0.05s bench/run_benchmarks.sh   # quick smoke run
 #   BENCH_OUT=path.json bench/run_benchmarks.sh    # alternate output path
+#   BENCH_BUILD_DIR=dir bench/run_benchmarks.sh    # alternate build tree
+#                                                  # (default: build-bench/)
 #
-# Compare two runs (e.g. before/after a perf change) with google-benchmark's
-# tools/compare.py, or diff the "real_time" fields of the two JSON files.
+# BENCH_MIN_TIME is passed to --benchmark_min_time verbatim; older
+# google-benchmark versions want a plain double ("0.05"), newer ones also
+# accept a duration suffix ("0.05s").
+#
+# Compare two runs (e.g. before/after a perf change) with
+# bench/compare_benchmarks.py, which fails above a fractional real_time
+# threshold; the committed BENCH_micro.json is the reference baseline.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -39,6 +39,14 @@ int main() {
   options.num_nodes = 4;
   options.node_options.device_profile = profile;
   options.node_options.calibration = table;
+  // Request-path batching (off by default, paper-faithful): WAL group
+  // commit merges concurrent PUT syncs into one fairly-split device write,
+  // duplicate in-flight GETs share one lookup, MultiGet groups same-shard
+  // keys, and index blocks live in a bounded LRU table cache.
+  options.batch_multiget = true;
+  options.node_options.enable_read_coalescing = true;
+  options.node_options.lsm_options.wal_group_commit = true;
+  options.node_options.lsm_options.table_cache_bytes = 256 * kKiB;
   cluster::Cluster cl(loop, options);
 
   // 3. Admit a tenant with a *global* reservation: 2000 normalized (1KB)

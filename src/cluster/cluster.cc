@@ -66,6 +66,11 @@ sim::Task<void> GetInto(TenantHandle handle, std::string key,
   *out = co_await handle.Get(key);
 }
 
+sim::Task<void> NodeGetInto(kv::StorageNode* node, TenantId tenant,
+                            std::string key, Result<std::string>* out) {
+  *out = co_await node->Get(tenant, key);
+}
+
 }  // namespace
 
 sim::Task<std::vector<Result<std::string>>> TenantHandle::MultiGet(
@@ -76,6 +81,23 @@ sim::Task<std::vector<Result<std::string>>> TenantHandle::MultiGet(
       r = Result<std::string>(
           Status::FailedPrecondition("invalid tenant handle"));
     }
+    co_return out;
+  }
+  if (cluster_->options_.batch_multiget) {
+    // Group same-slot keys so each slot is routed (and migration-gated)
+    // once; groups on different slots still proceed concurrently, as do
+    // the lookups within a group once routed.
+    std::map<int, std::vector<std::pair<size_t, std::string>>> by_slot;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      by_slot[cluster_->shard_map_.SlotOfKey(keys[i])].emplace_back(i,
+                                                                    keys[i]);
+    }
+    sim::TaskGroup batched(cluster_->loop_);
+    for (auto& [slot, group_keys] : by_slot) {
+      batched.Spawn(cluster_->MultiGetSlotGroup(tenant_, slot,
+                                                std::move(group_keys), &out));
+    }
+    co_await batched.Join();
     co_return out;
   }
   // Fan out: every lookup is its own coroutine, so keys on different nodes
@@ -345,6 +367,31 @@ sim::Task<Result<std::string>> Cluster::Get(TenantId tenant, std::string key) {
   Result<std::string> r = co_await nodes_[node]->Get(tenant, key);
   --ss.inflight;
   co_return r;
+}
+
+sim::Task<void> Cluster::MultiGetSlotGroup(
+    TenantId tenant, int slot, std::vector<std::pair<size_t, std::string>> keys,
+    std::vector<Result<std::string>>* out) {
+  if (tenants_.count(tenant) == 0) {
+    for (const auto& [i, key] : keys) {
+      (*out)[i] = Result<std::string>(
+          Status::NotFound("unknown tenant " + std::to_string(tenant)));
+    }
+    co_return;
+  }
+  ++multiget_groups_;
+  multiget_grouped_keys_ += keys.size();
+  // One migration gate for the whole group; the same inflight accounting
+  // as per-key Get so a draining migration still waits for every member.
+  const int node = co_await AwaitRoutable(tenant, slot);
+  ShardState& ss = Shard(tenant, slot);
+  ss.inflight += static_cast<int>(keys.size());
+  sim::TaskGroup group(loop_);
+  for (const auto& [i, key] : keys) {
+    group.Spawn(NodeGetInto(nodes_[node].get(), tenant, key, &(*out)[i]));
+  }
+  co_await group.Join();
+  ss.inflight -= static_cast<int>(keys.size());
 }
 
 // --- shard migration ---

@@ -73,6 +73,11 @@ struct ClusterOptions {
   // factor (a stand-in for unobserved amplification at admission time).
   double admission_utilization = 0.95;
   double admission_headroom = 1.0;
+  // Group MultiGet fan-out by shard slot: same-slot keys share one routing
+  // gate (one AwaitRoutable instead of one per key) and are issued to the
+  // home node as one batch whose lookups still proceed concurrently. Off by
+  // default (per-key routing, the pre-batching behavior).
+  bool batch_multiget = false;
 };
 
 // Client surface for one tenant: routes requests to the node homing each
@@ -169,6 +174,11 @@ class Cluster {
   double GlobalNormalizedTotal(iosched::TenantId tenant,
                                iosched::AppRequest app) const;
 
+  // Batched-MultiGet accounting (0 unless options.batch_multiget): slot
+  // groups routed and the keys they carried.
+  uint64_t multiget_groups() const { return multiget_groups_; }
+  uint64_t multiget_grouped_keys() const { return multiget_grouped_keys_; }
+
   ClusterStats Snapshot() const;
 
  private:
@@ -198,6 +208,16 @@ class Cluster {
 
   // Suspends while (tenant, slot) is migrating, then returns its home node.
   sim::Task<int> AwaitRoutable(iosched::TenantId tenant, int slot);
+
+  // Batched MultiGet: routes one slot's key group through a single gate,
+  // then fans the lookups out concurrently on the home node, writing each
+  // result to its original position in the caller's output vector.
+  // `keys` pairs are (output index, key), by value: the coroutine frame
+  // must own them across suspension.
+  sim::Task<void> MultiGetSlotGroup(
+      iosched::TenantId tenant, int slot,
+      std::vector<std::pair<size_t, std::string>> keys,
+      std::vector<Result<std::string>>* out);
 
   // VOP price of one normalized (1KB) request at admission time.
   double AdmissionPrice(iosched::AppRequest app) const;
@@ -231,6 +251,8 @@ class Cluster {
   std::map<uint64_t, ShardState> shards_;
   obs::RebalanceLog rebalance_log_;
   int active_migrations_ = 0;  // MigrateShard calls currently draining/copying
+  uint64_t multiget_groups_ = 0;
+  uint64_t multiget_grouped_keys_ = 0;
 };
 
 }  // namespace libra::cluster

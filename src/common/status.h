@@ -87,16 +87,13 @@ class Status {
 // Result<T>: a Status plus a T payload, the uniform result shape of the KV
 // request surface (StorageNode::Get, the cluster layer's TenantHandle::Get /
 // MultiGet, and cluster routing). Unlike StatusOr, a Result always holds a T
-// — default-constructed on error — so the migration from the historical
-// `struct GetResult { Status status; std::string value; }` is mechanical
-// (`r.status` -> `r.status()`, `r.value` -> `r.value()`), and containers of
-// Result (MultiGet) need no sentinel. value() on an error returns the
-// default-constructed payload; callers gate on ok() for meaning.
+// — default-constructed on error — so containers of Result (MultiGet) need
+// no sentinel. value() on an error returns the default-constructed payload;
+// callers gate on ok() for meaning.
 template <typename T>
 class Result {
  public:
-  // Default: OK with a default-constructed payload (mirrors the old
-  // GetResult zero state).
+  // Default: OK with a default-constructed payload.
   Result() = default;
   Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

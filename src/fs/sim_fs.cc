@@ -142,6 +142,72 @@ sim::Task<Status> SimFs::Append(FileId file, const iosched::IoTag& tag,
   co_return Status::Ok();
 }
 
+sim::Task<Status> SimFs::AppendShared(FileId file,
+                                      std::vector<iosched::IoShare> manifest,
+                                      std::string_view data) {
+  File* f = Lookup(file);
+  if (f == nullptr) {
+    co_return Status::NotFound("bad file id");
+  }
+  if (data.empty()) {
+    co_return Status::Ok();
+  }
+  assert(!manifest.empty());
+  // Same synchronous range reservation as Append (see above).
+  const uint64_t offset = f->data.size();
+  if (!EnsureCapacity(*f, offset + data.size())) {
+    co_return Status::ResourceExhausted("filesystem full");
+  }
+  f->data.append(data.data(), data.size());
+
+  if (manifest.size() == 1) {
+    // Degenerate batch: identical IO pattern to a plain Append.
+    const iosched::IoTag tag = manifest[0].tag;
+    uint64_t done = 0;
+    while (done < data.size()) {
+      const uint64_t pos = offset + done;
+      const uint64_t in_extent = extent_bytes_ - pos % extent_bytes_;
+      const uint32_t len = static_cast<uint32_t>(
+          std::min<uint64_t>(in_extent, data.size() - done));
+      co_await scheduler_.Write(tag, DiskAddress(*f, pos), len);
+      done += len;
+    }
+    co_return Status::Ok();
+  }
+
+  // One shared device write per contiguous disk segment, each carrying the
+  // slice of the manifest that overlaps its byte range (the scheduler
+  // further slices per chunk and splits costs with the exact-sum rule).
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const uint64_t pos = offset + done;
+    const uint64_t in_extent = extent_bytes_ - pos % extent_bytes_;
+    const uint32_t len = static_cast<uint32_t>(
+        std::min<uint64_t>(in_extent, data.size() - done));
+    const uint64_t seg_lo = done;
+    const uint64_t seg_hi = done + len;
+    std::vector<iosched::IoShare> slice;
+    uint64_t share_pos = 0;
+    for (const iosched::IoShare& s : manifest) {
+      const uint64_t s_lo = share_pos;
+      share_pos += s.bytes;
+      if (share_pos <= seg_lo) {
+        continue;
+      }
+      if (s_lo >= seg_hi) {
+        break;
+      }
+      const uint32_t overlap = static_cast<uint32_t>(
+          std::min(share_pos, seg_hi) - std::max(s_lo, seg_lo));
+      slice.push_back({s.tag, overlap});
+    }
+    co_await scheduler_.WriteShared(DiskAddress(*f, pos), len,
+                                    std::move(slice));
+    done += len;
+  }
+  co_return Status::Ok();
+}
+
 sim::Task<Status> SimFs::ReadAt(FileId file, const iosched::IoTag& tag,
                                 uint64_t offset, uint64_t length,
                                 std::string* out) {

@@ -61,6 +61,16 @@ class SimFs {
   sim::Task<Status> Append(FileId file, const iosched::IoTag& tag,
                            std::string_view data);
 
+  // Appends a batched payload contributed by multiple tags (WAL group
+  // commit): one durable append whose device IOPs carry `manifest` — a
+  // byte-ordered cost manifest covering `data` exactly — so the scheduler
+  // splits the VOP cost back onto each contributor. Extent-crossing
+  // payloads split into per-segment device writes, each carrying the
+  // matching slice of the manifest.
+  sim::Task<Status> AppendShared(FileId file,
+                                 std::vector<iosched::IoShare> manifest,
+                                 std::string_view data);
+
   // Reads [offset, offset+length) into *out (resized). Reading past EOF is
   // an error.
   sim::Task<Status> ReadAt(FileId file, const iosched::IoTag& tag,
@@ -69,6 +79,8 @@ class SimFs {
 
   uint64_t SizeOf(FileId file) const;
   FsStats stats() const;
+
+  iosched::IoScheduler& scheduler() { return scheduler_; }
 
   // Host-side peek at file contents WITHOUT device IO or scheduling. Only
   // for one-shot maintenance paths that happen before a node serves

@@ -61,6 +61,17 @@ struct IoTag {
   InternalOp internal = InternalOp::kNone;
 };
 
+// One contributor's slice of a batched (shared) IOP: `bytes` of the op's
+// payload belong to `tag`. A manifest — an ordered list of shares covering
+// the op byte range exactly — lets the scheduler split the merged IOP's VOP
+// cost back onto the (tenant, app-request, internal-op) tags that rode it,
+// proportionally to bytes, with an exact-sum invariant (the split charges
+// reconstruct the IOP's total cost bit-for-bit).
+struct IoShare {
+  IoTag tag;
+  uint32_t bytes = 0;
+};
+
 // Normalized request units (paper reservations are in size-normalized 1KB
 // requests): a 4KB GET counts as 4 normalized GETs; sub-1KB rounds up to 1.
 inline double NormalizedRequests(uint64_t size_bytes) {

@@ -50,6 +50,13 @@ void ResourceTracker::RecordIo(const IoTag& tag, ssd::IoType type,
           [static_cast<int>(type)] += vop_cost;
 }
 
+void ResourceTracker::RecordIoShare(const IoTag& tag, ssd::IoType type,
+                                    uint32_t size_bytes, double vop_cost) {
+  ++shared_io_shares_;
+  shared_io_bytes_ += size_bytes;
+  RecordIo(tag, type, size_bytes, vop_cost);
+}
+
 void ResourceTracker::RecordAppRequest(TenantId tenant, AppRequest app,
                                        uint64_t size_bytes) {
   Tenant& t = GetTenant(tenant);

@@ -72,6 +72,15 @@ class ResourceTracker {
   void RecordIo(const IoTag& tag, ssd::IoType type, uint32_t size_bytes,
                 double vop_cost);
 
+  // Called for one contributor's slice of a shared (batched) IO chunk.
+  // Accounting is identical to RecordIo — the slice's bytes and its exact
+  // pre-split VOP cost land on the contributor's (tenant, app, internal-op)
+  // class, so profiles and the audit trail stay truthful under batching —
+  // plus cumulative shared-IO counters so tests and demos can measure how
+  // much traffic rode merged IOPs.
+  void RecordIoShare(const IoTag& tag, ssd::IoType type, uint32_t size_bytes,
+                     double vop_cost);
+
   // Called by the serving layer when an app request completes.
   void RecordAppRequest(TenantId tenant, AppRequest app, uint64_t size_bytes);
 
@@ -112,6 +121,11 @@ class ResourceTracker {
 
   // Total VOPs consumed across all tenants since construction.
   double total_vops() const { return total_vops_; }
+
+  // Cumulative slices recorded via RecordIoShare and the bytes they
+  // covered (0 when batching is off — the default).
+  uint64_t shared_io_shares() const { return shared_io_shares_; }
+  uint64_t shared_io_bytes() const { return shared_io_bytes_; }
 
   std::vector<TenantId> tenants() const;
 
@@ -154,6 +168,8 @@ class ResourceTracker {
   std::unordered_map<TenantId, Tenant> tenants_;
   TenantIoStats empty_stats_;
   double total_vops_ = 0.0;
+  uint64_t shared_io_shares_ = 0;
+  uint64_t shared_io_bytes_ = 0;
 };
 
 }  // namespace libra::iosched

@@ -94,12 +94,33 @@ double IoScheduler::Allocation(TenantId tenant) const {
 
 sim::Task<void> IoScheduler::Read(const IoTag& tag, uint64_t offset,
                                   uint32_t size) {
-  return Submit(tag, ssd::IoType::kRead, offset, size);
+  return Submit(tag, ssd::IoType::kRead, offset, size, {});
 }
 
 sim::Task<void> IoScheduler::Write(const IoTag& tag, uint64_t offset,
                                    uint32_t size) {
-  return Submit(tag, ssd::IoType::kWrite, offset, size);
+  return Submit(tag, ssd::IoType::kWrite, offset, size, {});
+}
+
+sim::Task<void> IoScheduler::WriteShared(uint64_t offset, uint32_t size,
+                                         std::vector<IoShare> manifest) {
+  assert(!manifest.empty());
+  if (manifest.size() == 1) {
+    // Degenerate batch of one: exactly a plain write.
+    return Submit(manifest[0].tag, ssd::IoType::kWrite, offset, size, {});
+  }
+#ifndef NDEBUG
+  uint64_t manifest_bytes = 0;
+  for (const IoShare& s : manifest) {
+    assert(s.tag.tenant != kInvalidTenant);
+    assert(s.bytes > 0);
+    manifest_bytes += s.bytes;
+  }
+  assert(manifest_bytes == size);
+#endif
+  const IoTag leader = manifest[0].tag;
+  return Submit(leader, ssd::IoType::kWrite, offset, size,
+                std::move(manifest));
 }
 
 IoScheduler::Op* IoScheduler::AllocOp(const IoTag& tag, ssd::IoType type,
@@ -122,6 +143,7 @@ IoScheduler::Op* IoScheduler::AllocOp(const IoTag& tag, ssd::IoType type,
   op->submit_time = loop_.Now();
   op->first_dispatch = 0;
   op->done = nullptr;
+  op->manifest.clear();
   return op;
 }
 
@@ -131,7 +153,8 @@ void IoScheduler::FreeOp(Op* op) {
 }
 
 sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
-                                    uint64_t offset, uint32_t size) {
+                                    uint64_t offset, uint32_t size,
+                                    std::vector<IoShare> manifest) {
   assert(tag.tenant != kInvalidTenant);
   sim::OneShot<bool> done(loop_);
   Tenant& tenant = GetTenant(tag.tenant);  // auto-registers (allocation 0)
@@ -157,6 +180,7 @@ sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
   }
   Op* op = AllocOp(tag, type, offset, size);
   op->done = &done;
+  op->manifest = std::move(manifest);
   if (trace_ != nullptr) {
     trace_->Record({op->submit_time, obs::TraceEventType::kSubmit, tag.tenant,
                     static_cast<uint8_t>(tag.app),
@@ -258,20 +282,63 @@ void IoScheduler::DispatchChunk(Tenant& tenant) {
   ctx.tenant = tenant.id;
   ctx.cost = cost;
   ctx.chunk = chunk;
+  ctx.shares.clear();
+  if (!op->manifest.empty()) {
+    // Shared chunk: slice the manifest by this chunk's byte range and
+    // pre-split the chunk's VOP cost byte-proportionally. All but the last
+    // overlapping share take their byte fraction; the last takes the
+    // remainder, so the slice costs reconstruct `cost` bit-for-bit.
+    const uint64_t lo = chunk_offset - op->offset;
+    const uint64_t hi = lo + chunk;
+    uint64_t pos = 0;
+    for (const IoShare& s : op->manifest) {
+      const uint64_t s_lo = pos;
+      pos += s.bytes;
+      if (pos <= lo) {
+        continue;
+      }
+      if (s_lo >= hi) {
+        break;
+      }
+      const uint32_t overlap = static_cast<uint32_t>(std::min(pos, hi) -
+                                                     std::max(s_lo, lo));
+      ctx.shares.push_back({s.tag, overlap, 0.0});
+    }
+    assert(!ctx.shares.empty());
+    double assigned = 0.0;
+    for (size_t i = 0; i + 1 < ctx.shares.size(); ++i) {
+      ctx.shares[i].cost = cost * (static_cast<double>(ctx.shares[i].bytes) /
+                                   static_cast<double>(chunk));
+      assigned += ctx.shares[i].cost;
+    }
+    ctx.shares.back().cost = cost - assigned;
+  }
   device_.Submit(ssd::IoRequest{op->type, chunk_offset, chunk},
                  [this, ctx_idx] { OnChunkComplete(ctx_idx); });
 }
 
 void IoScheduler::OnChunkComplete(uint32_t index) {
-  // Copy out, then recycle the slot: the Pump below may dispatch into it.
-  const ChunkCtx ctx = chunk_ctx_[index];
-  chunk_ctx_[index].next_free = chunk_free_;
+  // Record against the slot, copy the scalars out, then recycle it: the
+  // Pump below may dispatch into it.
+  ChunkCtx& slot = chunk_ctx_[index];
+  Op* op = slot.op;
+  const TenantId tenant_id = slot.tenant;
+  const double cost = slot.cost;
+  const uint32_t chunk = slot.chunk;
+  if (slot.shares.empty()) {
+    tracker_.RecordIo(op->tag, op->type, chunk, cost);
+  } else {
+    // Shared chunk: each contributor is charged its pre-split exact share.
+    for (const ChunkShare& s : slot.shares) {
+      tracker_.RecordIoShare(s.tag, op->type, s.bytes, s.cost);
+    }
+    slot.shares.clear();  // free-list invariant: recycled slots hold none
+  }
+  slot.next_free = chunk_free_;
   chunk_free_ = index;
 
-  Op* op = ctx.op;
-  tracker_.RecordIo(op->tag, op->type, ctx.chunk, ctx.cost);
   --op->chunks_inflight;
-  Tenant& t = *FindTenant(ctx.tenant);  // tenants are never removed
+  Tenant& t = *FindTenant(tenant_id);  // tenants are never removed
   --t.chunks_inflight;
   if (op->fully_dispatched() && op->chunks_inflight == 0) {
     const SimTime now = loop_.Now();
@@ -282,7 +349,7 @@ void IoScheduler::OnChunkComplete(uint32_t index) {
     t.lifecycle->Mutable(op->tag.app, op->tag.internal)
         .RecordOp(queue_wait, service, op->chunks_total, op->size);
     if (trace_ != nullptr) {
-      trace_->Record({now, obs::TraceEventType::kComplete, ctx.tenant,
+      trace_->Record({now, obs::TraceEventType::kComplete, tenant_id,
                       static_cast<uint8_t>(op->tag.app),
                       static_cast<uint8_t>(op->tag.internal),
                       op->type == ssd::IoType::kWrite, op->offset, op->size,

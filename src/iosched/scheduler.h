@@ -118,9 +118,21 @@ class IoScheduler {
   sim::Task<void> Read(const IoTag& tag, uint64_t offset, uint32_t size);
   sim::Task<void> Write(const IoTag& tag, uint64_t offset, uint32_t size);
 
+  // Submits one batched IOP carrying a multi-tag manifest. The manifest's
+  // shares must be non-empty, byte-ordered, and sum exactly to `size`. The
+  // op is scheduled (DRR queue, deficit charge, lifecycle stats) under the
+  // first share's tag — the batch leader — but its VOP cost is split across
+  // all shares proportionally to bytes with an exact-sum invariant, so the
+  // ResourceTracker's per-(tenant, app, op) profiles see each contributor's
+  // true fraction of the merged IOP. A single-share manifest degenerates to
+  // the plain Write path.
+  sim::Task<void> WriteShared(uint64_t offset, uint32_t size,
+                              std::vector<IoShare> manifest);
+
   ResourceTracker& tracker() { return tracker_; }
   const ResourceTracker& tracker() const { return tracker_; }
   const CostModel& cost_model() const { return *cost_model_; }
+  sim::EventLoop& loop() { return loop_; }
 
   // Rounds completed so far (scheduling-cadence introspection).
   uint64_t rounds() const { return rounds_; }
@@ -153,6 +165,9 @@ class IoScheduler {
     SimTime submit_time;
     SimTime first_dispatch;    // valid once dispatched > 0
     sim::OneShot<bool>* done;
+    // Multi-tag cost manifest for batched IOPs (WriteShared); empty for
+    // plain single-tag IOs, which keep the exact pre-manifest fast path.
+    std::vector<IoShare> manifest;
 
     bool fully_dispatched() const { return dispatched >= size; }
   };
@@ -189,8 +204,11 @@ class IoScheduler {
               uint32_t size);
   void FreeOp(Op* op);
 
+  // `manifest` is empty for plain IOs; for shared IOPs it is the validated,
+  // byte-ordered multi-tag manifest (taken by value: coroutine parameters
+  // must own their storage across suspension).
   sim::Task<void> Submit(const IoTag& tag, ssd::IoType type, uint64_t offset,
-                         uint32_t size);
+                         uint32_t size, std::vector<IoShare> manifest);
 
   // Next chunk size for the head op of a tenant queue.
   uint32_t NextChunkBytes(const Op& op) const;
@@ -203,6 +221,17 @@ class IoScheduler {
 
   void DispatchChunk(Tenant& tenant);
 
+  // One contributor's pre-split slice of a shared chunk: `bytes` overlap
+  // between the chunk's byte range and the share's manifest range, and the
+  // exact VOP cost charged for it (all but the last slice take their byte
+  // fraction of the chunk cost; the last takes the remainder, so the slice
+  // costs reconstruct the chunk cost bit-for-bit).
+  struct ChunkShare {
+    IoTag tag;
+    uint32_t bytes = 0;
+    double cost = 0.0;
+  };
+
   // Per-chunk completion context, recycled through a free list (live
   // entries bounded by queue_depth). The device completion callback
   // captures only {this, index} — one reused record per chunk slot instead
@@ -213,6 +242,10 @@ class IoScheduler {
     double cost = 0.0;
     uint32_t chunk = 0;
     uint32_t next_free = 0;
+    // Cost split for shared chunks; empty for plain chunks. The vector's
+    // capacity is recycled with the slot, so steady-state shared traffic
+    // does not allocate.
+    std::vector<ChunkShare> shares;
   };
   uint32_t AllocChunkCtx();
   void OnChunkComplete(uint32_t index);

@@ -49,6 +49,7 @@ void LruCache::EvictToFit() {
     used_ -= victim.key.size() + victim.value.size();
     map_.erase(victim.key);
     lru_.pop_back();
+    ++evictions_;
   }
 }
 

@@ -34,6 +34,7 @@ class LruCache {
   size_t entries() const { return map_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -47,6 +48,7 @@ class LruCache {
   size_t used_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> map_;
 };

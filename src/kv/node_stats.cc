@@ -120,6 +120,25 @@ std::string NodeStatsToJson(const NodeStats& stats) {
   w.Uint(stats.scheduler_rounds);
   w.EndObject();
 
+  w.Key("object_cache");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(stats.object_cache.enabled);
+  w.Key("hits");
+  w.Uint(stats.object_cache.hits);
+  w.Key("misses");
+  w.Uint(stats.object_cache.misses);
+  w.Key("evictions");
+  w.Uint(stats.object_cache.evictions);
+  w.Key("resident_bytes");
+  w.Uint(stats.object_cache.resident_bytes);
+  w.Key("entries");
+  w.Uint(stats.object_cache.entries);
+  w.EndObject();
+
+  w.Key("coalesced_gets");
+  w.Uint(stats.coalesced_gets);
+
   w.Key("tenants");
   w.BeginArray();
   for (const TenantSnapshot& t : stats.tenants) {
@@ -186,6 +205,28 @@ std::string NodeStatsToJson(const NodeStats& stats) {
     w.Uint(t.lsm.stall_ns);
     w.Key("tables_probed");
     w.Uint(t.lsm.tables_probed);
+    w.Key("wal");
+    w.BeginObject();
+    w.Key("appends");
+    w.Uint(t.lsm.wal_appends);
+    w.Key("batches");
+    w.Uint(t.lsm.wal_batches);
+    w.Key("batched_records");
+    w.Uint(t.lsm.wal_batched_records);
+    w.Key("max_batch_records");
+    w.Uint(t.lsm.wal_max_batch_records);
+    w.EndObject();
+    w.Key("table_cache");
+    w.BeginObject();
+    w.Key("hits");
+    w.Uint(t.lsm.table_cache_hits);
+    w.Key("misses");
+    w.Uint(t.lsm.table_cache_misses);
+    w.Key("evictions");
+    w.Uint(t.lsm.table_cache_evictions);
+    w.Key("resident_bytes");
+    w.Uint(t.lsm.table_cache_resident_bytes);
+    w.EndObject();
     w.Key("files_per_level");
     w.BeginArray();
     for (int n : t.lsm.files_per_level) {

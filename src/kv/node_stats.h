@@ -46,12 +46,28 @@ struct TenantSnapshot {
   lsm::LsmStats lsm;
 };
 
+// Protocol-layer object (LRU) cache counters. `enabled` is false when the
+// node runs cache-less (the paper's disk-bound configuration); the counters
+// are then all zero.
+struct ObjectCacheSnapshot {
+  bool enabled = false;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t entries = 0;
+};
+
 struct NodeStats {
   int64_t time_ns = 0;
   ssd::DeviceStats device;
   double capacity_floor_vops = 0.0;
   double capacity_estimate_vops = 0.0;
   uint64_t scheduler_rounds = 0;
+  ObjectCacheSnapshot object_cache;
+  // GETs served by riding another request's in-flight lookup (read
+  // coalescing; 0 unless NodeOptions.enable_read_coalescing).
+  uint64_t coalesced_gets = 0;
   std::vector<TenantSnapshot> tenants;
   std::vector<obs::AuditRecord> audit;  // the policy's retained records
 };

@@ -154,6 +154,43 @@ sim::Task<Result<std::string>> StorageNode::Get(TenantId tenant,
       co_return out;
     }
   }
+  if (options_.enable_read_coalescing) {
+    const std::pair<TenantId, std::string> flight_key(tenant, key);
+    const auto it = inflight_gets_.find(flight_key);
+    if (it != inflight_gets_.end()) {
+      // Follower: ride the leader's in-flight lookup. The request is still
+      // individually billed and its latency recorded — only the IO is
+      // shared.
+      ++coalesced_gets_;
+      sim::OneShot<Result<std::string>> done(loop_);
+      it->second.push_back(&done);
+      Result<std::string> out = co_await done.Wait();
+      tracker().RecordAppRequest(tenant, AppRequest::kGet,
+                                 out.ok() ? out.value().size() : 1);
+      request_latency_[tenant].get->Record(
+          static_cast<uint64_t>(loop_.Now() - start));
+      co_return out;
+    }
+    // Leader: claim the flight, run the lookup, resolve everyone who
+    // joined meanwhile.
+    inflight_gets_.emplace(flight_key, std::vector<sim::OneShot<Result<std::string>>*>());
+    lsm::LsmDb::GetResult r = co_await db->Get(key);
+    Result<std::string> out(std::move(r.status), std::move(r.value));
+    // Detach the waiter list before resolving: a resumed follower may
+    // immediately issue the same key again and must start a fresh flight.
+    auto flight = inflight_gets_.extract(flight_key);
+    for (sim::OneShot<Result<std::string>>* w : flight.mapped()) {
+      w->Set(out);
+    }
+    const uint64_t billed = out.ok() ? out.value().size() : 1;
+    tracker().RecordAppRequest(tenant, AppRequest::kGet, billed);
+    request_latency_[tenant].get->Record(
+        static_cast<uint64_t>(loop_.Now() - start));
+    if (out.ok() && cache_ != nullptr) {
+      cache_->Put(key, out.value());
+    }
+    co_return out;
+  }
   lsm::LsmDb::GetResult r = co_await db->Get(key);
   Result<std::string> out(std::move(r.status), std::move(r.value));
   const uint64_t billed = out.ok() ? out.value().size() : 1;
@@ -173,6 +210,15 @@ NodeStats StorageNode::Snapshot() const {
   s.capacity_floor_vops = capacity_.provisionable();
   s.capacity_estimate_vops = capacity_.current_estimate();
   s.scheduler_rounds = scheduler_.rounds();
+  if (cache_ != nullptr) {
+    s.object_cache.enabled = true;
+    s.object_cache.hits = cache_->hits();
+    s.object_cache.misses = cache_->misses();
+    s.object_cache.evictions = cache_->evictions();
+    s.object_cache.resident_bytes = cache_->size_bytes();
+    s.object_cache.entries = cache_->entries();
+  }
+  s.coalesced_gets = coalesced_gets_;
   s.tenants.reserve(partitions_.size());
   for (const auto& [tenant, db] : partitions_) {
     TenantSnapshot t;

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -44,6 +45,11 @@ struct NodeOptions {
   lsm::LsmOptions lsm_options;
   bool enable_cache = false;                // paper's experiments: disabled
   size_t cache_bytes = 64 * kMiB;
+  // Singleflight for duplicate in-flight GETs of the same (tenant, key):
+  // followers ride the leader's LSM lookup instead of issuing their own
+  // index/data block reads. Off by default (paper-faithful: every GET pays
+  // its own IO).
+  bool enable_read_coalescing = false;
   uint64_t prefill_bytes = 1ULL * kGiB;     // device preconditioning
 
   NodeOptions() : device_profile(ssd::Intel320Profile()) {}
@@ -78,10 +84,6 @@ class StorageNode {
                         const std::string& value);
   sim::Task<Status> Delete(iosched::TenantId tenant, const std::string& key);
 
-  // The request surface's uniform result shape (also used by the cluster
-  // layer's TenantHandle::Get / MultiGet).
-  using GetResult [[deprecated("use libra::Result<std::string>")]] =
-      Result<std::string>;
   sim::Task<Result<std::string>> Get(iosched::TenantId tenant,
                                      const std::string& key);
 
@@ -99,6 +101,8 @@ class StorageNode {
   }
   std::vector<iosched::TenantId> tenants() const;
   const LruCache* cache() const { return cache_.get(); }
+  // GETs that rode another request's in-flight lookup (read coalescing).
+  uint64_t coalesced_gets() const { return coalesced_gets_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
@@ -125,6 +129,14 @@ class StorageNode {
   std::map<iosched::TenantId, std::unique_ptr<lsm::LsmDb>> partitions_;
   obs::MetricsRegistry metrics_;
   std::map<iosched::TenantId, RequestLatency> request_latency_;
+  // Singleflight table: in-flight GET leaders keyed by (tenant, key);
+  // followers park a OneShot here and are resolved when the leader's
+  // lookup lands. Single-threaded coroutine interleaving makes the
+  // find-or-claim race-free.
+  std::map<std::pair<iosched::TenantId, std::string>,
+           std::vector<sim::OneShot<Result<std::string>>*>>
+      inflight_gets_;
+  uint64_t coalesced_gets_ = 0;
 };
 
 }  // namespace libra::kv

@@ -20,6 +20,7 @@ LsmDb::LsmDb(sim::EventLoop& loop, fs::SimFs& fs,
       tenant_(tenant),
       prefix_(std::move(name_prefix)),
       options_(options),
+      table_cache_(options.table_cache_bytes),
       stall_mu_(loop),
       stall_cv_(loop) {
   assert(options_.num_levels >= 2);
@@ -37,6 +38,14 @@ std::string LsmDb::WalName(uint64_t number) const {
   return prefix_ + "/wal_" + std::to_string(number);
 }
 
+WalOptions LsmDb::MakeWalOptions() const {
+  WalOptions w;
+  w.group_commit = options_.wal_group_commit;
+  w.group_max_bytes = options_.wal_group_max_bytes;
+  w.group_max_records = options_.wal_group_max_records;
+  return w;
+}
+
 uint64_t LsmDb::MaxBytesForLevel(int level) const {
   uint64_t max = options_.max_bytes_level1;
   for (int l = 1; l < level; ++l) {
@@ -47,7 +56,8 @@ uint64_t LsmDb::MaxBytesForLevel(int level) const {
 
 Status LsmDb::Open() {
   mem_ = std::make_unique<MemTable>();
-  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++));
+  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++),
+                                         MakeWalOptions(), &wal_counters_);
   const bool existing = fs_.Exists(wal_->filename());
   if (Status s = wal_->Open(); !s.ok()) {
     return s;
@@ -85,7 +95,8 @@ Status LsmDb::SealMemtable() {
   imm_ = std::move(mem_);
   imm_wal_ = std::move(wal_);
   mem_ = std::make_unique<MemTable>();
-  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++));
+  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++),
+                                         MakeWalOptions(), &wal_counters_);
   if (Status s = wal_->Open(); !s.ok()) {
     return s;
   }
@@ -247,8 +258,13 @@ sim::Task<StatusOr<LsmDb::TableRef>> LsmDb::BuildTable(
   handle->smallest = builder.smallest_key();
   handle->largest = builder.largest_key();
   handle->size_bytes = fs_.SizeOf(handle->file);
-  handle->reader =
-      std::make_unique<SstableReader>(fs_, handle->file, sst_opt);
+  // Bounded table cache only when configured; capacity 0 keeps the legacy
+  // reader-resident index (identical IO pattern to before the cache).
+  TableIndexCache* cache =
+      options_.table_cache_bytes > 0 ? &table_cache_ : nullptr;
+  handle->index_cache = cache;
+  handle->reader = std::make_unique<SstableReader>(fs_, handle->file, sst_opt,
+                                                   cache, handle->number);
   co_return handle;
 }
 
@@ -565,6 +581,14 @@ LsmStats LsmDb::stats() const {
   s.compact_ns = compact_ns_;
   s.stalls = stalls_;
   s.stall_ns = stall_ns_;
+  s.wal_appends = wal_counters_.appends;
+  s.wal_batches = wal_counters_.batches;
+  s.wal_batched_records = wal_counters_.batched_records;
+  s.wal_max_batch_records = wal_counters_.max_batch_records;
+  s.table_cache_hits = table_cache_.hits();
+  s.table_cache_misses = table_cache_.misses();
+  s.table_cache_evictions = table_cache_.evictions();
+  s.table_cache_resident_bytes = table_cache_.resident_bytes();
   for (const auto& files : current_->levels) {
     s.files_per_level.push_back(static_cast<int>(files.size()));
   }

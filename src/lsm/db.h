@@ -51,6 +51,14 @@ struct LsmOptions {
   int l0_stop_writes = 12;
   int num_levels = 5;
   uint64_t max_bytes_level1 = 8 * kMiB;  // grows 8x per level
+  // Request-path batching knobs. Defaults preserve the paper-faithful IO
+  // pattern (one synced WAL IOP per PUT, unbounded first-use index cache).
+  bool wal_group_commit = false;
+  uint32_t wal_group_max_bytes = 256 * 1024;
+  uint32_t wal_group_max_records = 64;
+  // Byte cap on resident sstable index blocks; 0 = unbounded (default:
+  // every table keeps its index resident after first use, as before).
+  uint64_t table_cache_bytes = 0;
 };
 
 struct LsmStats {
@@ -67,6 +75,16 @@ struct LsmStats {
   uint64_t compact_ns = 0;             // total sim time inside compactions
   uint64_t stalls = 0;                 // write-stall episodes entered
   uint64_t stall_ns = 0;               // total writer time spent stalled
+  // WAL group commit (all zero unless wal_group_commit is on):
+  uint64_t wal_appends = 0;          // records appended to any WAL
+  uint64_t wal_batches = 0;          // device appends issued by leaders
+  uint64_t wal_batched_records = 0;  // records that rode those batches
+  uint64_t wal_max_batch_records = 0;
+  // Table (index-block) cache:
+  uint64_t table_cache_hits = 0;
+  uint64_t table_cache_misses = 0;
+  uint64_t table_cache_evictions = 0;
+  uint64_t table_cache_resident_bytes = 0;
   std::vector<int> files_per_level;
 };
 
@@ -124,8 +142,12 @@ class LsmDb {
     std::string smallest;
     std::string largest;
     std::unique_ptr<SstableReader> reader;
+    TableIndexCache* index_cache = nullptr;  // set iff the DB bounds it
 
     ~TableHandle() {
+      if (index_cache != nullptr) {
+        index_cache->Erase(number);  // dead table: drop its resident index
+      }
       if (fs != nullptr && !name.empty()) {
         fs->Delete(name);  // last reference gone: reclaim the space
       }
@@ -158,6 +180,7 @@ class LsmDb {
   // --- helpers ---
   std::string TableName(uint64_t number) const;
   std::string WalName(uint64_t number) const;
+  WalOptions MakeWalOptions() const;
   uint64_t MaxBytesForLevel(int level) const;
   static bool RangesOverlap(const TableHandle& t, std::string_view lo,
                             std::string_view hi);
@@ -172,6 +195,11 @@ class LsmDb {
   iosched::TenantId tenant_;
   std::string prefix_;
   LsmOptions options_;
+  // Shared bounded index-block cache; only wired into readers when
+  // options_.table_cache_bytes > 0 (capacity 0 keeps the legacy
+  // reader-resident indexes). Declared after options_: init order.
+  TableIndexCache table_cache_;
+  WalCounters wal_counters_;  // survives WAL rotation at memtable seal
 
   SequenceNumber seq_ = 0;
   uint64_t next_file_number_ = 1;

@@ -67,13 +67,62 @@ sim::Task<Status> SstableBuilder::Finish(const iosched::IoTag& tag) {
   co_return Status::Ok();
 }
 
-SstableReader::SstableReader(fs::SimFs& fs, fs::FileId file,
-                             SstableOptions options)
-    : fs_(fs), file_(file), options_(options) {}
+TableIndexCache::IndexRef TableIndexCache::Get(uint64_t table) {
+  const auto it = map_.find(table);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->index;
+}
 
-sim::Task<Status> SstableReader::EnsureIndex(const iosched::IoTag& tag) {
-  if (index_cached_) {
-    co_return Status::Ok();
+void TableIndexCache::Insert(uint64_t table, IndexRef index, uint64_t bytes) {
+  Erase(table);  // replace semantics (concurrent loaders may both insert)
+  lru_.push_front(Entry{table, std::move(index), bytes});
+  map_[table] = lru_.begin();
+  resident_bytes_ += bytes;
+  if (capacity_bytes_ == 0) {
+    return;  // unbounded
+  }
+  while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    map_.erase(victim.table);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void TableIndexCache::Erase(uint64_t table) {
+  const auto it = map_.find(table);
+  if (it == map_.end()) {
+    return;
+  }
+  resident_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+SstableReader::SstableReader(fs::SimFs& fs, fs::FileId file,
+                             SstableOptions options, TableIndexCache* cache,
+                             uint64_t cache_key)
+    : fs_(fs),
+      file_(file),
+      options_(options),
+      cache_(cache),
+      cache_key_(cache_key) {}
+
+sim::Task<StatusOr<TableIndexCache::IndexRef>> SstableReader::LoadIndex(
+    const iosched::IoTag& tag) {
+  if (cache_ != nullptr) {
+    if (TableIndexCache::IndexRef hit = cache_->Get(cache_key_);
+        hit != nullptr) {
+      co_return hit;
+    }
+  } else if (resident_ != nullptr) {
+    co_return resident_;
   }
   const uint64_t size = fs_.SizeOf(file_);
   if (size < 16) {
@@ -109,6 +158,7 @@ sim::Task<Status> SstableReader::EnsureIndex(const iosched::IoTag& tag) {
   // The index proper is the tail of the padded read minus nothing: locate it.
   const uint64_t skip = index_offset - read_off;
   std::string_view data(index_block.data() + skip, index_size);
+  auto index = std::make_shared<TableIndexCache::Index>();
   size_t off = 0;
   while (off < data.size()) {
     std::string_view key;
@@ -118,21 +168,27 @@ sim::Task<Status> SstableReader::EnsureIndex(const iosched::IoTag& tag) {
     const uint64_t block_off = GetFixed64(data, off);
     const uint32_t block_size = GetFixed32(data, off + 8);
     off += 12;
-    index_cache_.emplace_back(std::string(key), block_off, block_size);
+    index->emplace_back(std::string(key), block_off, block_size);
   }
-  index_cached_ = true;
-  co_return Status::Ok();
+  TableIndexCache::IndexRef ref = std::move(index);
+  if (cache_ != nullptr) {
+    cache_->Insert(cache_key_, ref, index_size);
+  } else {
+    resident_ = ref;
+  }
+  co_return ref;
 }
 
 sim::Task<SstableReader::GetResult> SstableReader::Get(
     const iosched::IoTag& tag, std::string_view key,
     SequenceNumber snapshot) {
   GetResult result;
-  result.status = co_await EnsureIndex(tag);
-  if (!result.status.ok()) {
+  StatusOr<TableIndexCache::IndexRef> loaded = co_await LoadIndex(tag);
+  if (!loaded.ok()) {
+    result.status = loaded.status();
     co_return result;
   }
-  const auto& index = index_cache_;
+  const TableIndexCache::Index& index = **loaded;  // ref pins past eviction
   // First block whose last key >= lookup key.
   const auto it = std::lower_bound(
       index.begin(), index.end(), key,
@@ -172,14 +228,15 @@ sim::Task<SstableReader::GetResult> SstableReader::Get(
 sim::Task<Status> SstableReader::ScanAll(
     const iosched::IoTag& tag,
     const std::function<void(const Record&)>& fn) {
-  Status s = co_await EnsureIndex(tag);
-  if (!s.ok()) {
-    co_return s;
+  StatusOr<TableIndexCache::IndexRef> loaded = co_await LoadIndex(tag);
+  if (!loaded.ok()) {
+    co_return loaded.status();
   }
-  const auto& index = index_cache_;
+  const TableIndexCache::Index& index = **loaded;
   if (index.empty()) {
     co_return Status::Ok();
   }
+  Status s;
   const uint64_t data_end =
       std::get<1>(index.back()) + std::get<2>(index.back());
   std::string data;

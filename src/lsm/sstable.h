@@ -19,9 +19,11 @@
 #define LIBRA_SRC_LSM_SSTABLE_H_
 
 #include <functional>
+#include <list>
 #include <memory>
 #include <tuple>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -76,13 +78,72 @@ class SstableBuilder {
   bool finished_ = false;
 };
 
+// Bounded LRU cache of parsed sstable index blocks, shared across one DB's
+// readers and keyed by table file number. Capacity 0 = unbounded — an
+// index stays resident after first use, exactly the pre-cache behavior.
+// Entries are shared_ptr<const Index> so a lookup in flight keeps a
+// just-evicted index alive until it finishes; the next lookup on that
+// table re-reads (and is re-charged) the index block from the device.
+class TableIndexCache {
+ public:
+  // {last_key, block offset, block size} per data block (parsed index).
+  using Index = std::vector<std::tuple<std::string, uint64_t, uint32_t>>;
+  using IndexRef = std::shared_ptr<const Index>;
+
+  explicit TableIndexCache(uint64_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  TableIndexCache(const TableIndexCache&) = delete;
+  TableIndexCache& operator=(const TableIndexCache&) = delete;
+
+  // nullptr on miss; a hit refreshes the entry's LRU position.
+  IndexRef Get(uint64_t table);
+
+  // Inserts (replacing any previous entry for `table`), charging `bytes`
+  // (the on-disk index size) against capacity, then evicts from the LRU
+  // tail until resident bytes fit. The inserted entry itself is never
+  // evicted by its own insertion.
+  void Insert(uint64_t table, IndexRef index, uint64_t bytes);
+
+  // Drops the entry when its table is deleted (not counted as eviction).
+  void Erase(uint64_t table);
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  size_t entries() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    uint64_t table = 0;
+    IndexRef index;
+    uint64_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  uint64_t capacity_bytes_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<uint64_t, LruList::iterator> map_;
+  uint64_t resident_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
 // Reads a finished table. Footer and index block are loaded from disk on
 // first access and cached in memory thereafter (tables are immutable); data
 // blocks are always read from the device — O_DIRECT leaves no page cache,
-// and the engine keeps no block cache.
+// and the engine keeps no block cache. With a shared TableIndexCache the
+// parsed index lives there instead of in the reader, bounded by the cache's
+// capacity; without one it is resident in the reader forever (the default).
 class SstableReader {
  public:
-  SstableReader(fs::SimFs& fs, fs::FileId file, SstableOptions options = {});
+  // `cache`, if non-null, holds this reader's parsed index under
+  // `cache_key` (the table file number).
+  SstableReader(fs::SimFs& fs, fs::FileId file, SstableOptions options = {},
+                TableIndexCache* cache = nullptr, uint64_t cache_key = 0);
 
   struct GetResult {
     bool found = false;    // an entry for the key exists in this table
@@ -102,19 +163,24 @@ class SstableReader {
       const std::function<void(const Record&)>& fn);
 
  private:
-  // Loads and parses the footer + index block into the cache on first use
-  // (charged to `tag`); later calls are free.
-  sim::Task<Status> EnsureIndex(const iosched::IoTag& tag);
+  // Resolves the parsed index: from the shared cache (or the reader-local
+  // resident copy when uncached), else loads footer + index block from the
+  // device, charged to `tag`. The returned ref pins the index for the
+  // caller even if the cache evicts it mid-lookup.
+  sim::Task<StatusOr<TableIndexCache::IndexRef>> LoadIndex(
+      const iosched::IoTag& tag);
 
   fs::SimFs& fs_;
   fs::FileId file_;
   SstableOptions options_;
-  // Footer and parsed index, cached after the first (charged) load.
+  TableIndexCache* cache_;  // nullptr: index resident in `resident_`
+  uint64_t cache_key_;
+  // Footer, cached after the first (charged) load; a post-eviction reload
+  // re-reads only the index block.
   bool footer_cached_ = false;
   uint64_t index_offset_ = 0;
   uint64_t index_size_ = 0;
-  bool index_cached_ = false;
-  std::vector<std::tuple<std::string, uint64_t, uint32_t>> index_cache_;
+  TableIndexCache::IndexRef resident_;  // only used when cache_ == nullptr
 };
 
 }  // namespace libra::lsm

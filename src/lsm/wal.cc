@@ -1,9 +1,16 @@
 #include "src/lsm/wal.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace libra::lsm {
 
-WriteAheadLog::WriteAheadLog(fs::SimFs& fs, std::string filename)
-    : fs_(fs), filename_(std::move(filename)) {}
+WriteAheadLog::WriteAheadLog(fs::SimFs& fs, std::string filename,
+                             WalOptions options, WalCounters* counters)
+    : fs_(fs),
+      filename_(std::move(filename)),
+      options_(options),
+      counters_(counters) {}
 
 Status WriteAheadLog::Open() {
   if (fs_.Exists(filename_)) {
@@ -34,7 +41,65 @@ sim::Task<Status> WriteAheadLog::Append(const iosched::IoTag& tag,
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   PutFixed32(&frame, Crc32(payload));
   frame += payload;
+  if (counters_ != nullptr) {
+    ++counters_->appends;
+  }
+  if (options_.group_commit) {
+    co_return co_await AppendBatched(tag, std::move(frame));
+  }
   co_return co_await fs_.Append(file_, tag, frame);
+}
+
+sim::Task<Status> WriteAheadLog::AppendBatched(iosched::IoTag tag,
+                                               std::string frame) {
+  sim::OneShot<Status> done(fs_.scheduler().loop());
+  pending_.push_back(Pending{std::move(frame), tag, &done});
+  // Single-threaded coroutine interleaving makes this check-and-claim
+  // race-free: whoever finds no sync in flight becomes the leader and
+  // drains the queue; everyone else just waits for their ack.
+  if (!sync_inflight_) {
+    sync_inflight_ = true;
+    while (!pending_.empty()) {
+      // Form a bounded batch from the queue head. The first record is
+      // always taken (a single frame may exceed the byte cap on its own).
+      std::string batch;
+      std::vector<iosched::IoShare> manifest;
+      std::vector<sim::OneShot<Status>*> members;
+      while (!pending_.empty()) {
+        const Pending& head = pending_.front();
+        if (!members.empty() &&
+            (batch.size() + head.frame.size() > options_.group_max_bytes ||
+             members.size() >= options_.group_max_records)) {
+          break;
+        }
+        manifest.push_back(
+            {head.tag, static_cast<uint32_t>(head.frame.size())});
+        batch += head.frame;
+        members.push_back(head.done);
+        pending_.pop_front();
+      }
+      if (counters_ != nullptr) {
+        ++counters_->batches;
+        counters_->batched_records += members.size();
+        counters_->max_batch_records = std::max(
+            counters_->max_batch_records,
+            static_cast<uint64_t>(members.size()));
+      }
+      // One shared durable append for the whole batch; each member's tag
+      // is charged its byte share of the merged IOP's VOP cost.
+      const Status s =
+          co_await fs_.AppendShared(file_, std::move(manifest), batch);
+      // Ack only after durability (the crash-recovery contract); members
+      // resume in arrival order. Records that queued during the sync are
+      // drained by the next loop iteration.
+      for (sim::OneShot<Status>* d : members) {
+        d->Set(s);
+      }
+    }
+    sync_inflight_ = false;
+  }
+  // The leader's own slot was acked inside its loop (set-before-wait).
+  co_return co_await done.Wait();
 }
 
 Status WriteAheadLog::Replay(

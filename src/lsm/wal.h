@@ -6,10 +6,21 @@
 // Record frame: [payload_len u32][crc u32][payload], payload being the
 // standard record encoding. Recovery replays records until truncation or a
 // CRC mismatch (a torn tail write).
+//
+// Group commit (off by default — the paper's prototype syncs one IOP per
+// PUT): appends that arrive while a sync is in flight queue up; the first
+// queued writer becomes the batch leader and issues one shared device
+// append for the whole queue (bounded by bytes/records), acknowledging
+// every member when it lands. Records stay individually CRC-framed, so a
+// batch torn mid-write replays as an intact prefix — acknowledged records
+// are always replayable because acks only happen after the batch is
+// durable. The shared append carries a per-record cost manifest so each
+// rider is charged its byte-proportional share of the merged IOP.
 
 #ifndef LIBRA_SRC_LSM_WAL_H_
 #define LIBRA_SRC_LSM_WAL_H_
 
+#include <deque>
 #include <functional>
 #include <string>
 
@@ -17,19 +28,39 @@
 #include "src/fs/sim_fs.h"
 #include "src/iosched/io_tag.h"
 #include "src/lsm/format.h"
+#include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 namespace libra::lsm {
 
+struct WalOptions {
+  bool group_commit = false;  // leader/follower sync batching
+  // Batch bounds. A batch always accepts its first record even when that
+  // record alone exceeds the byte cap.
+  uint32_t group_max_bytes = 256 * 1024;
+  uint32_t group_max_records = 64;
+};
+
+// Group-commit counters, owned by the caller (LsmDb) so they survive WAL
+// rotation at memtable seal.
+struct WalCounters {
+  uint64_t appends = 0;          // records appended (any path)
+  uint64_t batches = 0;          // device appends issued by leaders
+  uint64_t batched_records = 0;  // records that rode those batches
+  uint64_t max_batch_records = 0;
+};
+
 class WriteAheadLog {
  public:
-  WriteAheadLog(fs::SimFs& fs, std::string filename);
+  WriteAheadLog(fs::SimFs& fs, std::string filename, WalOptions options = {},
+                WalCounters* counters = nullptr);
 
   // Creates (or truncates) the log file.
   Status Open();
 
   // Appends one record and waits until it is durable. Concurrent appends
-  // from different client tasks are safe and their IO overlaps.
+  // from different client tasks are safe; with group commit they coalesce
+  // into shared device writes, otherwise their IO overlaps.
   sim::Task<Status> Append(const iosched::IoTag& tag, std::string_view key,
                            SequenceNumber seq, ValueType type,
                            std::string_view value);
@@ -45,9 +76,24 @@ class WriteAheadLog {
   const std::string& filename() const { return filename_; }
 
  private:
+  // One queued record awaiting a group commit.
+  struct Pending {
+    std::string frame;
+    iosched::IoTag tag;
+    sim::OneShot<Status>* done;
+  };
+
+  // Group-commit path: enqueue the frame; lead the batch loop if no sync
+  // is in flight, else wait to be committed by the current leader.
+  sim::Task<Status> AppendBatched(iosched::IoTag tag, std::string frame);
+
   fs::SimFs& fs_;
   std::string filename_;
+  WalOptions options_;
+  WalCounters* counters_;  // may be nullptr
   fs::FileId file_ = fs::kInvalidFile;
+  std::deque<Pending> pending_;
+  bool sync_inflight_ = false;
 };
 
 }  // namespace libra::lsm

@@ -116,6 +116,84 @@ TEST(ClusterTest, MultiGetPreservesKeyOrder) {
   }());
 }
 
+TEST(ClusterTest, BatchedMultiGetGroupsBySlotAndPreservesResults) {
+  sim::EventLoop loop;
+  ClusterOptions opt = TestOptions();
+  opt.batch_multiget = true;
+  Cluster cl(loop, opt);
+  TenantHandle tenant = cl.AddTenant(1, GlobalReservation{}).value();
+  sim::Detach([](Cluster* cl, TenantHandle tenant) -> sim::Task<void> {
+    for (int i = 0; i < 32; ++i) {
+      co_await tenant.Put("k" + std::to_string(i), "v" + std::to_string(i));
+    }
+    // Reverse order + a miss in the middle: grouping by slot must not
+    // disturb result positions or status placement.
+    std::vector<std::string> keys;
+    for (int i = 31; i >= 16; --i) {
+      keys.push_back("k" + std::to_string(i));
+    }
+    keys.push_back("never-written");
+    for (int i = 15; i >= 0; --i) {
+      keys.push_back("k" + std::to_string(i));
+    }
+    const auto results = co_await tenant.MultiGet(keys);
+    EXPECT_EQ(results.size(), 33u);
+    if (results.size() != 33u) {
+      co_return;
+    }
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_TRUE(results[i].ok()) << keys[i];
+      EXPECT_EQ(results[i].value(), "v" + std::to_string(31 - i));
+    }
+    EXPECT_EQ(results[16].status().code(), StatusCode::kNotFound);
+    for (int i = 17; i < 33; ++i) {
+      EXPECT_TRUE(results[i].ok()) << keys[i];
+      EXPECT_EQ(results[i].value(), "v" + std::to_string(33 - i - 1));
+    }
+    // Every key rode a slot group, and grouping actually merged keys:
+    // at most shards_per_tenant groups for the one batch.
+    EXPECT_EQ(cl->multiget_grouped_keys(), 33u);
+    EXPECT_GE(cl->multiget_groups(), 1u);
+    EXPECT_LE(cl->multiget_groups(),
+              static_cast<uint64_t>(ClusterOptions{}.shards_per_tenant));
+  }(&cl, tenant));
+  loop.Run();
+}
+
+TEST(ClusterTest, BatchedMultiGetMatchesUnbatchedResults) {
+  // The knob must be invisible to callers: identical puts, identical
+  // MultiGet, element-wise identical results.
+  auto run = [](bool batched, std::vector<std::string>* out) {
+    sim::EventLoop loop;
+    ClusterOptions opt = TestOptions();
+    opt.batch_multiget = batched;
+    Cluster cl(loop, opt);
+    TenantHandle tenant = cl.AddTenant(1, GlobalReservation{}).value();
+    sim::Detach([](TenantHandle tenant,
+                   std::vector<std::string>* out) -> sim::Task<void> {
+      for (int i = 0; i < 24; ++i) {
+        co_await tenant.Put("key" + std::to_string(i),
+                            "val" + std::to_string(i));
+      }
+      std::vector<std::string> keys;
+      for (int i = 0; i < 24; ++i) {
+        keys.push_back("key" + std::to_string(i % 12));  // duplicates too
+      }
+      const auto results = co_await tenant.MultiGet(keys);
+      for (const auto& r : results) {
+        out->push_back(r.ok() ? r.value() : r.status().ToString());
+      }
+    }(tenant, out));
+    loop.Run();
+  };
+  std::vector<std::string> plain;
+  std::vector<std::string> grouped;
+  run(false, &plain);
+  run(true, &grouped);
+  ASSERT_EQ(plain.size(), 24u);
+  EXPECT_EQ(plain, grouped);
+}
+
 TEST(ClusterTest, InvalidHandleFailsClosed) {
   TenantHandle inert;
   EXPECT_FALSE(inert.valid());

@@ -137,6 +137,40 @@ TEST(ResourceTrackerTest, EwmaSmoothsProfileAcrossIntervals) {
   EXPECT_NEAR(tr.Profile(1, AppRequest::kGet).direct, 2.0, 1e-9);
 }
 
+TEST(ResourceTrackerTest, SharedIoSlicesAccountedLikePlainIo) {
+  ResourceTracker tr(1.0);
+  // Two tenants' PUTs ride one batched 8KB write costing 4 VOPs, split
+  // 3:1 by bytes (6KB/2KB -> 3.0/1.0 VOPs).
+  tr.RecordAppRequest(1, AppRequest::kPut, 6144);
+  tr.RecordAppRequest(2, AppRequest::kPut, 2048);
+  tr.RecordIoShare({1, AppRequest::kPut, InternalOp::kNone},
+                   ssd::IoType::kWrite, 6144, 3.0);
+  tr.RecordIoShare({2, AppRequest::kPut, InternalOp::kNone},
+                   ssd::IoType::kWrite, 2048, 1.0);
+  // Slice accounting is byte-for-byte identical to RecordIo...
+  EXPECT_EQ(tr.Stats(1).write_bytes, 6144u);
+  EXPECT_EQ(tr.Stats(2).write_bytes, 2048u);
+  EXPECT_NEAR(tr.Stats(1).vops, 3.0, 1e-12);
+  EXPECT_NEAR(tr.Stats(2).vops, 1.0, 1e-12);
+  EXPECT_NEAR(tr.VopsBy(1, AppRequest::kPut, InternalOp::kNone,
+                        ssd::IoType::kWrite),
+              3.0, 1e-12);
+  // ...and it feeds profiles: 3 VOPs over 6 normalized requests = 0.5.
+  tr.Roll();
+  EXPECT_NEAR(tr.Profile(1, AppRequest::kPut).direct, 0.5, 1e-9);
+  // The shared-IO rollup tracks slices and bytes for measurement.
+  EXPECT_EQ(tr.shared_io_shares(), 2u);
+  EXPECT_EQ(tr.shared_io_bytes(), 8192u);
+}
+
+TEST(ResourceTrackerTest, SharedIoCountersZeroWithoutBatching) {
+  ResourceTracker tr;
+  tr.RecordIo({1, AppRequest::kPut, InternalOp::kNone}, ssd::IoType::kWrite,
+              4096, 2.0);
+  EXPECT_EQ(tr.shared_io_shares(), 0u);
+  EXPECT_EQ(tr.shared_io_bytes(), 0u);
+}
+
 TEST(ResourceTrackerTest, TenantsEnumerated) {
   ResourceTracker tr;
   tr.RecordAppRequest(1, AppRequest::kGet, 1024);

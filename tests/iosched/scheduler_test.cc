@@ -505,5 +505,136 @@ TEST(SchedulerTest, ConcurrentTenantsRecyclePooledOpsCleanly) {
   }
 }
 
+// --- batched IOPs with multi-tag manifests (WriteShared) ---
+
+TEST(SchedulerTest, SharedWriteSplitsCostByBytes) {
+  Rig rig;
+  rig.sched.SetAllocation(0, 10000.0);
+  rig.sched.SetAllocation(1, 10000.0);
+  rig.sched.SetAllocation(9, 10000.0);
+  constexpr uint32_t kSize = 64 * 1024;  // single chunk
+  auto t = [&]() -> sim::Task<void> {
+    // Reference: the same IOP as a plain single-tag write.
+    co_await rig.sched.Write({9, AppRequest::kPut, InternalOp::kNone}, 0,
+                             kSize);
+    // Batched: tenants 0 and 1 ride one IOP with a 1:3 byte split.
+    std::vector<IoShare> manifest;
+    manifest.push_back({{0, AppRequest::kPut, InternalOp::kNone}, kSize / 4});
+    manifest.push_back({{1, AppRequest::kPut, InternalOp::kNone},
+                        kSize - kSize / 4});
+    co_await rig.sched.WriteShared(kSize, kSize, std::move(manifest));
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  const double reference = rig.sched.tracker().Stats(9).vops;
+  const double v0 = rig.sched.tracker().Stats(0).vops;
+  const double v1 = rig.sched.tracker().Stats(1).vops;
+  ASSERT_GT(reference, 0.0);
+  // Exact-sum invariant: the split shares reconstruct the IOP's cost
+  // bit-for-bit — not approximately.
+  EXPECT_EQ(v0 + v1, reference);
+  // Byte-proportional: tenant 1 carried 3x the bytes.
+  EXPECT_NEAR(v1 / v0, 3.0, 1e-9);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).write_bytes, uint64_t{kSize} / 4);
+  EXPECT_EQ(rig.sched.tracker().Stats(1).write_bytes,
+            uint64_t{kSize} - kSize / 4);
+}
+
+TEST(SchedulerTest, SharedWriteSingleShareEquivalentToPlainWrite) {
+  Rig rig;
+  rig.sched.SetAllocation(0, 10000.0);
+  rig.sched.SetAllocation(9, 10000.0);
+  constexpr uint32_t kSize = 16 * 1024;
+  auto t = [&]() -> sim::Task<void> {
+    co_await rig.sched.Write({9, AppRequest::kPut, InternalOp::kNone}, 0,
+                             kSize);
+    std::vector<IoShare> manifest;
+    manifest.push_back({{0, AppRequest::kPut, InternalOp::kNone}, kSize});
+    co_await rig.sched.WriteShared(kSize, kSize, std::move(manifest));
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  EXPECT_EQ(rig.sched.tracker().Stats(0).vops,
+            rig.sched.tracker().Stats(9).vops);
+  EXPECT_EQ(rig.sched.tracker().Stats(0).write_ops, 1u);
+  // A single-share manifest takes the plain path: no shared-IO slices.
+  EXPECT_EQ(rig.sched.tracker().shared_io_shares(), 0u);
+}
+
+TEST(SchedulerTest, SharedWriteChunkedManifestSumsExact) {
+  // A 512KB batched write splits into 4 device chunks of 128KB; manifest
+  // ranges deliberately straddle chunk boundaries. The per-chunk slice
+  // costs must still reconstruct the full op cost exactly, and each
+  // contributor's bytes must match its manifest share.
+  Rig rig;
+  for (TenantId t : {0u, 1u, 2u, 9u}) {
+    rig.sched.SetAllocation(t, 100000.0);
+  }
+  constexpr uint32_t kSize = 512 * 1024;
+  const uint32_t kShare0 = 100 * 1024;  // inside chunk 0
+  const uint32_t kShare1 = 200 * 1024;  // spans chunks 0-2
+  const uint32_t kShare2 = kSize - kShare0 - kShare1;  // spans chunks 2-3
+  auto t = [&]() -> sim::Task<void> {
+    co_await rig.sched.Write({9, AppRequest::kPut, InternalOp::kNone}, 0,
+                             kSize);
+    std::vector<IoShare> manifest;
+    manifest.push_back({{0, AppRequest::kPut, InternalOp::kNone}, kShare0});
+    manifest.push_back({{1, AppRequest::kPut, InternalOp::kFlush}, kShare1});
+    manifest.push_back({{2, AppRequest::kPut, InternalOp::kNone}, kShare2});
+    co_await rig.sched.WriteShared(0, kSize, std::move(manifest));
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  const auto& tr = rig.sched.tracker();
+  const double reference = tr.Stats(9).vops;
+  ASSERT_GT(reference, 0.0);
+  EXPECT_EQ(tr.Stats(0).vops + tr.Stats(1).vops + tr.Stats(2).vops, reference);
+  EXPECT_EQ(tr.Stats(0).write_bytes, uint64_t{kShare0});
+  EXPECT_EQ(tr.Stats(1).write_bytes, uint64_t{kShare1});
+  EXPECT_EQ(tr.Stats(2).write_bytes, uint64_t{kShare2});
+  EXPECT_EQ(tr.shared_io_bytes(), uint64_t{kSize});
+}
+
+TEST(SchedulerTest, SharedWriteLandsCostOnManifestTags) {
+  // Each share's slice must be recorded under its own (tenant, app,
+  // internal-op) class — the leader's tag schedules the op but does not
+  // absorb the followers' costs.
+  Rig rig;
+  rig.sched.SetAllocation(3, 10000.0);
+  rig.sched.SetAllocation(4, 10000.0);
+  constexpr uint32_t kSize = 8 * 1024;
+  auto t = [&]() -> sim::Task<void> {
+    std::vector<IoShare> manifest;
+    manifest.push_back({{3, AppRequest::kPut, InternalOp::kNone}, kSize / 2});
+    manifest.push_back({{4, AppRequest::kPut, InternalOp::kFlush}, kSize / 2});
+    co_await rig.sched.WriteShared(0, kSize, std::move(manifest));
+  };
+  sim::Detach(t());
+  rig.loop.Run();
+  const auto& tr = rig.sched.tracker();
+  EXPECT_GT(tr.VopsBy(3, AppRequest::kPut, InternalOp::kNone,
+                      ssd::IoType::kWrite),
+            0.0);
+  EXPECT_GT(tr.VopsBy(4, AppRequest::kPut, InternalOp::kFlush,
+                      ssd::IoType::kWrite),
+            0.0);
+  // Nothing leaked onto classes no share named.
+  EXPECT_EQ(tr.VopsBy(3, AppRequest::kPut, InternalOp::kFlush,
+                      ssd::IoType::kWrite),
+            0.0);
+  EXPECT_EQ(tr.VopsBy(4, AppRequest::kPut, InternalOp::kNone,
+                      ssd::IoType::kWrite),
+            0.0);
+  EXPECT_EQ(tr.shared_io_shares(), 2u);
+  // Lifecycle stats (device IOP accounting) bill the batch to the leader:
+  // one op under tenant 3, none under tenant 4.
+  const TenantLifecycleStats* leader = rig.sched.lifecycle(3);
+  ASSERT_NE(leader, nullptr);
+  EXPECT_EQ(leader->Aggregate().ops, 1u);
+  const TenantLifecycleStats* follower = rig.sched.lifecycle(4);
+  ASSERT_NE(follower, nullptr);
+  EXPECT_EQ(follower->Aggregate().ops, 0u);
+}
+
 }  // namespace
 }  // namespace libra::iosched

@@ -68,6 +68,21 @@ TEST(LruCacheTest, EraseRemovesEntry) {
   cache.Erase("never-existed");  // no-op
 }
 
+TEST(LruCacheTest, EvictionCounterTracksCapacityEvictions) {
+  LruCache cache(30);
+  cache.Put("a", std::string(9, '1'));  // 10 bytes each
+  cache.Put("b", std::string(9, '2'));
+  cache.Put("c", std::string(9, '3'));
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Put("d", std::string(9, '4'));  // over budget: evicts "a"
+  EXPECT_EQ(cache.evictions(), 1u);
+  cache.Put("e", std::string(9, '5'));
+  EXPECT_EQ(cache.evictions(), 2u);
+  // Explicit Erase is invalidation, not a capacity eviction.
+  cache.Erase("e");
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
 TEST(LruCacheTest, ByteBudgetRespectedUnderChurn) {
   LruCache cache(1000);
   for (int i = 0; i < 500; ++i) {

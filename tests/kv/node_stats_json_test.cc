@@ -221,5 +221,90 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
   }
 }
 
+TEST(NodeStatsJsonTest, BatchingSectionsEmitted) {
+  sim::EventLoop loop;
+  NodeOptions opt;
+  opt.calibration = SnapshotTable();
+  opt.prefill_bytes = 0;
+  opt.lsm_options.write_buffer_bytes = 256 * 1024;
+  opt.lsm_options.max_bytes_level1 = 1 * kMiB;
+  opt.lsm_options.wal_group_commit = true;
+  opt.lsm_options.table_cache_bytes = 64 * kKiB;
+  opt.enable_read_coalescing = true;
+  opt.enable_cache = true;
+  opt.cache_bytes = 4 * 1024;  // tiny: early keys age out of the object cache
+  StorageNode node(loop, opt);
+  ASSERT_TRUE(node.AddTenant(1, {}).ok());
+
+  auto key = [](int i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%08d", i);
+    return std::string(buf);
+  };
+  // Concurrent PUTs so the WAL forms real batches...
+  auto writer = [&](int i) -> sim::Task<void> {
+    co_await node.Put(1, key(i), std::string(1024, 'v'));
+  };
+  for (int i = 0; i < 16; ++i) {
+    sim::Detach(writer(i));
+  }
+  loop.Run();
+  // ...then enough data to flush tables and exercise the table cache.
+  auto fill = [&]() -> sim::Task<void> {
+    for (int i = 16; i < 300; ++i) {
+      co_await node.Put(1, key(i), std::string(1024, 'v'));
+    }
+    co_await node.partition(1)->WaitIdle();
+  };
+  sim::Detach(fill());
+  loop.Run();
+  // Duplicate in-flight GETs of a flushed, cache-cold key: coalescing.
+  auto get0 = [&]() -> sim::Task<void> {
+    auto r = co_await node.Get(1, key(0));
+    EXPECT_TRUE(r.status().ok());
+  };
+  for (int i = 0; i < 4; ++i) {
+    sim::Detach(get0());
+  }
+  loop.Run();
+  // A recently written key is object-cache resident.
+  auto get_recent = [&]() -> sim::Task<void> {
+    auto r = co_await node.Get(1, key(299));
+    EXPECT_TRUE(r.status().ok());
+  };
+  sim::Detach(get_recent());
+  loop.Run();
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonParse(NodeStatsToJson(node.Snapshot()), &v, &err)) << err;
+
+  const JsonValue* oc = v.Find("object_cache");
+  ASSERT_NE(oc, nullptr);
+  EXPECT_TRUE(oc->Find("enabled")->bool_value);
+  EXPECT_GE(oc->Find("hits")->number, 1.0);
+  EXPECT_GE(oc->Find("misses")->number, 1.0);
+  EXPECT_GE(oc->Find("evictions")->number, 1.0);  // tiny budget, 300 keys
+  EXPECT_GT(oc->Find("resident_bytes")->number, 0.0);
+  ASSERT_NE(v.Find("coalesced_gets"), nullptr);
+  EXPECT_EQ(v.Find("coalesced_gets")->number, 3.0);
+
+  ASSERT_EQ(v.Find("tenants")->array.size(), 1u);
+  const JsonValue& t = v.Find("tenants")->array[0];
+  const JsonValue* wal = t.Find("lsm")->Find("wal");
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(wal->Find("appends")->number, 300.0);
+  EXPECT_EQ(wal->Find("batched_records")->number, 300.0);
+  EXPECT_GT(wal->Find("batches")->number, 0.0);
+  EXPECT_LT(wal->Find("batches")->number, 300.0);
+  EXPECT_GE(wal->Find("max_batch_records")->number, 2.0);
+  const JsonValue* tc = t.Find("lsm")->Find("table_cache");
+  ASSERT_NE(tc, nullptr);
+  EXPECT_GE(tc->Find("misses")->number, 1.0);
+  EXPECT_GT(tc->Find("resident_bytes")->number, 0.0);
+  ASSERT_NE(tc->Find("hits"), nullptr);
+  ASSERT_NE(tc->Find("evictions"), nullptr);
+}
+
 }  // namespace
 }  // namespace libra::kv

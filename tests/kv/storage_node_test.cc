@@ -154,6 +154,112 @@ TEST(StorageNodeTest, CacheHitConsumesNoIo) {
   EXPECT_GT(rig.node.cache()->hits(), 0u);
 }
 
+// Fills the tenant's partition past the 256KB write buffer so early keys
+// live in SSTables (memtable GETs never suspend, so coalescing and table
+// IO only show up against flushed data), then waits for background work.
+sim::Task<void> PreloadFlushed(StorageNode* node, int n) {
+  for (int i = 0; i < n; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "key%08d", i);
+    co_await node->Put(1, key, std::string(1024, 'v'));
+  }
+  co_await node->partition(1)->WaitIdle();
+}
+
+TEST(StorageNodeTest, ReadCoalescingSharesOneLookupAcrossDuplicateGets) {
+  sim::EventLoop loop;
+  NodeOptions opt = TestOptions();
+  opt.enable_read_coalescing = true;
+  StorageNode node(loop, opt);
+  ASSERT_TRUE(node.AddTenant(1, {}).ok());
+  sim::Detach(PreloadFlushed(&node, 300));
+  loop.Run();
+  // Warm the table indexes so burst and reference lookups cost the same.
+  auto get0 = [&]() -> sim::Task<void> {
+    auto r = co_await node.Get(1, "key00000000");
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value().size(), 1024u);
+  };
+  sim::Detach(get0());
+  loop.Run();
+
+  const auto& tr = node.tracker();
+  const uint64_t reads_before = tr.Stats(1).read_ops;
+  const double norm_before =
+      tr.NormalizedRequestsTotal(1, iosched::AppRequest::kGet);
+  for (int i = 0; i < 4; ++i) {
+    sim::Detach(get0());
+  }
+  loop.Run();
+  // Three of the four rode the leader's in-flight lookup.
+  EXPECT_EQ(node.coalesced_gets(), 3u);
+  const uint64_t burst_reads = tr.Stats(1).read_ops - reads_before;
+  // Billing is per request even when the IO is shared: all four GETs are
+  // recorded as served app requests.
+  EXPECT_NEAR(tr.NormalizedRequestsTotal(1, iosched::AppRequest::kGet) -
+                  norm_before,
+              4.0, 1e-9);
+  // The whole burst cost exactly one lookup's device reads.
+  const uint64_t single_before = tr.Stats(1).read_ops;
+  sim::Detach(get0());
+  loop.Run();
+  EXPECT_EQ(burst_reads, tr.Stats(1).read_ops - single_before);
+}
+
+TEST(StorageNodeTest, ReadCoalescingPropagatesNotFoundToFollowers) {
+  sim::EventLoop loop;
+  NodeOptions opt = TestOptions();
+  opt.enable_read_coalescing = true;
+  StorageNode node(loop, opt);
+  ASSERT_TRUE(node.AddTenant(1, {}).ok());
+  sim::Detach(PreloadFlushed(&node, 300));
+  loop.Run();
+  // An in-range never-written key: a memtable tombstone would answer
+  // without IO, but this lookup must probe tables (real IO, a real
+  // coalescing window), and every follower sees the same NotFound.
+  int not_found = 0;
+  auto miss = [&]() -> sim::Task<void> {
+    auto r = co_await node.Get(1, "key00000010x");
+    if (r.status().code() == StatusCode::kNotFound) {
+      ++not_found;
+    }
+  };
+  for (int i = 0; i < 3; ++i) {
+    sim::Detach(miss());
+  }
+  loop.Run();
+  EXPECT_EQ(not_found, 3);
+  EXPECT_EQ(node.coalesced_gets(), 2u);
+}
+
+TEST(StorageNodeTest, ReadCoalescingOffEveryGetPaysItsOwnIo) {
+  sim::EventLoop loop;
+  StorageNode node(loop, TestOptions());  // coalescing defaults off
+  ASSERT_TRUE(node.AddTenant(1, {}).ok());
+  sim::Detach(PreloadFlushed(&node, 300));
+  loop.Run();
+  auto get0 = [&]() -> sim::Task<void> {
+    auto r = co_await node.Get(1, "key00000000");
+    EXPECT_TRUE(r.status().ok());
+  };
+  sim::Detach(get0());  // warm indexes
+  loop.Run();
+  const uint64_t single_before = node.tracker().Stats(1).read_ops;
+  sim::Detach(get0());
+  loop.Run();
+  const uint64_t single_reads =
+      node.tracker().Stats(1).read_ops - single_before;
+  ASSERT_GT(single_reads, 0u);
+  const uint64_t burst_before = node.tracker().Stats(1).read_ops;
+  for (int i = 0; i < 4; ++i) {
+    sim::Detach(get0());
+  }
+  loop.Run();
+  EXPECT_EQ(node.coalesced_gets(), 0u);
+  EXPECT_EQ(node.tracker().Stats(1).read_ops - burst_before,
+            4 * single_reads);
+}
+
 TEST(StorageNodeTest, PolicyProvisionsFromReservations) {
   NodeRig rig;
   ASSERT_TRUE(rig.node.AddTenant(1, {1000.0, 0.0}).ok());

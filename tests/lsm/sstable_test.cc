@@ -120,6 +120,103 @@ TEST(SstableTest, LookupCostsIndexPlusDataBlock) {
   EXPECT_EQ(rig.sched.tracker().Stats(1).read_ops - mid.read_ops, 1u);
 }
 
+TEST(TableIndexCacheTest, BoundedCapacityEvictsLeastRecentlyUsed) {
+  TableIndexCache cache(100);
+  auto idx = std::make_shared<TableIndexCache::Index>();
+  cache.Insert(1, idx, 40);
+  cache.Insert(2, idx, 40);
+  EXPECT_EQ(cache.resident_bytes(), 80u);
+  // Touch table 1 so table 2 becomes the LRU tail.
+  EXPECT_NE(cache.Get(1), nullptr);
+  cache.Insert(3, idx, 40);  // 120 > 100: evicts table 2
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.resident_bytes(), 80u);
+  EXPECT_EQ(cache.Get(2), nullptr);  // miss
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Erase (table deletion) is not an eviction.
+  cache.Erase(1);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(TableIndexCacheTest, ZeroCapacityIsUnbounded) {
+  TableIndexCache cache(0);
+  auto idx = std::make_shared<TableIndexCache::Index>();
+  for (uint64_t t = 0; t < 32; ++t) {
+    cache.Insert(t, idx, 1 * kMiB);
+  }
+  EXPECT_EQ(cache.entries(), 32u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 32u * kMiB);
+}
+
+TEST(SstableTest, SharedCacheServesRepeatLookups) {
+  LsmRig rig;
+  const fs::FileId file = BuildTestTable(rig, 2000);
+  TableIndexCache cache(1 * kMiB);
+  SstableReader reader(rig.fs, file, {}, &cache, /*cache_key=*/1);
+  const auto before = rig.sched.tracker().Stats(1);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await reader.Get(kGetTag, "key0001000", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+  }());
+  // Cold: footer + index + data block, and the index landed in the cache.
+  EXPECT_EQ(rig.sched.tracker().Stats(1).read_ops - before.read_ops, 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.resident_bytes(), 0u);
+  const auto mid = rig.sched.tracker().Stats(1);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await reader.Get(kGetTag, "key0000001", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+  }());
+  // Warm: the shared cache supplies the index; only the data block is read.
+  EXPECT_EQ(rig.sched.tracker().Stats(1).read_ops - mid.read_ops, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SstableTest, EvictedIndexReloadIsRereadAndCharged) {
+  LsmRig rig;
+  const fs::FileId file_a = BuildTestTable(rig, 2000);
+  // A second table in the same FS (BuildTestTable always names "sst_1").
+  const fs::FileId file_b = *rig.fs.Create("sst_2");
+  rig.RunTask([&]() -> sim::Task<void> {
+    SstableBuilder builder(rig.fs, file_b);
+    for (int i = 0; i < 2000; ++i) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "key%07d", i);
+      builder.Add(key, static_cast<SequenceNumber>(i + 1), ValueType::kPut,
+                  std::string(100, 'b'));
+    }
+    EXPECT_TRUE((co_await builder.Finish(kFlushTag)).ok());
+  }());
+  // Capacity below a single index: every insert evicts the other table's
+  // entry (an insert never evicts itself, so the newest index is resident).
+  TableIndexCache cache(1);
+  SstableReader ra(rig.fs, file_a, {}, &cache, 1);
+  SstableReader rb(rig.fs, file_b, {}, &cache, 2);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await ra.Get(kGetTag, "key0001000", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+    r = co_await rb.Get(kGetTag, "key0001000", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+  }());
+  ASSERT_GE(cache.evictions(), 1u);
+  const auto mid = rig.sched.tracker().Stats(1);
+  rig.RunTask([&]() -> sim::Task<void> {
+    auto r = co_await ra.Get(kGetTag, "key0000500", UINT64_MAX);
+    EXPECT_TRUE(r.found);
+  }());
+  // Table A's index was evicted: reload re-reads the index block (footer
+  // stays cached in the reader) plus the data block = 2 charged reads,
+  // where a resident index would have cost 1.
+  EXPECT_EQ(rig.sched.tracker().Stats(1).read_ops - mid.read_ops, 2u);
+}
+
 TEST(SstableTest, ScanAllYieldsEverythingInOrder) {
   LsmRig rig;
   const fs::FileId file = BuildTestTable(rig, 777);

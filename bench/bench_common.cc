@@ -83,12 +83,22 @@ BenchArgs ParseCommonFlags(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
       args.nodes = std::max(1, std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      args.trace_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      const char* v = argv[i] + 15;
+      if (std::strncmp(v, "1/", 2) == 0) {  // accept both "N" and "1/N"
+        v += 2;
+      }
+      args.trace_sample = static_cast<uint32_t>(std::max(1, std::atoi(v)));
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "flags: --full (paper-size grids)  --csv (CSV output)  "
           "--stats-json=PATH (JSON stats snapshot)  "
           "--jobs=N (parallel sweep workers; 0 = all cores)  "
-          "--nodes=N (cluster size, multi-node benches)\n");
+          "--nodes=N (cluster size, multi-node benches)  "
+          "--trace-json=PATH (Chrome/Perfetto span export)  "
+          "--trace-sample=1/N (trace 1 of every N root requests)\n");
     }
   }
   if (!args.stats_json.empty() && g_stats == nullptr) {
@@ -97,6 +107,22 @@ BenchArgs ParseCommonFlags(int argc, char** argv) {
     std::atexit(WriteStatsFile);
   }
   return args;
+}
+
+void WriteTraceJson(const BenchArgs& args,
+                    const std::vector<obs::SpanExportGroup>& groups) {
+  if (args.trace_json.empty()) {
+    return;
+  }
+  const std::string json = obs::SpansToChromeTraceJson(groups);
+  if (std::FILE* f = std::fopen(args.trace_json.c_str(), "w"); f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "trace-json: cannot write %s\n",
+                 args.trace_json.c_str());
+  }
 }
 
 const ssd::CalibrationTable& TableFor(const ssd::DeviceProfile& profile) {

@@ -16,6 +16,7 @@
 #include "src/common/units.h"
 #include "src/iosched/cost_model.h"
 #include "src/metrics/table.h"
+#include "src/obs/span.h"
 #include "src/ssd/calibration.h"
 #include "src/ssd/profile.h"
 
@@ -27,13 +28,28 @@ struct BenchArgs {
   std::string stats_json;   // --stats-json=PATH: machine-readable snapshot
   int jobs = 1;             // --jobs=N: worker threads for sweeps (0 = all cores)
   int nodes = 4;            // --nodes=N: cluster size (multi-node benches)
+  std::string trace_json;   // --trace-json=PATH: Chrome/Perfetto span export
+  uint32_t trace_sample = 1;  // --trace-sample=1/N: trace 1 of every N roots
 };
 
 // Parses the flags shared by every bench binary (--full, --csv,
-// --stats-json=PATH, --jobs=N, --nodes=N) and installs the --stats-json
-// capture hook. Unknown flags are ignored so binaries can layer their own
-// parsing on top.
+// --stats-json=PATH, --jobs=N, --nodes=N, --trace-json=PATH,
+// --trace-sample=1/N) and installs the --stats-json capture hook. Unknown
+// flags are ignored so binaries can layer their own parsing on top.
 BenchArgs ParseCommonFlags(int argc, char** argv);
+
+// True when --trace-json=PATH was given: benches should enable span
+// collection on their schedulers/nodes and export the spans before exit.
+inline bool TraceRequested(const BenchArgs& args) {
+  return !args.trace_json.empty();
+}
+
+// Renders `groups` (one per node) as Chrome trace_event JSON — loadable in
+// Perfetto / chrome://tracing — and writes it to the --trace-json path.
+// Call while the collectors are still alive (the schedulers own them); the
+// capture is not deferred to process exit. No-op without the flag.
+void WriteTraceJson(const BenchArgs& args,
+                    const std::vector<obs::SpanExportGroup>& groups);
 
 [[deprecated("use bench::ParseCommonFlags")]]
 inline BenchArgs ParseArgs(int argc, char** argv) {

@@ -73,6 +73,10 @@ ModeResult RunMode(const BenchArgs& args, ProfileMode mode) {
   sim::EventLoop loop;
   kv::NodeOptions opt = PrototypeNodeOptions();
   opt.policy_options.mode = mode;
+  // Trace only the profile-tracking mode: one --trace-json file per run.
+  if (mode == ProfileMode::kFull) {
+    ApplyTraceFlags(args, opt);
+  }
   kv::StorageNode node(loop, opt);
 
   std::vector<std::unique_ptr<workload::KvTenantWorkload>> workloads;
@@ -179,6 +183,10 @@ ModeResult RunMode(const BenchArgs& args, ProfileMode mode) {
   result.stats_name = mode == ProfileMode::kFull ? "node_snapshot_full_profile"
                                                  : "node_snapshot_object_size";
   result.stats_json = kv::NodeStatsToJson(node.Snapshot());
+  // Export the trace while the node (which owns the collector) is alive.
+  if (mode == ProfileMode::kFull && TraceRequested(args)) {
+    WriteTraceJson(args, {{node.scheduler().spans(), 0, "fig11_full_profile"}});
+  }
 
   // Fold into per-group phase means.
   const double secs = ToSeconds(phase);

@@ -12,6 +12,16 @@ kv::NodeOptions PrototypeNodeOptions() {
   return opt;
 }
 
+void ApplyTraceFlags(const BenchArgs& args, kv::NodeOptions& options,
+                     size_t span_capacity, uint64_t id_seed) {
+  if (!TraceRequested(args)) {
+    return;
+  }
+  options.scheduler_options.span_capacity = span_capacity;
+  options.scheduler_options.span_sample_every = args.trace_sample;
+  options.scheduler_options.span_id_seed = id_seed;
+}
+
 void RunPreloads(sim::EventLoop& loop,
                  std::vector<workload::KvTenantWorkload*> workloads) {
   sim::TaskGroup group(loop);

@@ -18,6 +18,14 @@ namespace libra::bench {
 // no object cache, 4MB write buffers.
 kv::NodeOptions PrototypeNodeOptions();
 
+// Applies --trace-json/--trace-sample to a node's scheduler options: span
+// collection on (capacity `span_capacity`) when tracing was requested,
+// sampling 1 of every args.trace_sample root requests. Leave id seeding to
+// Cluster for multi-node benches; single-node benches can pass a nonzero
+// `id_seed` to namespace ids per node themselves.
+void ApplyTraceFlags(const BenchArgs& args, kv::NodeOptions& options,
+                     size_t span_capacity = 1 << 16, uint64_t id_seed = 0);
+
 // Runs `preloads` to completion on `loop` (sequentially).
 void RunPreloads(sim::EventLoop& loop,
                  std::vector<workload::KvTenantWorkload*> workloads);

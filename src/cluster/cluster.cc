@@ -67,8 +67,29 @@ sim::Task<void> GetInto(TenantHandle handle, std::string key,
 }
 
 sim::Task<void> NodeGetInto(kv::StorageNode* node, TenantId tenant,
-                            std::string key, Result<std::string>* out) {
-  *out = co_await node->Get(tenant, key);
+                            std::string key, TraceContext ctx,
+                            Result<std::string>* out) {
+  *out = co_await node->Get(tenant, key, ctx);
+}
+
+// Records the cluster-layer root span of one routed request (no-op when the
+// home node's collector is off or the request sampled out).
+void RecordClientSpan(obs::SpanCollector* spans, const TraceContext& ctx,
+                      AppRequest app, TenantId tenant, SimTime start,
+                      SimTime end, uint64_t bytes) {
+  if (spans == nullptr || !ctx.valid()) {
+    return;
+  }
+  obs::SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.kind = obs::SpanKind::kClientRequest;
+  rec.app = static_cast<uint8_t>(app);
+  rec.tenant = tenant;
+  rec.start_ns = start;
+  rec.end_ns = end;
+  rec.bytes = bytes;
+  spans->Record(rec);
 }
 
 }  // namespace
@@ -125,6 +146,12 @@ Cluster::Cluster(sim::EventLoop& loop, ClusterOptions options)
   for (int i = 0; i < options_.num_nodes; ++i) {
     nodes_.push_back(
         std::make_unique<kv::StorageNode>(loop_, options_.node_options));
+    // Namespace each node's minted trace/span ids so a merged cluster
+    // export never collides across nodes (and stays deterministic).
+    if (obs::SpanCollector* spans = nodes_.back()->scheduler().spans();
+        spans != nullptr) {
+      spans->SeedIds(static_cast<uint64_t>(i) + 1);
+    }
   }
   provisioner_ = std::make_unique<GlobalProvisioner>(loop_, *this,
                                                      options_.provisioner);
@@ -337,7 +364,13 @@ sim::Task<Status> Cluster::Put(TenantId tenant, std::string key,
   const int node = co_await AwaitRoutable(tenant, slot);
   ShardState& ss = Shard(tenant, slot);
   ++ss.inflight;
-  Status s = co_await nodes_[node]->Put(tenant, key, value);
+  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
+  const TraceContext ctx =
+      spans != nullptr ? spans->MintTrace() : TraceContext{};
+  const SimTime start = loop_.Now();
+  Status s = co_await nodes_[node]->Put(tenant, key, value, ctx);
+  RecordClientSpan(spans, ctx, AppRequest::kPut, tenant, start, loop_.Now(),
+                   value.size());
   --ss.inflight;
   co_return s;
 }
@@ -350,7 +383,13 @@ sim::Task<Status> Cluster::Delete(TenantId tenant, std::string key) {
   const int node = co_await AwaitRoutable(tenant, slot);
   ShardState& ss = Shard(tenant, slot);
   ++ss.inflight;
-  Status s = co_await nodes_[node]->Delete(tenant, key);
+  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
+  const TraceContext ctx =
+      spans != nullptr ? spans->MintTrace() : TraceContext{};
+  const SimTime start = loop_.Now();
+  Status s = co_await nodes_[node]->Delete(tenant, key, ctx);
+  RecordClientSpan(spans, ctx, AppRequest::kPut, tenant, start, loop_.Now(),
+                   key.size());
   --ss.inflight;
   co_return s;
 }
@@ -364,7 +403,13 @@ sim::Task<Result<std::string>> Cluster::Get(TenantId tenant, std::string key) {
   const int node = co_await AwaitRoutable(tenant, slot);
   ShardState& ss = Shard(tenant, slot);
   ++ss.inflight;
-  Result<std::string> r = co_await nodes_[node]->Get(tenant, key);
+  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
+  const TraceContext ctx =
+      spans != nullptr ? spans->MintTrace() : TraceContext{};
+  const SimTime start = loop_.Now();
+  Result<std::string> r = co_await nodes_[node]->Get(tenant, key, ctx);
+  RecordClientSpan(spans, ctx, AppRequest::kGet, tenant, start, loop_.Now(),
+                   r.ok() ? r.value().size() : 0);
   --ss.inflight;
   co_return r;
 }
@@ -386,11 +431,19 @@ sim::Task<void> Cluster::MultiGetSlotGroup(
   const int node = co_await AwaitRoutable(tenant, slot);
   ShardState& ss = Shard(tenant, slot);
   ss.inflight += static_cast<int>(keys.size());
+  // One client-request span covers the whole slot group; each member
+  // lookup becomes a child span at the node.
+  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
+  const TraceContext ctx =
+      spans != nullptr ? spans->MintTrace() : TraceContext{};
+  const SimTime start = loop_.Now();
   sim::TaskGroup group(loop_);
   for (const auto& [i, key] : keys) {
-    group.Spawn(NodeGetInto(nodes_[node].get(), tenant, key, &(*out)[i]));
+    group.Spawn(NodeGetInto(nodes_[node].get(), tenant, key, ctx, &(*out)[i]));
   }
   co_await group.Join();
+  RecordClientSpan(spans, ctx, AppRequest::kGet, tenant, start, loop_.Now(),
+                   keys.size());
   ss.inflight -= static_cast<int>(keys.size());
 }
 
@@ -450,9 +503,19 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
 
   // Copy every live key of the migrating slot. The drain read and the
   // re-home writes are charged to the tenant as unattributed IO (no app
-  // request class), so its GET/PUT profiles are not distorted.
+  // request class), so its GET/PUT profiles are not distorted. Each side
+  // gets a kMigration span in its own node's collector: the source span
+  // covers the scan + tombstoning, the destination span (linked to the
+  // source) covers the copy-in, and all device IO parents under them.
+  obs::SpanCollector* src_spans = src.scheduler().spans();
+  obs::SpanCollector* dst_spans = dst.scheduler().spans();
+  const TraceContext src_ctx =
+      src_spans != nullptr ? src_spans->MintAlways() : TraceContext{};
+  const TraceContext dst_ctx =
+      dst_spans != nullptr ? dst_spans->MintAlways() : TraceContext{};
+  const SimTime copy_start = loop_.Now();
   const iosched::IoTag drain_tag{tenant, AppRequest::kNone,
-                                 iosched::InternalOp::kNone};
+                                 iosched::InternalOp::kNone, src_ctx};
   std::vector<std::pair<std::string, std::string>> moving;
   Status scan = co_await src_db->ScanLive(
       drain_tag, [&](std::string_view k, std::string_view v) {
@@ -463,17 +526,43 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
   if (!scan.ok()) {
     co_return scan;
   }
+  uint64_t moved_bytes = 0;
   for (const auto& [k, v] : moving) {
-    if (Status s = co_await dst_db->Put(k, v); !s.ok()) {
+    if (Status s = co_await dst_db->Put(k, v, dst_ctx); !s.ok()) {
       co_return s;
     }
+    moved_bytes += k.size() + v.size();
   }
   // Tombstone the moved keys at the source only after the copy fully
   // succeeded (re-running a failed migration must still see them).
   for (const auto& [k, v] : moving) {
-    if (Status s = co_await src_db->Delete(k); !s.ok()) {
+    if (Status s = co_await src_db->Delete(k, src_ctx); !s.ok()) {
       co_return s;
     }
+  }
+  if (src_spans != nullptr) {
+    obs::SpanRecord rec;
+    rec.trace_id = src_ctx.trace_id;
+    rec.span_id = src_ctx.span_id;
+    rec.kind = obs::SpanKind::kMigration;
+    rec.tenant = tenant;
+    rec.start_ns = copy_start;
+    rec.end_ns = loop_.Now();
+    rec.bytes = moved_bytes;
+    src_spans->Record(rec);
+  }
+  if (dst_spans != nullptr) {
+    obs::SpanRecord rec;
+    rec.trace_id = dst_ctx.trace_id;
+    rec.span_id = dst_ctx.span_id;
+    rec.kind = obs::SpanKind::kMigration;
+    rec.is_write = 1;
+    rec.tenant = tenant;
+    rec.start_ns = copy_start;
+    rec.end_ns = loop_.Now();
+    rec.bytes = moved_bytes;
+    rec.links.Add(src_ctx);  // the drain this copy rode
+    dst_spans->Record(rec);
   }
 
   shard_map_.Rehome(tenant, slot, to_node);

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/common/trace_context.h"
+
 namespace libra::iosched {
 
 using TenantId = uint32_t;
@@ -59,6 +61,11 @@ struct IoTag {
   TenantId tenant = kInvalidTenant;
   AppRequest app = AppRequest::kNone;
   InternalOp internal = InternalOp::kNone;
+  // Causal trace context of the request (or background op) issuing the IO.
+  // Riding the tag means contexts flow through the WAL, group-commit
+  // manifests, SSTable builders/readers and the scheduler without any
+  // signature changes in those layers; invalid (all-zero) when untraced.
+  TraceContext ctx;
 };
 
 // One contributor's slice of a batched (shared) IOP: `bytes` of the op's

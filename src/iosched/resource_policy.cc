@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <utility>
 
 namespace libra::iosched {
 
@@ -91,10 +93,11 @@ void ResourcePolicy::RunIntervalStep() {
 
   // Feed the live capacity monitor with the interval's achieved VOP/s.
   const SimTime now = loop_.Now();
-  if (now > last_roll_time_) {
+  const double elapsed_secs =
+      now > last_roll_time_ ? ToSeconds(now - last_roll_time_) : 0.0;
+  if (elapsed_secs > 0.0) {
     const double vops = tracker.total_vops();
-    capacity_.ObserveThroughput((vops - last_total_vops_) /
-                                ToSeconds(now - last_roll_time_));
+    capacity_.ObserveThroughput((vops - last_total_vops_) / elapsed_secs);
     last_total_vops_ = vops;
     last_roll_time_ = now;
   }
@@ -126,6 +129,23 @@ void ResourcePolicy::RunIntervalStep() {
     scheduler_.SetAllocation(tenant, r * scale);
   }
 
+  // SLA conformance: did each tenant achieve its priced reservation over the
+  // interval that just ended? Demand-gated — an idle tenant below its
+  // reservation is not a violation, a backlogged one is.
+  std::map<TenantId, std::pair<double, bool>> achieved;
+  if (elapsed_secs > 0.0) {
+    for (const auto& [tenant, res] : reservations_) {
+      const double vops_now = tracker.Stats(tenant).vops;
+      double& last = last_tenant_vops_[tenant];
+      const double rate = (vops_now - last) / elapsed_secs;
+      last = vops_now;
+      const bool violated = sla_.RecordInterval(
+          tenant, now, required[tenant], rate, scheduler_.HasDemand(tenant),
+          options_.sla_tolerance);
+      achieved[tenant] = {rate, violated};
+    }
+  }
+
   // Audit trail: everything this step read and decided, per tenant.
   if (options_.audit_capacity > 0) {
     obs::AuditRecord rec;
@@ -154,6 +174,11 @@ void ResourcePolicy::RunIntervalStep() {
       e.price_put = PriceOf(tenant, AppRequest::kPut);
       e.required_vops = required[tenant];
       e.granted_vops = required[tenant] * scale;
+      const auto ach = achieved.find(tenant);
+      if (ach != achieved.end()) {
+        e.achieved_vops = ach->second.first;
+        e.sla_violated = ach->second.second;
+      }
       rec.tenants.push_back(e);
     }
     audit_log_.Append(std::move(rec));

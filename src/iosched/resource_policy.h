@@ -24,6 +24,8 @@
 #include "src/iosched/io_tag.h"
 #include "src/iosched/scheduler.h"
 #include "src/obs/audit.h"
+#include "src/obs/conformance.h"
+#include "src/obs/sla.h"
 #include "src/sim/event_loop.h"
 
 namespace libra::iosched {
@@ -50,6 +52,10 @@ struct PolicyOptions {
   ProfileMode mode = ProfileMode::kFull;
   // Bounded provisioning audit log (newest records kept); 0 disables.
   size_t audit_capacity = 512;
+  // SLA violation slack: an interval violates when achieved VOP/s falls
+  // below (1 - sla_tolerance) x the priced reservation while the tenant
+  // had pending demand (see obs::SlaMonitor).
+  double sla_tolerance = 0.05;
 };
 
 // Overbooking notification passed to higher-level policies.
@@ -71,6 +77,17 @@ class ResourcePolicy {
 
   void SetReservation(TenantId tenant, Reservation r);
   Reservation GetReservation(TenantId tenant) const;
+
+  // The attribution profile the tenant declared at admission — what the
+  // conformance estimator's observed q̂^{a,i} is verified against. Optional:
+  // tenants without a declaration are monitored but never flagged.
+  void SetDeclaredProfile(TenantId tenant, obs::DeclaredAttribution declared) {
+    declared_[tenant] = declared;
+  }
+  obs::DeclaredAttribution DeclaredOf(TenantId tenant) const {
+    const auto it = declared_.find(tenant);
+    return it == declared_.end() ? obs::DeclaredAttribution{} : it->second;
+  }
 
   void SetOverflowCallback(std::function<void(const OverflowEvent&)> cb) {
     overflow_cb_ = std::move(cb);
@@ -97,6 +114,9 @@ class ResourcePolicy {
   // (and by how much) overbooking scaled the grants down.
   const obs::ProvisioningAuditLog& audit_log() const { return audit_log_; }
 
+  // Per-tenant achieved-vs-reserved conformance, updated every interval.
+  const obs::SlaMonitor& sla() const { return sla_; }
+
  private:
   // VOP price of one normalized request of class `app` for `tenant`.
   double PriceOf(TenantId tenant, AppRequest app) const;
@@ -110,6 +130,9 @@ class ResourcePolicy {
   CapacityModel& capacity_;
   PolicyOptions options_;
   std::map<TenantId, Reservation> reservations_;
+  std::map<TenantId, obs::DeclaredAttribution> declared_;
+  std::map<TenantId, double> last_tenant_vops_;  // SLA interval deltas
+  obs::SlaMonitor sla_;
   std::function<void(const OverflowEvent&)> overflow_cb_;
   sim::EventLoop::EventId pending_event_ = 0;
   bool running_ = false;

@@ -36,6 +36,11 @@ IoScheduler::IoScheduler(sim::EventLoop& loop, ssd::SsdDevice& device,
   if (options_.trace_capacity > 0) {
     trace_ = std::make_unique<obs::TraceRing>(options_.trace_capacity);
   }
+  if (options_.span_capacity > 0) {
+    spans_ = std::make_unique<obs::SpanCollector>(options_.span_capacity,
+                                                  options_.span_sample_every,
+                                                  options_.span_id_seed);
+  }
   chunk_ctx_.reserve(static_cast<size_t>(options_.queue_depth));
 }
 
@@ -142,6 +147,7 @@ IoScheduler::Op* IoScheduler::AllocOp(const IoTag& tag, ssd::IoType type,
   op->chunks_total = 0;
   op->submit_time = loop_.Now();
   op->first_dispatch = 0;
+  op->cost_accum = 0.0;
   op->done = nullptr;
   op->manifest.clear();
   return op;
@@ -327,12 +333,29 @@ void IoScheduler::OnChunkComplete(uint32_t index) {
   const uint32_t chunk = slot.chunk;
   if (slot.shares.empty()) {
     tracker_.RecordIo(op->tag, op->type, chunk, cost);
+    if (spans_ != nullptr) {
+      // Same cost value, same call order as the tracker: the estimator's
+      // per-tenant VOP totals reproduce the tracker's bit-for-bit.
+      spans_->attribution().RecordIo(op->tag.tenant,
+                                     static_cast<uint8_t>(op->tag.app),
+                                     static_cast<uint8_t>(op->tag.internal),
+                                     cost);
+    }
   } else {
     // Shared chunk: each contributor is charged its pre-split exact share.
     for (const ChunkShare& s : slot.shares) {
       tracker_.RecordIoShare(s.tag, op->type, s.bytes, s.cost);
+      if (spans_ != nullptr) {
+        spans_->attribution().RecordIo(s.tag.tenant,
+                                       static_cast<uint8_t>(s.tag.app),
+                                       static_cast<uint8_t>(s.tag.internal),
+                                       s.cost);
+      }
     }
     slot.shares.clear();  // free-list invariant: recycled slots hold none
+  }
+  if (spans_ != nullptr) {
+    op->cost_accum += cost;
   }
   slot.next_free = chunk_free_;
   chunk_free_ = index;
@@ -355,6 +378,9 @@ void IoScheduler::OnChunkComplete(uint32_t index) {
                       op->type == ssd::IoType::kWrite, op->offset, op->size,
                       op->chunks_total, queue_wait, service});
     }
+    if (spans_ != nullptr) {
+      EmitDeviceIoSpan(*op, now);
+    }
     op->done->Set(true);
     FreeOp(op);  // last reference: recycle for the next Submit
   }
@@ -364,6 +390,44 @@ void IoScheduler::OnChunkComplete(uint32_t index) {
   // idle for the zero-duration gap between completion and resubmission
   // and a round change in that gap would wipe its budget.
   loop_.Post([this] { Pump(); });
+}
+
+void IoScheduler::EmitDeviceIoSpan(const Op& op, SimTime now) {
+  // Parent: the op's own context, or — for a shared op scheduled under an
+  // untraced leader — the first traced manifest rider.
+  TraceContext parent = op.tag.ctx;
+  if (!parent.valid()) {
+    for (const IoShare& s : op.manifest) {
+      if (s.tag.ctx.valid()) {
+        parent = s.tag.ctx;
+        break;
+      }
+    }
+    if (!parent.valid()) {
+      return;  // nothing traced rode this op
+    }
+  }
+  obs::SpanRecord rec;
+  rec.trace_id = parent.trace_id;
+  rec.span_id = spans_->MintChild(parent).span_id;
+  rec.parent_span = parent.span_id;
+  rec.kind = obs::SpanKind::kDeviceIo;
+  rec.app = static_cast<uint8_t>(op.tag.app);
+  rec.internal = static_cast<uint8_t>(op.tag.internal);
+  rec.is_write = op.type == ssd::IoType::kWrite;
+  rec.tenant = op.tag.tenant;
+  rec.start_ns = op.submit_time;
+  rec.end_ns = now;
+  rec.bytes = op.size;
+  rec.vops = op.cost_accum;
+  // A group-committed IOP carries every rider's context: link the traced
+  // ones beyond the parent so followers' traces reach this device IO.
+  for (const IoShare& s : op.manifest) {
+    if (s.tag.ctx.valid() && !(s.tag.ctx == parent)) {
+      rec.links.Add(s.tag.ctx);
+    }
+  }
+  spans_->Record(rec);
 }
 
 void IoScheduler::Pump() {

@@ -41,6 +41,7 @@
 #include "src/iosched/io_tag.h"
 #include "src/iosched/resource_tracker.h"
 #include "src/obs/io_stats.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/sync.h"
@@ -57,6 +58,15 @@ struct SchedulerOptions {
   // IO lifecycle event trace: 0 disables; > 0 keeps the newest N events in
   // a ring (see obs::TraceRing), dumpable as JSONL.
   size_t trace_capacity = 0;
+  // Causal span collection: 0 disables (every trace-context branch in the
+  // IO path then costs one null/validity check); > 0 keeps the newest N
+  // spans (see obs::SpanCollector) and turns on attribution estimation.
+  size_t span_capacity = 0;
+  // Mint 1 of every N root traces (1 = trace every request).
+  uint32_t span_sample_every = 1;
+  // High-byte namespace for minted span ids (cluster nodes use their index
+  // so ids never collide across collectors).
+  uint64_t span_id_seed = 0;
 };
 
 // Per-tenant IO lifecycle statistics, always on: queue-wait (submit ->
@@ -148,6 +158,18 @@ class IoScheduler {
   // Event trace ring; nullptr unless options.trace_capacity > 0.
   const obs::TraceRing* trace() const { return trace_.get(); }
 
+  // Span collector; nullptr unless options.span_capacity > 0. Every layer
+  // above the scheduler reaches tracing through this single owner.
+  obs::SpanCollector* spans() { return spans_.get(); }
+  const obs::SpanCollector* spans() const { return spans_.get(); }
+
+  // Whether the tenant has queued or in-flight work right now (the SLA
+  // monitor's demand-pending predicate).
+  bool HasDemand(TenantId tenant) const {
+    const Tenant* t = FindTenant(tenant);
+    return t != nullptr && t->active();
+  }
+
  private:
   // Ops live in a scheduler-owned pool (op_arena_ + op_free_) and are
   // recycled when the last chunk completes — no per-IO allocation after the
@@ -164,6 +186,7 @@ class IoScheduler {
     uint32_t chunks_total;     // chunks dispatched over the op's lifetime
     SimTime submit_time;
     SimTime first_dispatch;    // valid once dispatched > 0
+    double cost_accum;         // summed chunk VOPs (span emission only)
     sim::OneShot<bool>* done;
     // Multi-tag cost manifest for batched IOPs (WriteShared); empty for
     // plain single-tag IOs, which keep the exact pre-manifest fast path.
@@ -250,6 +273,10 @@ class IoScheduler {
   uint32_t AllocChunkCtx();
   void OnChunkComplete(uint32_t index);
 
+  // Emits the op's kDeviceIo span (traced ops only; shared ops link every
+  // traced manifest rider beyond the one chosen as parent).
+  void EmitDeviceIoSpan(const Op& op, SimTime now);
+
   sim::EventLoop& loop_;
   ssd::SsdDevice& device_;
   std::unique_ptr<CostModel> cost_model_;
@@ -271,6 +298,7 @@ class IoScheduler {
   bool pumping_ = false;
   double max_carry_vops_ = 64.0;  // covers the dearest chunk (see ctor)
   std::unique_ptr<obs::TraceRing> trace_;
+  std::unique_ptr<obs::SpanCollector> spans_;
 };
 
 }  // namespace libra::iosched

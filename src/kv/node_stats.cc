@@ -72,9 +72,89 @@ void WriteAuditRecord(JsonWriter& w, const obs::AuditRecord& rec) {
     w.Double(e.required_vops);
     w.Key("granted_vops");
     w.Double(e.granted_vops);
+    w.Key("achieved_vops");
+    w.Double(e.achieved_vops);
+    w.Key("sla_violated");
+    w.Bool(e.sla_violated);
     w.EndObject();
   }
   w.EndArray();
+  w.EndObject();
+}
+
+void WriteAttribution(JsonWriter& w, const AttributionSnapshot& a) {
+  w.BeginObject();
+  w.Key("observed");
+  w.Bool(a.observed);
+  w.Key("declared");
+  w.Bool(a.declared.declared);
+  w.Key("total_vops");
+  w.Double(a.matrix.total_vops);
+  w.Key("norm_requests");
+  w.BeginObject();
+  w.Key("GET");
+  w.Double(a.matrix.norm_requests[static_cast<int>(iosched::AppRequest::kGet)]);
+  w.Key("PUT");
+  w.Double(a.matrix.norm_requests[static_cast<int>(iosched::AppRequest::kPut)]);
+  w.EndObject();
+  // Full observed/declared q matrix over the app x internal vocabulary
+  // (only the GET/PUT rows — nothing is ever declared for `none`).
+  w.Key("q");
+  w.BeginArray();
+  for (const iosched::AppRequest app :
+       {iosched::AppRequest::kGet, iosched::AppRequest::kPut}) {
+    for (int i = 0; i < obs::kAttrInternal; ++i) {
+      w.BeginObject();
+      w.Key("app");
+      w.String(iosched::AppRequestName(app));
+      w.Key("internal");
+      w.String(iosched::InternalOpName(static_cast<iosched::InternalOp>(i)));
+      w.Key("observed");
+      w.Double(a.matrix.Q(static_cast<int>(app), i));
+      w.Key("declared");
+      w.Double(a.declared.q[static_cast<int>(app)][i]);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Key("divergence");
+  w.Double(a.report.divergence);
+  w.Key("tolerance");
+  w.Double(a.tolerance);
+  w.Key("conformant");
+  w.Bool(a.conformant);
+  w.Key("worst");
+  w.BeginObject();
+  w.Key("app");
+  w.String(iosched::AppRequestName(
+      static_cast<iosched::AppRequest>(a.report.worst_app)));
+  w.Key("internal");
+  w.String(iosched::InternalOpName(
+      static_cast<iosched::InternalOp>(a.report.worst_internal)));
+  w.Key("observed");
+  w.Double(a.report.worst_observed);
+  w.Key("declared");
+  w.Double(a.report.worst_declared);
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteSla(JsonWriter& w, const SlaSnapshot& s) {
+  w.BeginObject();
+  w.Key("tracked");
+  w.Bool(s.tracked);
+  w.Key("intervals");
+  w.Uint(s.sla.intervals);
+  w.Key("violations");
+  w.Uint(s.sla.violations);
+  w.Key("violation_rate");
+  w.Double(s.sla.violation_rate());
+  w.Key("last_reserved_vops");
+  w.Double(s.sla.last_reserved_vops);
+  w.Key("last_achieved_vops");
+  w.Double(s.sla.last_achieved_vops);
+  w.Key("last_violated");
+  w.Bool(s.sla.last_violated);
   w.EndObject();
 }
 
@@ -118,6 +198,36 @@ std::string NodeStatsToJson(const NodeStats& stats) {
   w.BeginObject();
   w.Key("rounds");
   w.Uint(stats.scheduler_rounds);
+  w.EndObject();
+
+  w.Key("trace_ring");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(stats.trace_ring.enabled);
+  w.Key("capacity");
+  w.Uint(stats.trace_ring.capacity);
+  w.Key("recorded");
+  w.Uint(stats.trace_ring.recorded);
+  w.Key("dropped");
+  w.Uint(stats.trace_ring.dropped);
+  w.EndObject();
+
+  w.Key("spans");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(stats.spans.enabled);
+  w.Key("capacity");
+  w.Uint(stats.spans.capacity);
+  w.Key("recorded");
+  w.Uint(stats.spans.recorded);
+  w.Key("dropped");
+  w.Uint(stats.spans.dropped);
+  w.Key("minted_traces");
+  w.Uint(stats.spans.minted_traces);
+  w.Key("sampled_out");
+  w.Uint(stats.spans.sampled_out);
+  w.Key("sample_every");
+  w.Uint(stats.spans.sample_every);
   w.EndObject();
 
   w.Key("object_cache");
@@ -234,6 +344,10 @@ std::string NodeStatsToJson(const NodeStats& stats) {
     }
     w.EndArray();
     w.EndObject();
+    w.Key("attribution");
+    WriteAttribution(w, t.attribution);
+    w.Key("sla");
+    WriteSla(w, t.sla);
     w.EndObject();
   }
   w.EndArray();

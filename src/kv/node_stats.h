@@ -20,8 +20,10 @@
 #include "src/iosched/resource_policy.h"
 #include "src/lsm/db.h"
 #include "src/obs/audit.h"
+#include "src/obs/conformance.h"
 #include "src/obs/histogram.h"
 #include "src/obs/io_stats.h"
+#include "src/obs/sla.h"
 #include "src/ssd/device.h"
 
 namespace libra::kv {
@@ -31,6 +33,22 @@ struct IoClassSnapshot {
   iosched::AppRequest app = iosched::AppRequest::kNone;
   iosched::InternalOp internal = iosched::InternalOp::kNone;
   obs::IoClassStats stats;
+};
+
+// Observed-vs-declared attribution matrix for one tenant (tracing on).
+struct AttributionSnapshot {
+  bool observed = false;  // estimator has data for this tenant
+  obs::AttributionMatrix matrix;
+  obs::DeclaredAttribution declared;
+  obs::ConformanceReport report;  // valid when observed && declared
+  bool conformant = true;
+  double tolerance = 0.0;
+};
+
+// SLA conformance for one tenant (from the policy's SlaMonitor).
+struct SlaSnapshot {
+  bool tracked = false;
+  obs::SlaMonitor::TenantSla sla;
 };
 
 struct TenantSnapshot {
@@ -44,6 +62,8 @@ struct TenantSnapshot {
   obs::IoClassStats io_total;
   std::vector<IoClassSnapshot> io_classes;  // only classes with ops > 0
   lsm::LsmStats lsm;
+  AttributionSnapshot attribution;
+  SlaSnapshot sla;
 };
 
 // Protocol-layer object (LRU) cache counters. `enabled` is false when the
@@ -58,12 +78,34 @@ struct ObjectCacheSnapshot {
   uint64_t entries = 0;
 };
 
+// IO lifecycle trace-ring counters (scheduler's TraceRing; all zero when
+// trace_capacity is 0). A nonzero `dropped` means the ring wrapped.
+struct TraceRingSnapshot {
+  bool enabled = false;
+  uint64_t capacity = 0;
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+};
+
+// Causal span collector counters (scheduler's SpanCollector).
+struct SpanCollectorSnapshot {
+  bool enabled = false;
+  uint64_t capacity = 0;
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  uint64_t minted_traces = 0;
+  uint64_t sampled_out = 0;
+  uint32_t sample_every = 1;
+};
+
 struct NodeStats {
   int64_t time_ns = 0;
   ssd::DeviceStats device;
   double capacity_floor_vops = 0.0;
   double capacity_estimate_vops = 0.0;
   uint64_t scheduler_rounds = 0;
+  TraceRingSnapshot trace_ring;
+  SpanCollectorSnapshot spans;
   ObjectCacheSnapshot object_cache;
   // GETs served by riding another request's in-flight lookup (read
   // coalescing; 0 unless NodeOptions.enable_read_coalescing).

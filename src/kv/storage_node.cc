@@ -43,9 +43,54 @@ Status ValidateReservation(const Reservation& r) {
   return Status::Ok();
 }
 
+// Mints the node-level request span: a child of the caller's (cluster)
+// span when one rode in, else a new root trace honoring 1/N sampling.
+// Returns an invalid ctx when tracing is off or the request sampled out —
+// every downstream layer then runs untraced.
+struct RequestSpan {
+  TraceContext ctx;
+  uint64_t parent = 0;
+};
+
+RequestSpan BeginRequestSpan(obs::SpanCollector* spans, TraceContext caller) {
+  RequestSpan r;
+  if (spans == nullptr) {
+    return r;
+  }
+  if (caller.valid()) {
+    r.ctx = spans->MintChild(caller);
+    r.parent = caller.span_id;
+  } else {
+    r.ctx = spans->MintTrace();
+  }
+  return r;
+}
+
+void EndRequestSpan(obs::SpanCollector* spans, const RequestSpan& r,
+                    obs::SpanKind kind, AppRequest app, TenantId tenant,
+                    SimTime start, SimTime end, uint64_t bytes,
+                    TraceContext link = {}) {
+  if (spans == nullptr || !r.ctx.valid()) {
+    return;
+  }
+  obs::SpanRecord rec;
+  rec.trace_id = r.ctx.trace_id;
+  rec.span_id = r.ctx.span_id;
+  rec.parent_span = r.parent;
+  rec.kind = kind;
+  rec.app = static_cast<uint8_t>(app);
+  rec.tenant = tenant;
+  rec.start_ns = start;
+  rec.end_ns = end;
+  rec.bytes = bytes;
+  rec.links.Add(link);
+  spans->Record(rec);
+}
+
 }  // namespace
 
-Status StorageNode::AddTenant(TenantId tenant, Reservation reservation) {
+Status StorageNode::AddTenant(TenantId tenant, Reservation reservation,
+                              obs::DeclaredAttribution declared) {
   if (partitions_.count(tenant) > 0) {
     return Status::AlreadyExists("tenant exists");
   }
@@ -60,6 +105,9 @@ Status StorageNode::AddTenant(TenantId tenant, Reservation reservation) {
   }
   partitions_.emplace(tenant, std::move(db));
   policy_.SetReservation(tenant, reservation);
+  if (declared.declared) {
+    policy_.SetDeclaredProfile(tenant, declared);
+  }
   // Resolve the tenant's latency series now; the request path only touches
   // these pre-registered histograms (see RequestLatency).
   RequestLatency& rl = request_latency_[tenant];
@@ -99,58 +147,89 @@ std::vector<TenantId> StorageNode::tenants() const {
 }
 
 sim::Task<Status> StorageNode::Put(TenantId tenant, const std::string& key,
-                                   const std::string& value) {
+                                   const std::string& value, TraceContext ctx) {
   lsm::LsmDb* db = partition(tenant);
   if (db == nullptr) {
     co_return Status::NotFound("unknown tenant");
   }
+  obs::SpanCollector* spans = scheduler_.spans();
+  const RequestSpan span = BeginRequestSpan(spans, ctx);
   const SimTime start = loop_.Now();
-  Status s = co_await db->Put(key, value);
+  Status s = co_await db->Put(key, value, span.ctx);
   request_latency_[tenant].put->Record(
       static_cast<uint64_t>(loop_.Now() - start));
   if (s.ok()) {
     // Normalized app-request accounting happens at the protocol layer
-    // (§2.2): reservations are in size-normalized 1KB requests.
+    // (§2.2): reservations are in size-normalized 1KB requests. The
+    // attribution estimator sees the same normalization for every request
+    // (sampled or not) so the observed q̂ denominator stays exact.
     tracker().RecordAppRequest(tenant, AppRequest::kPut, value.size());
+    if (spans != nullptr) {
+      spans->attribution().RecordRequest(
+          tenant, static_cast<uint8_t>(AppRequest::kPut),
+          iosched::NormalizedRequests(value.size()));
+    }
     if (cache_ != nullptr) {
       cache_->Put(key, value);  // write-through
     }
   }
+  EndRequestSpan(spans, span, obs::SpanKind::kRequest, AppRequest::kPut,
+                 tenant, start, loop_.Now(), value.size());
   co_return s;
 }
 
-sim::Task<Status> StorageNode::Delete(TenantId tenant, const std::string& key) {
+sim::Task<Status> StorageNode::Delete(TenantId tenant, const std::string& key,
+                                      TraceContext ctx) {
   lsm::LsmDb* db = partition(tenant);
   if (db == nullptr) {
     co_return Status::NotFound("unknown tenant");
   }
+  obs::SpanCollector* spans = scheduler_.spans();
+  const RequestSpan span = BeginRequestSpan(spans, ctx);
   const SimTime start = loop_.Now();
-  Status s = co_await db->Delete(key);
+  Status s = co_await db->Delete(key, span.ctx);
   request_latency_[tenant].put->Record(
       static_cast<uint64_t>(loop_.Now() - start));
   if (s.ok()) {
     tracker().RecordAppRequest(tenant, AppRequest::kPut, key.size());
+    if (spans != nullptr) {
+      spans->attribution().RecordRequest(
+          tenant, static_cast<uint8_t>(AppRequest::kPut),
+          iosched::NormalizedRequests(key.size()));
+    }
     if (cache_ != nullptr) {
       cache_->Erase(key);
     }
   }
+  EndRequestSpan(spans, span, obs::SpanKind::kRequest, AppRequest::kPut,
+                 tenant, start, loop_.Now(), key.size());
   co_return s;
 }
 
 sim::Task<Result<std::string>> StorageNode::Get(TenantId tenant,
-                                                const std::string& key) {
+                                                const std::string& key,
+                                                TraceContext ctx) {
   lsm::LsmDb* db = partition(tenant);
   if (db == nullptr) {
     co_return Result<std::string>(Status::NotFound("unknown tenant"));
   }
+  obs::SpanCollector* spans = scheduler_.spans();
+  const RequestSpan span = BeginRequestSpan(spans, ctx);
   const SimTime start = loop_.Now();
   if (cache_ != nullptr) {
     if (auto hit = cache_->Get(key); hit.has_value()) {
       Result<std::string> out(std::move(*hit));
       // Cache hits consume no IO; they still count as served requests.
       tracker().RecordAppRequest(tenant, AppRequest::kGet, out.value().size());
+      if (spans != nullptr) {
+        spans->attribution().RecordRequest(
+            tenant, static_cast<uint8_t>(AppRequest::kGet),
+            iosched::NormalizedRequests(out.value().size()));
+      }
       request_latency_[tenant].get->Record(
           static_cast<uint64_t>(loop_.Now() - start));
+      EndRequestSpan(spans, span, obs::SpanKind::kRequest, AppRequest::kGet,
+                     tenant, start, loop_.Now(), out.value().size());
       co_return out;
     }
   }
@@ -160,46 +239,69 @@ sim::Task<Result<std::string>> StorageNode::Get(TenantId tenant,
     if (it != inflight_gets_.end()) {
       // Follower: ride the leader's in-flight lookup. The request is still
       // individually billed and its latency recorded — only the IO is
-      // shared.
+      // shared. Its span links the leader's lookup it rode.
       ++coalesced_gets_;
+      const TraceContext leader_ctx = it->second.leader_ctx;
       sim::OneShot<Result<std::string>> done(loop_);
-      it->second.push_back(&done);
+      it->second.waiters.push_back(&done);
       Result<std::string> out = co_await done.Wait();
-      tracker().RecordAppRequest(tenant, AppRequest::kGet,
-                                 out.ok() ? out.value().size() : 1);
+      const uint64_t billed = out.ok() ? out.value().size() : 1;
+      tracker().RecordAppRequest(tenant, AppRequest::kGet, billed);
+      if (spans != nullptr) {
+        spans->attribution().RecordRequest(
+            tenant, static_cast<uint8_t>(AppRequest::kGet),
+            iosched::NormalizedRequests(billed));
+      }
       request_latency_[tenant].get->Record(
           static_cast<uint64_t>(loop_.Now() - start));
+      EndRequestSpan(spans, span, obs::SpanKind::kCoalescedGet,
+                     AppRequest::kGet, tenant, start, loop_.Now(), billed,
+                     leader_ctx);
       co_return out;
     }
     // Leader: claim the flight, run the lookup, resolve everyone who
     // joined meanwhile.
-    inflight_gets_.emplace(flight_key, std::vector<sim::OneShot<Result<std::string>>*>());
-    lsm::LsmDb::GetResult r = co_await db->Get(key);
+    inflight_gets_.emplace(flight_key, GetFlight{span.ctx, {}});
+    lsm::LsmDb::GetResult r = co_await db->Get(key, span.ctx);
     Result<std::string> out(std::move(r.status), std::move(r.value));
     // Detach the waiter list before resolving: a resumed follower may
     // immediately issue the same key again and must start a fresh flight.
     auto flight = inflight_gets_.extract(flight_key);
-    for (sim::OneShot<Result<std::string>>* w : flight.mapped()) {
+    for (sim::OneShot<Result<std::string>>* w : flight.mapped().waiters) {
       w->Set(out);
     }
     const uint64_t billed = out.ok() ? out.value().size() : 1;
     tracker().RecordAppRequest(tenant, AppRequest::kGet, billed);
+    if (spans != nullptr) {
+      spans->attribution().RecordRequest(
+          tenant, static_cast<uint8_t>(AppRequest::kGet),
+          iosched::NormalizedRequests(billed));
+    }
     request_latency_[tenant].get->Record(
         static_cast<uint64_t>(loop_.Now() - start));
     if (out.ok() && cache_ != nullptr) {
       cache_->Put(key, out.value());
     }
+    EndRequestSpan(spans, span, obs::SpanKind::kRequest, AppRequest::kGet,
+                   tenant, start, loop_.Now(), billed);
     co_return out;
   }
-  lsm::LsmDb::GetResult r = co_await db->Get(key);
+  lsm::LsmDb::GetResult r = co_await db->Get(key, span.ctx);
   Result<std::string> out(std::move(r.status), std::move(r.value));
   const uint64_t billed = out.ok() ? out.value().size() : 1;
   tracker().RecordAppRequest(tenant, AppRequest::kGet, billed);
+  if (spans != nullptr) {
+    spans->attribution().RecordRequest(
+        tenant, static_cast<uint8_t>(AppRequest::kGet),
+        iosched::NormalizedRequests(billed));
+  }
   request_latency_[tenant].get->Record(
       static_cast<uint64_t>(loop_.Now() - start));
   if (out.ok() && cache_ != nullptr) {
     cache_->Put(key, out.value());
   }
+  EndRequestSpan(spans, span, obs::SpanKind::kRequest, AppRequest::kGet,
+                 tenant, start, loop_.Now(), billed);
   co_return out;
 }
 
@@ -210,6 +312,21 @@ NodeStats StorageNode::Snapshot() const {
   s.capacity_floor_vops = capacity_.provisionable();
   s.capacity_estimate_vops = capacity_.current_estimate();
   s.scheduler_rounds = scheduler_.rounds();
+  if (const obs::TraceRing* tr = scheduler_.trace(); tr != nullptr) {
+    s.trace_ring.enabled = true;
+    s.trace_ring.capacity = tr->capacity();
+    s.trace_ring.recorded = tr->total_recorded();
+    s.trace_ring.dropped = tr->dropped();
+  }
+  if (const obs::SpanCollector* sc = scheduler_.spans(); sc != nullptr) {
+    s.spans.enabled = true;
+    s.spans.capacity = sc->capacity();
+    s.spans.recorded = sc->total_recorded();
+    s.spans.dropped = sc->dropped();
+    s.spans.minted_traces = sc->minted_traces();
+    s.spans.sampled_out = sc->sampled_out();
+    s.spans.sample_every = sc->sample_every();
+  }
   if (cache_ != nullptr) {
     s.object_cache.enabled = true;
     s.object_cache.hits = cache_->hits();
@@ -246,6 +363,27 @@ NodeStats StorageNode::Snapshot() const {
       }
     }
     t.lsm = db->stats();
+    if (const obs::SpanCollector* sc = scheduler_.spans(); sc != nullptr) {
+      if (const obs::AttributionMatrix* m = sc->attribution().Of(tenant);
+          m != nullptr) {
+        t.attribution.observed = true;
+        t.attribution.matrix = *m;
+      }
+      t.attribution.declared = policy_.DeclaredOf(tenant);
+      t.attribution.tolerance = options_.attribution_tolerance;
+      if (t.attribution.observed && t.attribution.declared.declared) {
+        t.attribution.report =
+            obs::CompareAttribution(t.attribution.matrix,
+                                    t.attribution.declared);
+        t.attribution.conformant =
+            t.attribution.report.conformant(options_.attribution_tolerance);
+      }
+    }
+    if (const obs::SlaMonitor::TenantSla* sl = policy_.sla().Of(tenant);
+        sl != nullptr) {
+      t.sla.tracked = true;
+      t.sla.sla = *sl;
+    }
     s.tenants.push_back(std::move(t));
   }
   const auto& records = policy_.audit_log().records();

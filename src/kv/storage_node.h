@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/trace_context.h"
 #include "src/fs/sim_fs.h"
 #include "src/iosched/capacity.h"
 #include "src/iosched/cost_model.h"
@@ -51,6 +52,12 @@ struct NodeOptions {
   // its own IO).
   bool enable_read_coalescing = false;
   uint64_t prefill_bytes = 1ULL * kGiB;     // device preconditioning
+  // Attribution-conformance flagging threshold: a tenant whose observed
+  // q̂^{a,i} diverges from its declared profile by more than this relative
+  // error (on any significant cell) is reported non-conformant in the
+  // stats JSON. Only meaningful when tracing (span_capacity) is on and the
+  // tenant declared a profile.
+  double attribution_tolerance = 0.25;
 
   NodeOptions() : device_profile(ssd::Intel320Profile()) {}
 };
@@ -66,7 +73,11 @@ class StorageNode {
   // its partition. Rejects duplicate tenants (kAlreadyExists) and malformed
   // reservations (kInvalidArgument: negative or non-finite rates; zero is
   // legal and means best-effort).
-  Status AddTenant(iosched::TenantId tenant, iosched::Reservation reservation);
+  // `declared` is the attribution profile the tenant claims (VOPs per
+  // normalized request by app-request x internal-op cell); when provided,
+  // the conformance monitor verifies the observed matrix against it.
+  Status AddTenant(iosched::TenantId tenant, iosched::Reservation reservation,
+                   obs::DeclaredAttribution declared = {});
 
   // Replaces a registered tenant's reservation. Rejects unknown tenants
   // (kNotFound) and malformed reservations (kInvalidArgument), mirroring
@@ -80,12 +91,17 @@ class StorageNode {
 
   // --- request API (coroutines; suspend on IO scheduling) ---
 
+  // `ctx` is an optional caller span (the cluster layer's client-request
+  // span); when invalid and tracing is on, the node mints a root trace for
+  // the request (honoring the collector's 1/N sampling).
   sim::Task<Status> Put(iosched::TenantId tenant, const std::string& key,
-                        const std::string& value);
-  sim::Task<Status> Delete(iosched::TenantId tenant, const std::string& key);
+                        const std::string& value, TraceContext ctx = {});
+  sim::Task<Status> Delete(iosched::TenantId tenant, const std::string& key,
+                           TraceContext ctx = {});
 
   sim::Task<Result<std::string>> Get(iosched::TenantId tenant,
-                                     const std::string& key);
+                                     const std::string& key,
+                                     TraceContext ctx = {});
 
   // --- introspection for evaluation harnesses ---
 
@@ -132,10 +148,13 @@ class StorageNode {
   // Singleflight table: in-flight GET leaders keyed by (tenant, key);
   // followers park a OneShot here and are resolved when the leader's
   // lookup lands. Single-threaded coroutine interleaving makes the
-  // find-or-claim race-free.
-  std::map<std::pair<iosched::TenantId, std::string>,
-           std::vector<sim::OneShot<Result<std::string>>*>>
-      inflight_gets_;
+  // find-or-claim race-free. The leader's span context is kept so follower
+  // spans can link the lookup they rode.
+  struct GetFlight {
+    TraceContext leader_ctx;
+    std::vector<sim::OneShot<Result<std::string>>*> waiters;
+  };
+  std::map<std::pair<iosched::TenantId, std::string>, GetFlight> inflight_gets_;
   uint64_t coalesced_gets_ = 0;
 };
 

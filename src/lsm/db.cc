@@ -111,8 +111,8 @@ Status LsmDb::SealMemtable() {
 }
 
 sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
-                                       std::string_view value,
-                                       ValueType type) {
+                                       std::string_view value, ValueType type,
+                                       TraceContext ctx) {
   // Backpressure: L0 overload or both write buffers full.
   if (WriteStalled()) {
     const SimTime stall_start = loop_.Now();
@@ -128,7 +128,7 @@ sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
   }
 
   const SequenceNumber seq = ++seq_;
-  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kNone};
+  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kNone, ctx};
   Status s = co_await wal_->Append(tag, key, seq, type, value);
   if (!s.ok()) {
     co_return s;
@@ -136,9 +136,9 @@ sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
   // Insert after durability; ordering between concurrent writers is by
   // sequence number regardless of insertion order.
   if (type == ValueType::kDelete) {
-    mem_->Delete(key, seq);
+    mem_->Delete(key, seq, ctx);
   } else {
-    mem_->Put(key, seq, value);
+    mem_->Put(key, seq, value, ctx);
   }
   ++puts_;
   if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_bytes &&
@@ -148,18 +148,19 @@ sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
   co_return s;
 }
 
-sim::Task<Status> LsmDb::Put(std::string_view key, std::string_view value) {
-  return WriteInternal(key, value, ValueType::kPut);
+sim::Task<Status> LsmDb::Put(std::string_view key, std::string_view value,
+                             TraceContext ctx) {
+  return WriteInternal(key, value, ValueType::kPut, ctx);
 }
 
-sim::Task<Status> LsmDb::Delete(std::string_view key) {
-  return WriteInternal(key, "", ValueType::kDelete);
+sim::Task<Status> LsmDb::Delete(std::string_view key, TraceContext ctx) {
+  return WriteInternal(key, "", ValueType::kDelete, ctx);
 }
 
-sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key) {
+sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key, TraceContext ctx) {
   ++gets_;
   const SequenceNumber snapshot = seq_;
-  const IoTag tag{tenant_, AppRequest::kGet, InternalOp::kNone};
+  const IoTag tag{tenant_, AppRequest::kGet, InternalOp::kNone, ctx};
   GetResult out;
 
   // Memtables first (no IO).
@@ -269,20 +270,33 @@ sim::Task<StatusOr<LsmDb::TableRef>> LsmDb::BuildTable(
 }
 
 sim::Task<void> LsmDb::FlushJob() {
-  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kFlush};
   while (imm_ != nullptr) {
     const SimTime flush_start = loop_.Now();
-    // Collect the sealed memtable in order.
+    // Collect the sealed memtable in order, gathering the origin spans of
+    // the requests whose bytes this flush persists.
     std::vector<MemTable::Entry> entries;
     entries.reserve(imm_->entries());
+    obs::SpanLinkSet origins;
     MemTable::Iterator it(imm_.get());
     for (it.SeekToFirst(); it.Valid(); it.Next()) {
       entries.push_back(it.entry());
+      origins.Add(it.entry().origin);
     }
+    // The flush gets its own span (new trace root when no writer was
+    // traced); its device IO parents under it via the tag context.
+    obs::SpanCollector* spans = scheduler_.spans();
+    IoTag tag{tenant_, AppRequest::kPut, InternalOp::kFlush, {}};
+    if (spans != nullptr) {
+      tag.ctx = spans->MintAlways();
+    }
+    uint64_t built_bytes = 0;
     if (!entries.empty()) {
       auto built = co_await BuildTable(entries, 0, entries.size(), tag);
       if (built.ok()) {
         flush_bytes_ += (*built)->size_bytes;
+        built_bytes = (*built)->size_bytes;
+        (*built)->lineage = tag.ctx;
+        (*built)->origin_links = origins;
         // Install: newest L0 file goes to the front.
         auto next = std::make_shared<Version>(*current_);
         next->levels[0].insert(next->levels[0].begin(), *built);
@@ -291,6 +305,21 @@ sim::Task<void> LsmDb::FlushJob() {
     }
     ++flushes_;
     flush_ns_ += static_cast<uint64_t>(loop_.Now() - flush_start);
+    if (spans != nullptr) {
+      obs::SpanRecord rec;
+      rec.trace_id = tag.ctx.trace_id;
+      rec.span_id = tag.ctx.span_id;
+      rec.kind = obs::SpanKind::kFlush;
+      rec.app = static_cast<uint8_t>(AppRequest::kPut);
+      rec.internal = static_cast<uint8_t>(InternalOp::kFlush);
+      rec.is_write = 1;
+      rec.tenant = tenant_;
+      rec.start_ns = flush_start;
+      rec.end_ns = loop_.Now();
+      rec.bytes = built_bytes;
+      rec.links = origins;
+      spans->Record(rec);
+    }
     scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kFlush);
     imm_.reset();
     if (imm_wal_ != nullptr) {
@@ -353,7 +382,7 @@ bool LsmDb::RangesOverlap(const TableHandle& t, std::string_view lo,
 }
 
 sim::Task<Status> LsmDb::CompactLevel(int level) {
-  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kCompact};
+  IoTag tag{tenant_, AppRequest::kPut, InternalOp::kCompact, {}};
   const SimTime compact_start = loop_.Now();
   scheduler_.tracker().RecordTrigger(tenant_, AppRequest::kPut,
                                      InternalOp::kCompact);
@@ -393,13 +422,37 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
     }
   }
 
+  // Trace: the compaction span parents under the first input table's
+  // lineage (the FLUSH/COMPACT that built it), links the other tables'
+  // lineage spans plus a sample of the app-request origins riding them —
+  // the fan-in edge set that lets a viewer walk COMPACT device IO back to
+  // the PUTs whose bytes it rewrites.
+  obs::SpanCollector* spans = scheduler_.spans();
+  obs::SpanLinkSet fan_in;
+  obs::SpanLinkSet origins;
+  TraceContext compact_parent;
+  if (spans != nullptr) {
+    for (const std::vector<TableRef>* group : {&inputs, &overlap}) {
+      for (const TableRef& t : *group) {
+        if (!compact_parent.valid()) {
+          compact_parent = t->lineage;
+        } else {
+          fan_in.Add(t->lineage);
+        }
+        origins.Merge(t->origin_links);
+      }
+    }
+    tag.ctx = compact_parent.valid() ? spans->MintChild(compact_parent)
+                                     : spans->MintAlways();
+  }
+
   // Merge: read everything (sequential COMPACT reads), sort by internal
   // key, keep only the newest version of each user key.
   std::vector<MemTable::Entry> entries;
   auto collect = [&entries](const Record& rec) {
     entries.push_back(MemTable::Entry{std::string(rec.key),
                                       std::string(rec.value), rec.seq,
-                                      rec.type});
+                                      rec.type, {}});
   };
   for (const std::vector<TableRef>* group : {&inputs, &overlap}) {
     for (const TableRef& t : *group) {
@@ -451,6 +504,8 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
                                                   InternalOp::kCompact);
         co_return built.status();
       }
+      (*built)->lineage = tag.ctx;
+      (*built)->origin_links = origins;
       outputs.push_back(*built);
       begin = i;
       bytes = 0;
@@ -499,10 +554,29 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
       compact_bytes_read_ += t->size_bytes;
     }
   }
+  uint64_t output_bytes = 0;
   for (const TableRef& t : outputs) {
-    compact_bytes_written_ += t->size_bytes;
+    output_bytes += t->size_bytes;
   }
+  compact_bytes_written_ += output_bytes;
   compact_ns_ += static_cast<uint64_t>(loop_.Now() - compact_start);
+  if (spans != nullptr) {
+    obs::SpanRecord rec;
+    rec.trace_id = tag.ctx.trace_id;
+    rec.span_id = tag.ctx.span_id;
+    rec.parent_span = compact_parent.span_id;
+    rec.kind = obs::SpanKind::kCompact;
+    rec.app = static_cast<uint8_t>(AppRequest::kPut);
+    rec.internal = static_cast<uint8_t>(InternalOp::kCompact);
+    rec.is_write = 1;
+    rec.tenant = tenant_;
+    rec.start_ns = compact_start;
+    rec.end_ns = loop_.Now();
+    rec.bytes = output_bytes;
+    rec.links = fan_in;
+    rec.links.Merge(origins);
+    spans->Record(rec);
+  }
   scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
   stall_cv_.NotifyAll();  // L0 pressure may have cleared
   co_return Status::Ok();
@@ -536,7 +610,7 @@ sim::Task<Status> LsmDb::ScanLive(
     if (rec.seq <= snapshot) {
       entries.push_back(MemTable::Entry{std::string(rec.key),
                                         std::string(rec.value), rec.seq,
-                                        rec.type});
+                                        rec.type, {}});
     }
   };
   for (const std::vector<TableRef>& level : base->levels) {

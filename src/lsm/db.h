@@ -30,12 +30,14 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/trace_context.h"
 #include "src/fs/sim_fs.h"
 #include "src/iosched/io_tag.h"
 #include "src/iosched/scheduler.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/sstable.h"
 #include "src/lsm/wal.h"
+#include "src/obs/span.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -100,14 +102,19 @@ class LsmDb {
   // Creates (or recovers) the WAL. Must be called before any operation.
   Status Open();
 
-  sim::Task<Status> Put(std::string_view key, std::string_view value);
-  sim::Task<Status> Delete(std::string_view key);
+  // `ctx` is the caller's trace span (invalid when untraced); it rides the
+  // operation's IoTags so its device IO emits causally-linked spans, and —
+  // for writes — is remembered as the memtable entry's origin so the FLUSH
+  // and COMPACTions that later move those bytes link back to it.
+  sim::Task<Status> Put(std::string_view key, std::string_view value,
+                        TraceContext ctx = {});
+  sim::Task<Status> Delete(std::string_view key, TraceContext ctx = {});
 
   struct GetResult {
     Status status;      // NotFound when the key does not exist
     std::string value;  // valid when status.ok()
   };
-  sim::Task<GetResult> Get(std::string_view key);
+  sim::Task<GetResult> Get(std::string_view key, TraceContext ctx = {});
 
   // Awaits quiescence of background flush/compaction work.
   sim::Task<void> WaitIdle();
@@ -143,6 +150,12 @@ class LsmDb {
     std::string largest;
     std::unique_ptr<SstableReader> reader;
     TableIndexCache* index_cache = nullptr;  // set iff the DB bounds it
+    // Tracing lineage: the FLUSH/COMPACT span that built this table, plus a
+    // bounded sample of the app-request spans whose bytes it holds. A later
+    // compaction reading this table links its span to these, extending the
+    // causal chain PUT -> FLUSH -> COMPACT -> ... across rewrites.
+    TraceContext lineage;
+    obs::SpanLinkSet origin_links;
 
     ~TableHandle() {
       if (index_cache != nullptr) {
@@ -164,7 +177,7 @@ class LsmDb {
 
   // --- write path ---
   sim::Task<Status> WriteInternal(std::string_view key, std::string_view value,
-                                  ValueType type);
+                                  ValueType type, TraceContext ctx);
   bool WriteStalled() const;
   // Seals the memtable + WAL and kicks the flush task if needed.
   Status SealMemtable();

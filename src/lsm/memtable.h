@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/trace_context.h"
 #include "src/lsm/format.h"
 #include "src/lsm/skiplist.h"
 
@@ -21,6 +22,10 @@ class MemTable {
     std::string value;
     SequenceNumber seq = 0;
     ValueType type = ValueType::kPut;
+    // Span of the app request that wrote this entry; lets the FLUSH that
+    // later persists it emit a span causally linked to the requests whose
+    // bytes it moves. Invalid (zero) when the writer was untraced.
+    TraceContext origin;
   };
 
   struct EntryComparator {
@@ -31,11 +36,13 @@ class MemTable {
 
   MemTable() : table_(EntryComparator{}) {}
 
-  void Put(std::string_view key, SequenceNumber seq, std::string_view value) {
-    Add(key, seq, ValueType::kPut, value);
+  void Put(std::string_view key, SequenceNumber seq, std::string_view value,
+           TraceContext origin = {}) {
+    Add(key, seq, ValueType::kPut, value, origin);
   }
-  void Delete(std::string_view key, SequenceNumber seq) {
-    Add(key, seq, ValueType::kDelete, "");
+  void Delete(std::string_view key, SequenceNumber seq,
+              TraceContext origin = {}) {
+    Add(key, seq, ValueType::kDelete, "", origin);
   }
 
   // Lookup result: `found` with the value for a PUT; a tombstone is
@@ -72,8 +79,9 @@ class MemTable {
 
  private:
   void Add(std::string_view key, SequenceNumber seq, ValueType type,
-           std::string_view value) {
-    table_.Insert(Entry{std::string(key), std::string(value), seq, type});
+           std::string_view value, TraceContext origin) {
+    table_.Insert(
+        Entry{std::string(key), std::string(value), seq, type, origin});
     memory_usage_ += key.size() + value.size() + 32;
   }
 

@@ -39,6 +39,12 @@ struct AuditTenantEntry {
   double price_put = 0.0;
   double required_vops = 0.0;  // priced reservation before scaling
   double granted_vops = 0.0;   // allocation installed in the scheduler
+  // SLA conformance over the interval that just ended (see obs::SlaMonitor):
+  // achieved VOP/s vs required, and whether that violated the reservation
+  // (under-achievement with demand pending). Zero/false on the first step
+  // (no elapsed interval yet).
+  double achieved_vops = 0.0;
+  bool sla_violated = false;
 };
 
 // One interval step.

@@ -1,0 +1,86 @@
+// SLA conformance monitoring: achieved-vs-reserved VOPs per audit interval.
+//
+// The resource policy prices each tenant's reservation into a required
+// VOP/s rate once per interval; this monitor records, for the same
+// interval, the VOP/s the tenant actually consumed and whether that
+// constitutes an SLA violation: achieved below (1 - tolerance) x reserved
+// *while the tenant had pending demand* (an idle tenant under-consuming is
+// not a violation — the guarantee is conditional on offered load, paper
+// §4.3). Violation rates feed the audit log and node/cluster stats JSON,
+// and are the signal elastic-SLA (IOTune-style) and placement policies
+// consume.
+//
+// Plain scalars only (no iosched includes): obs stays the bottom layer and
+// the policy flattens its structs in, as with AuditRecord.
+
+#ifndef LIBRA_SRC_OBS_SLA_H_
+#define LIBRA_SRC_OBS_SLA_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace libra::obs {
+
+class SlaMonitor {
+ public:
+  struct TenantSla {
+    uint64_t intervals = 0;   // intervals with a nonzero reservation
+    uint64_t violations = 0;
+    int64_t last_time_ns = 0;
+    double last_reserved_vops = 0.0;  // VOP/s the reservation priced to
+    double last_achieved_vops = 0.0;  // VOP/s actually consumed
+    bool last_violated = false;
+
+    double violation_rate() const {
+      return intervals > 0
+                 ? static_cast<double>(violations) / static_cast<double>(intervals)
+                 : 0.0;
+    }
+  };
+
+  // One interval observation; returns whether it violated. `demand_pending`
+  // is whether the tenant had queued or in-flight work at interval end.
+  bool RecordInterval(uint32_t tenant, int64_t time_ns, double reserved_vops,
+                      double achieved_vops, bool demand_pending,
+                      double tolerance) {
+    TenantSla& s = tenants_[tenant];
+    const bool reserved = reserved_vops > 0.0;
+    const bool violated = reserved && demand_pending &&
+                          achieved_vops < (1.0 - tolerance) * reserved_vops;
+    if (reserved) {
+      ++s.intervals;
+    }
+    if (violated) {
+      ++s.violations;
+    }
+    s.last_time_ns = time_ns;
+    s.last_reserved_vops = reserved_vops;
+    s.last_achieved_vops = achieved_vops;
+    s.last_violated = violated;
+    return violated;
+  }
+
+  // nullptr until the tenant has recorded an interval.
+  const TenantSla* Of(uint32_t tenant) const {
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<uint32_t> tenants() const {
+    std::vector<uint32_t> out;
+    out.reserve(tenants_.size());
+    for (const auto& [t, s] : tenants_) {
+      out.push_back(t);
+    }
+    return out;
+  }
+
+ private:
+  // std::map: deterministic iteration order for JSON export.
+  std::map<uint32_t, TenantSla> tenants_;
+};
+
+}  // namespace libra::obs
+
+#endif  // LIBRA_SRC_OBS_SLA_H_

@@ -56,6 +56,12 @@ class TraceRing {
   size_t size() const { return std::min(total_, ring_.size()); }
   // Events recorded since construction (dropped ones included).
   uint64_t total_recorded() const { return total_; }
+  // Events evicted by ring wraparound — the ring caps loudly, not silently:
+  // a nonzero count in the stats JSON means the capacity was too small for
+  // the run.
+  uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
 
   // Retained events, oldest first.
   std::vector<TraceEvent> Events() const;

@@ -34,19 +34,93 @@ Status ValidateGlobal(const GlobalReservation& r) {
 
 // --- TenantHandle ---
 
+// The retry loop shared by Put/Delete/Get: bounded attempts with
+// exponential backoff on kUnavailable, under an optional per-request
+// deadline. Returning `true` means "retry"; `false` means give up — the
+// caller surfaces either the last underlying error (budget exhausted) or
+// kDeadlineExceeded via `deadline_hit` (so a request against a dead
+// cluster fails deterministically instead of hanging). The sleep is
+// clamped so the deadline is never overshot.
+namespace {
+
+struct RetryState {
+  const RetryPolicy* policy;
+  sim::EventLoop* loop;
+  SimTime deadline = 0;  // absolute; 0 = unbounded
+  SimDuration backoff = 0;
+  int attempt = 0;
+  bool deadline_hit = false;
+
+  RetryState(const RetryPolicy& p, sim::EventLoop& l)
+      : policy(&p),
+        loop(&l),
+        deadline(p.deadline > 0 ? l.Now() + p.deadline : 0),
+        backoff(p.initial_backoff) {}
+
+  bool Exhausted(const Status& s) {
+    if (s.code() != StatusCode::kUnavailable) {
+      return true;  // success or a non-retryable error
+    }
+    if (attempt >= policy->max_retries) {
+      return true;  // budget exhausted: caller surfaces `s` itself
+    }
+    if (deadline != 0 && loop->Now() >= deadline) {
+      deadline_hit = true;
+      return true;
+    }
+    return false;
+  }
+
+  sim::Task<void> Backoff() {
+    ++attempt;
+    SimDuration sleep = backoff;
+    if (deadline != 0) {
+      const SimDuration remaining = deadline - loop->Now();
+      sleep = std::min(sleep, remaining);
+    }
+    if (sleep > 0) {
+      co_await sim::SleepFor(*loop, sleep);
+    }
+    backoff = static_cast<SimDuration>(static_cast<double>(backoff) *
+                                       policy->backoff_multiplier);
+  }
+
+  Status DeadlineError(const Status& last) const {
+    return Status::DeadlineExceeded(
+        "deadline exceeded after " + std::to_string(attempt + 1) +
+        " attempt(s); last error: " + last.message());
+  }
+};
+
+}  // namespace
+
 sim::Task<Status> TenantHandle::Put(const std::string& key,
                                     const std::string& value) {
   if (!valid()) {
     co_return Status::FailedPrecondition("invalid tenant handle");
   }
-  co_return co_await cluster_->Put(tenant_, key, value);
+  RetryState retry(cluster_->options_.retry, cluster_->loop_);
+  for (;;) {
+    Status s = co_await cluster_->Put(tenant_, key, value);
+    if (retry.Exhausted(s)) {
+      co_return retry.deadline_hit ? retry.DeadlineError(s) : s;
+    }
+    co_await retry.Backoff();
+  }
 }
 
 sim::Task<Status> TenantHandle::Delete(const std::string& key) {
   if (!valid()) {
     co_return Status::FailedPrecondition("invalid tenant handle");
   }
-  co_return co_await cluster_->Delete(tenant_, key);
+  RetryState retry(cluster_->options_.retry, cluster_->loop_);
+  for (;;) {
+    Status s = co_await cluster_->Delete(tenant_, key);
+    if (retry.Exhausted(s)) {
+      co_return retry.deadline_hit ? retry.DeadlineError(s) : s;
+    }
+    co_await retry.Backoff();
+  }
 }
 
 sim::Task<Result<std::string>> TenantHandle::Get(const std::string& key) {
@@ -54,7 +128,16 @@ sim::Task<Result<std::string>> TenantHandle::Get(const std::string& key) {
     co_return Result<std::string>(
         Status::FailedPrecondition("invalid tenant handle"));
   }
-  co_return co_await cluster_->Get(tenant_, key);
+  RetryState retry(cluster_->options_.retry, cluster_->loop_);
+  for (;;) {
+    Result<std::string> r = co_await cluster_->Get(tenant_, key);
+    if (retry.Exhausted(r.status())) {
+      co_return retry.deadline_hit
+          ? Result<std::string>(retry.DeadlineError(r.status()))
+          : r;
+    }
+    co_await retry.Backoff();
+  }
 }
 
 namespace {
@@ -140,8 +223,12 @@ Cluster::Cluster(sim::EventLoop& loop, ClusterOptions options)
       shard_map_(ShardMapOptions{options_.num_nodes,
                                  options_.shards_per_tenant,
                                  options_.vnodes_per_node,
-                                 options_.placement_seed}) {
+                                 options_.placement_seed,
+                                 options_.replication_factor}) {
   assert(options_.num_nodes > 0);
+  assert(options_.replication_factor >= 1);
+  node_state_.assign(static_cast<size_t>(options_.num_nodes), NodeState{});
+  repl_.assign(static_cast<size_t>(options_.num_nodes), ReplTelemetry{});
   nodes_.reserve(options_.num_nodes);
   for (int i = 0; i < options_.num_nodes; ++i) {
     nodes_.push_back(
@@ -189,19 +276,28 @@ double Cluster::PricedVops(const Reservation& r) const {
 
 std::map<int, Reservation> Cluster::EvenSplit(
     TenantId tenant, const GlobalReservation& global) const {
+  // Split over *alive* hosting nodes, weighted by hosted slot replicas.
+  // A crashed node earns no share — its mass moves to the survivors — and
+  // the denominator is the alive slot-replica count so the shares still
+  // sum to 1 (at RF=1 with every node up this is shards_per_tenant, the
+  // pre-replication behavior).
   const std::vector<int> slots = shard_map_.SlotsPerNode(tenant);
-  const double total = static_cast<double>(shard_map_.shards_per_tenant());
   std::map<int, Reservation> split;
+  double total = 0.0;
   int last_node = -1;
   for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
-    if (slots[n] > 0) {
+    if (slots[n] > 0 && node_state_[n].alive) {
       last_node = n;
+      total += static_cast<double>(slots[n]);
     }
+  }
+  if (last_node < 0) {
+    return split;  // every hosting node is down
   }
   double used_get = 0.0;
   double used_put = 0.0;
   for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
-    if (slots[n] == 0) {
+    if (slots[n] == 0 || !node_state_[n].alive) {
       continue;
     }
     if (n == last_node) {
@@ -255,6 +351,9 @@ Status Cluster::ApplySplit(TenantId tenant,
   // to a zero local reservation: the partition still exists and may hold
   // tombstones, but earns no provisioned VOPs.
   for (const auto& [n, old_share] : state.split) {
+    if (!node_state_[n].alive) {
+      continue;  // dead node: its policy is stopped; resplit covers it later
+    }
     if (split.count(n) == 0 && nodes_[n]->HasTenant(tenant)) {
       if (Status s = nodes_[n]->UpdateReservation(tenant, Reservation{});
           !s.ok()) {
@@ -355,24 +454,124 @@ sim::Task<int> Cluster::AwaitRoutable(TenantId tenant, int slot) {
   co_return shard_map_.HomeOf(tenant, slot);
 }
 
+sim::Task<void> Cluster::PutReplica(int node, TenantId tenant, std::string key,
+                                    std::string value, TraceContext ctx,
+                                    Status* out) {
+  if (rpc_faults_ != nullptr) {
+    const RpcFault f = rpc_faults_->OnRpc(tenant, node);
+    if (f.delay > 0) {
+      co_await sim::SleepFor(loop_, f.delay);
+    }
+    if (f.drop) {
+      *out = Status::Unavailable("rpc to node " + std::to_string(node) +
+                                 " dropped (injected)");
+      co_return;
+    }
+  }
+  if (!node_state_[node].alive) {
+    *out = Status::Unavailable("node " + std::to_string(node) + " down");
+    co_return;
+  }
+  *out = co_await nodes_[node]->Put(tenant, key, value, ctx);
+}
+
+sim::Task<void> Cluster::DeleteReplica(int node, TenantId tenant,
+                                       std::string key, TraceContext ctx,
+                                       Status* out) {
+  if (rpc_faults_ != nullptr) {
+    const RpcFault f = rpc_faults_->OnRpc(tenant, node);
+    if (f.delay > 0) {
+      co_await sim::SleepFor(loop_, f.delay);
+    }
+    if (f.drop) {
+      *out = Status::Unavailable("rpc to node " + std::to_string(node) +
+                                 " dropped (injected)");
+      co_return;
+    }
+  }
+  if (!node_state_[node].alive) {
+    *out = Status::Unavailable("node " + std::to_string(node) + " down");
+    co_return;
+  }
+  *out = co_await nodes_[node]->Delete(tenant, key, ctx);
+}
+
+namespace {
+
+// Write fan-out verdict: the write is acked iff at least one replica
+// persisted it and every failure was mere unavailability (a replica dying
+// mid-write must not fail a write the survivors durably hold). Any hard
+// error — or zero acks — surfaces, preferring the most specific status.
+Status AggregateWrite(const std::vector<Status>& statuses) {
+  int acks = 0;
+  Status failure = Status::Ok();
+  for (const Status& s : statuses) {
+    if (s.ok()) {
+      ++acks;
+      continue;
+    }
+    if (failure.ok() || (failure.code() == StatusCode::kUnavailable &&
+                         s.code() != StatusCode::kUnavailable)) {
+      failure = s;
+    }
+  }
+  if (failure.ok() || (acks > 0 &&
+                       failure.code() == StatusCode::kUnavailable)) {
+    return acks > 0 ? Status::Ok() : Status::Unavailable("no live replica");
+  }
+  return failure;
+}
+
+}  // namespace
+
 sim::Task<Status> Cluster::Put(TenantId tenant, std::string key,
                                std::string value) {
   if (tenants_.count(tenant) == 0) {
     co_return Status::NotFound("unknown tenant " + std::to_string(tenant));
   }
   const int slot = shard_map_.SlotOfKey(key);
-  const int node = co_await AwaitRoutable(tenant, slot);
+  (void)co_await AwaitRoutable(tenant, slot);
+  const std::vector<int> replicas = shard_map_.ReplicasOf(tenant, slot);
   ShardState& ss = Shard(tenant, slot);
   ++ss.inflight;
-  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
-  const TraceContext ctx =
-      spans != nullptr ? spans->MintTrace() : TraceContext{};
-  const SimTime start = loop_.Now();
-  Status s = co_await nodes_[node]->Put(tenant, key, value, ctx);
-  RecordClientSpan(spans, ctx, AppRequest::kPut, tenant, start, loop_.Now(),
-                   value.size());
+  // Targets: every live replica. Syncing nodes are included — they must
+  // see new writes during catch-up or they would fall behind forever.
+  std::vector<int> targets;
+  for (const int r : replicas) {
+    if (node_state_[r].alive) {
+      targets.push_back(r);
+    }
+  }
+  Status result = Status::Unavailable("no live replica for slot " +
+                                      std::to_string(slot));
+  if (!targets.empty()) {
+    obs::SpanCollector* spans = nodes_[targets[0]]->scheduler().spans();
+    const TraceContext ctx =
+        spans != nullptr ? spans->MintTrace() : TraceContext{};
+    const SimTime start = loop_.Now();
+    if (targets.size() == 1) {
+      co_await PutReplica(targets[0], tenant, key, value, ctx, &result);
+    } else {
+      std::vector<Status> statuses(targets.size());
+      sim::TaskGroup group(loop_);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        group.Spawn(PutReplica(targets[i], tenant, key, value, ctx,
+                               &statuses[i]));
+      }
+      co_await group.Join();
+      result = AggregateWrite(statuses);
+      for (size_t i = 1; i < targets.size(); ++i) {
+        if (statuses[i].ok()) {
+          ++repl_[targets[i]].fanout_puts;
+          repl_[targets[i]].fanout_bytes += value.size();
+        }
+      }
+    }
+    RecordClientSpan(spans, ctx, AppRequest::kPut, tenant, start, loop_.Now(),
+                     value.size());
+  }
   --ss.inflight;
-  co_return s;
+  co_return result;
 }
 
 sim::Task<Status> Cluster::Delete(TenantId tenant, std::string key) {
@@ -380,18 +579,45 @@ sim::Task<Status> Cluster::Delete(TenantId tenant, std::string key) {
     co_return Status::NotFound("unknown tenant " + std::to_string(tenant));
   }
   const int slot = shard_map_.SlotOfKey(key);
-  const int node = co_await AwaitRoutable(tenant, slot);
+  (void)co_await AwaitRoutable(tenant, slot);
+  const std::vector<int> replicas = shard_map_.ReplicasOf(tenant, slot);
   ShardState& ss = Shard(tenant, slot);
   ++ss.inflight;
-  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
-  const TraceContext ctx =
-      spans != nullptr ? spans->MintTrace() : TraceContext{};
-  const SimTime start = loop_.Now();
-  Status s = co_await nodes_[node]->Delete(tenant, key, ctx);
-  RecordClientSpan(spans, ctx, AppRequest::kPut, tenant, start, loop_.Now(),
-                   key.size());
+  std::vector<int> targets;
+  for (const int r : replicas) {
+    if (node_state_[r].alive) {
+      targets.push_back(r);
+    }
+  }
+  Status result = Status::Unavailable("no live replica for slot " +
+                                      std::to_string(slot));
+  if (!targets.empty()) {
+    obs::SpanCollector* spans = nodes_[targets[0]]->scheduler().spans();
+    const TraceContext ctx =
+        spans != nullptr ? spans->MintTrace() : TraceContext{};
+    const SimTime start = loop_.Now();
+    if (targets.size() == 1) {
+      co_await DeleteReplica(targets[0], tenant, key, ctx, &result);
+    } else {
+      std::vector<Status> statuses(targets.size());
+      sim::TaskGroup group(loop_);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        group.Spawn(DeleteReplica(targets[i], tenant, key, ctx, &statuses[i]));
+      }
+      co_await group.Join();
+      result = AggregateWrite(statuses);
+      for (size_t i = 1; i < targets.size(); ++i) {
+        if (statuses[i].ok()) {
+          ++repl_[targets[i]].fanout_puts;
+          repl_[targets[i]].fanout_bytes += key.size();
+        }
+      }
+    }
+    RecordClientSpan(spans, ctx, AppRequest::kPut, tenant, start, loop_.Now(),
+                     key.size());
+  }
   --ss.inflight;
-  co_return s;
+  co_return result;
 }
 
 sim::Task<Result<std::string>> Cluster::Get(TenantId tenant, std::string key) {
@@ -400,18 +626,54 @@ sim::Task<Result<std::string>> Cluster::Get(TenantId tenant, std::string key) {
         Status::NotFound("unknown tenant " + std::to_string(tenant)));
   }
   const int slot = shard_map_.SlotOfKey(key);
-  const int node = co_await AwaitRoutable(tenant, slot);
+  (void)co_await AwaitRoutable(tenant, slot);
+  const std::vector<int> replicas = shard_map_.ReplicasOf(tenant, slot);
   ShardState& ss = Shard(tenant, slot);
   ++ss.inflight;
-  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
-  const TraceContext ctx =
-      spans != nullptr ? spans->MintTrace() : TraceContext{};
-  const SimTime start = loop_.Now();
-  Result<std::string> r = co_await nodes_[node]->Get(tenant, key, ctx);
-  RecordClientSpan(spans, ctx, AppRequest::kGet, tenant, start, loop_.Now(),
-                   r.ok() ? r.value().size() : 0);
+  // Candidate order: live synced replicas in replica-set order (leader
+  // first), then live syncing ones — a catching-up replica may be missing
+  // flushed data, so it serves only when nothing better is up.
+  std::vector<int> order;
+  for (const int r : replicas) {
+    if (node_state_[r].alive && !node_state_[r].syncing) {
+      order.push_back(r);
+    }
+  }
+  for (const int r : replicas) {
+    if (node_state_[r].alive && node_state_[r].syncing) {
+      order.push_back(r);
+    }
+  }
+  Result<std::string> result(Status::Unavailable(
+      "no live replica for slot " + std::to_string(slot)));
+  for (const int node : order) {
+    if (rpc_faults_ != nullptr) {
+      const RpcFault f = rpc_faults_->OnRpc(tenant, node);
+      if (f.delay > 0) {
+        co_await sim::SleepFor(loop_, f.delay);
+      }
+      if (f.drop) {
+        result = Result<std::string>(Status::Unavailable(
+            "rpc to node " + std::to_string(node) + " dropped (injected)"));
+        continue;  // fail over to the next replica
+      }
+    }
+    obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
+    const TraceContext ctx =
+        spans != nullptr ? spans->MintTrace() : TraceContext{};
+    const SimTime start = loop_.Now();
+    result = co_await nodes_[node]->Get(tenant, key, ctx);
+    RecordClientSpan(spans, ctx, AppRequest::kGet, tenant, start, loop_.Now(),
+                     result.ok() ? result.value().size() : 0);
+    if (result.status().code() != StatusCode::kUnavailable) {
+      if (node != replicas[0]) {
+        ++repl_[node].failover_gets;
+      }
+      break;
+    }
+  }
   --ss.inflight;
-  co_return r;
+  co_return result;
 }
 
 sim::Task<void> Cluster::MultiGetSlotGroup(
@@ -428,7 +690,36 @@ sim::Task<void> Cluster::MultiGetSlotGroup(
   multiget_grouped_keys_ += keys.size();
   // One migration gate for the whole group; the same inflight accounting
   // as per-key Get so a draining migration still waits for every member.
-  const int node = co_await AwaitRoutable(tenant, slot);
+  (void)co_await AwaitRoutable(tenant, slot);
+  // Serve from the first live synced replica (the leader when it is up);
+  // a whole group fails together when every replica is down — the per-key
+  // retry path (TenantHandle) is the recourse.
+  const std::vector<int> replicas = shard_map_.ReplicasOf(tenant, slot);
+  int node = -1;
+  for (const int r : replicas) {
+    if (node_state_[r].alive && !node_state_[r].syncing) {
+      node = r;
+      break;
+    }
+  }
+  if (node < 0) {
+    for (const int r : replicas) {
+      if (node_state_[r].alive) {
+        node = r;
+        break;
+      }
+    }
+  }
+  if (node < 0) {
+    for (const auto& [i, key] : keys) {
+      (*out)[i] = Result<std::string>(Status::Unavailable(
+          "no live replica for slot " + std::to_string(slot)));
+    }
+    co_return;
+  }
+  if (node != replicas[0]) {
+    repl_[node].failover_gets += keys.size();
+  }
   ShardState& ss = Shard(tenant, slot);
   ss.inflight += static_cast<int>(keys.size());
   // One client-request span covers the whole slot group; each member
@@ -463,6 +754,12 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
   const int from = shard_map_.HomeOf(tenant, slot);
   if (from == to_node) {
     co_return Status::Ok();
+  }
+  if (!node_state_[to_node].alive) {
+    co_return Status::FailedPrecondition("target node down");
+  }
+  if (!node_state_[from].alive) {
+    co_return Status::FailedPrecondition("source node down");
   }
   ShardState& ss = Shard(tenant, slot);
   if (ss.migrating) {
@@ -533,11 +830,21 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
     }
     moved_bytes += k.size() + v.size();
   }
-  // Tombstone the moved keys at the source only after the copy fully
-  // succeeded (re-running a failed migration must still see them).
-  for (const auto& [k, v] : moving) {
-    if (Status s = co_await src_db->Delete(k, src_ctx); !s.ok()) {
-      co_return s;
+  // Flip the map only after the copy fully succeeded (re-running a failed
+  // migration must still see the source's keys), then tombstone the moved
+  // keys at the source — unless the source remains in the slot's replica
+  // set (RF>1: re-homing the leader can demote the old leader to a ring
+  // follower, whose copy must survive).
+  shard_map_.Rehome(tenant, slot, to_node);
+  const std::vector<int> post_replicas = shard_map_.ReplicasOf(tenant, slot);
+  const bool from_still_replica =
+      std::find(post_replicas.begin(), post_replicas.end(), from) !=
+      post_replicas.end();
+  if (!from_still_replica) {
+    for (const auto& [k, v] : moving) {
+      if (Status s = co_await src_db->Delete(k, src_ctx); !s.ok()) {
+        co_return s;
+      }
     }
   }
   if (src_spans != nullptr) {
@@ -565,7 +872,6 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
     dst_spans->Record(rec);
   }
 
-  shard_map_.Rehome(tenant, slot, to_node);
   // GateRelease clears `migrating`; gated requests re-resolve to the new
   // home once the coroutine returns.
 
@@ -581,12 +887,246 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
   co_return Status::Ok();
 }
 
+// --- crash fault injection & recovery ---
+
+Status Cluster::ResplitForMembership() {
+  for (auto& [tenant, state] : tenants_) {
+    const std::map<int, Reservation> split = EvenSplit(tenant, state.global);
+    if (split.empty()) {
+      // Every hosting node is down; nothing to install until a restart.
+      continue;
+    }
+    if (Status s = ApplySplit(tenant, split); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::CrashNode(int node) {
+  if (node < 0 || node >= num_nodes()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  if (!node_state_[node].alive) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " already down");
+  }
+  nodes_[node]->Crash();
+  node_state_[node].alive = false;
+  node_state_[node].syncing = false;
+  // Immediately move the dead node's reservation mass to the survivors so
+  // no tenant's global reservation is partially stranded on a stopped
+  // policy (the exact-sum invariant the provisioner relies on).
+  return ResplitForMembership();
+}
+
+sim::Task<Status> Cluster::RestartNode(int node) {
+  if (node < 0 || node >= num_nodes()) {
+    co_return Status::InvalidArgument("node out of range");
+  }
+  if (node_state_[node].alive) {
+    co_return Status::FailedPrecondition("node " + std::to_string(node) +
+                                         " is not crashed");
+  }
+  if (Status s = co_await nodes_[node]->Restart(); !s.ok()) {
+    co_return s;
+  }
+  node_state_[node].alive = true;
+  node_state_[node].syncing = shard_map_.replication_factor() > 1;
+  // Back in the write path (and the reservation split) right away; reads
+  // prefer synced replicas until catch-up finishes.
+  if (Status s = ResplitForMembership(); !s.ok()) {
+    node_state_[node].syncing = false;
+    co_return s;
+  }
+  if (node_state_[node].syncing) {
+    const Status caught_up = co_await CatchUpNode(node);
+    node_state_[node].syncing = false;
+    co_return caught_up;
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Cluster::CatchUpNode(int node) {
+  std::vector<TenantId> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [t, state] : tenants_) {
+    ids.push_back(t);
+  }
+  Status worst = Status::Ok();
+  for (const TenantId t : ids) {
+    if (Status s = co_await CatchUpTenant(t, node); !s.ok()) {
+      worst = s;  // keep catching up the other tenants regardless
+    }
+  }
+  repl_[node].catchup_lag_slots = 0;
+  co_return worst;
+}
+
+sim::Task<Status> Cluster::CatchUpTenant(TenantId tenant, int node) {
+  // Slots this node replicates, grouped by the surviving replica that will
+  // source the copy (first live synced member of each slot's replica set).
+  std::map<int, std::vector<int>> by_source;
+  int total_slots = 0;
+  for (int slot = 0; slot < shard_map_.shards_per_tenant(); ++slot) {
+    const std::vector<int> replicas = shard_map_.ReplicasOf(tenant, slot);
+    if (std::find(replicas.begin(), replicas.end(), node) == replicas.end()) {
+      continue;
+    }
+    for (const int r : replicas) {
+      if (r != node && node_state_[r].alive && !node_state_[r].syncing) {
+        by_source[r].push_back(slot);
+        ++total_slots;
+        break;
+      }
+    }
+  }
+  if (by_source.empty()) {
+    co_return Status::Ok();
+  }
+  repl_[node].catchup_lag_slots += total_slots;
+  kv::StorageNode& dst = *nodes_[node];
+  lsm::LsmDb* dst_db = dst.partition(tenant);
+  if (dst_db == nullptr) {
+    co_return Status::Internal("missing partition during catch-up");
+  }
+  for (const auto& [src_node, slots] : by_source) {
+    // Gate the group's slots like a migration: new requests suspend and
+    // in-flight ones drain, so a write cannot race the copy and be
+    // shadowed by an older copied-in value.
+    for (const int slot : slots) {
+      ShardState& ss = Shard(tenant, slot);
+      while (ss.migrating) {
+        co_await sim::SleepFor(loop_, kGatePoll);
+      }
+      ss.migrating = true;
+    }
+    struct GateRelease {
+      Cluster* c;
+      TenantId tenant;
+      const std::vector<int>* slots;
+      ~GateRelease() {
+        for (const int slot : *slots) {
+          c->Shard(tenant, slot).migrating = false;
+        }
+      }
+    } release{this, tenant, &slots};
+    for (;;) {
+      int inflight = 0;
+      for (const int slot : slots) {
+        inflight += Shard(tenant, slot).inflight;
+      }
+      if (inflight == 0) {
+        break;
+      }
+      co_await sim::SleepFor(loop_, kGatePoll);
+    }
+
+    kv::StorageNode& src = *nodes_[src_node];
+    lsm::LsmDb* src_db = src.partition(tenant);
+    if (src_db == nullptr) {
+      co_return Status::Internal("missing source partition during catch-up");
+    }
+    // Both sides bill the copy stream as PUT-triggered REPL work: the scan
+    // on the source and the copy-in on the restarted node all carry
+    // InternalOp::kReplicate, so recovery lands in each node's attribution
+    // matrix and interval pricing like any other background amplification.
+    src.tracker().RecordTrigger(tenant, AppRequest::kPut,
+                                iosched::InternalOp::kReplicate);
+    dst.tracker().RecordTrigger(tenant, AppRequest::kPut,
+                                iosched::InternalOp::kReplicate);
+    const iosched::IoTag repl_tag{tenant, AppRequest::kPut,
+                                  iosched::InternalOp::kReplicate,
+                                  TraceContext{}};
+    const auto in_group = [&](std::string_view k) {
+      const int slot = shard_map_.SlotOfKey(k);
+      return std::find(slots.begin(), slots.end(), slot) != slots.end();
+    };
+    std::map<std::string, std::string> authoritative;
+    Status scan = co_await src_db->ScanLive(
+        repl_tag, [&](std::string_view k, std::string_view v) {
+          if (in_group(k)) {
+            authoritative.emplace(std::string(k), std::string(v));
+          }
+        });
+    if (!scan.ok()) {
+      src.tracker().RecordInternalOpDone(tenant,
+                                         iosched::InternalOp::kReplicate);
+      dst.tracker().RecordInternalOpDone(tenant,
+                                         iosched::InternalOp::kReplicate);
+      co_return scan;
+    }
+    // WAL replay may have resurrected keys deleted cluster-wide while the
+    // node was down; sweep anything the source no longer has.
+    std::vector<std::string> stale;
+    Status dst_scan = co_await dst_db->ScanLive(
+        repl_tag, [&](std::string_view k, std::string_view /*v*/) {
+          if (in_group(k) && authoritative.count(std::string(k)) == 0) {
+            stale.emplace_back(k);
+          }
+        });
+    Status copy = dst_scan;
+    if (copy.ok()) {
+      for (const auto& [k, v] : authoritative) {
+        copy = co_await dst_db->Put(k, v, TraceContext{},
+                                    iosched::InternalOp::kReplicate);
+        if (!copy.ok()) {
+          break;
+        }
+        ++repl_[node].catchup_keys;
+        repl_[node].catchup_bytes += v.size();
+      }
+    }
+    if (copy.ok()) {
+      for (const std::string& k : stale) {
+        copy = co_await dst_db->Delete(k, TraceContext{},
+                                       iosched::InternalOp::kReplicate);
+        if (!copy.ok()) {
+          break;
+        }
+      }
+    }
+    src.tracker().RecordInternalOpDone(tenant,
+                                       iosched::InternalOp::kReplicate);
+    dst.tracker().RecordInternalOpDone(tenant,
+                                       iosched::InternalOp::kReplicate);
+    if (!copy.ok()) {
+      co_return copy;
+    }
+    repl_[node].catchup_lag_slots -=
+        static_cast<int>(slots.size());
+  }
+  co_return Status::Ok();
+}
+
 ClusterStats Cluster::Snapshot() const {
   ClusterStats s;
   s.time_ns = loop_.Now();
   s.nodes.reserve(nodes_.size());
   for (const auto& n : nodes_) {
     s.nodes.push_back(n->Snapshot());
+  }
+  const int rf = shard_map_.replication_factor();
+  for (int n = 0; n < num_nodes(); ++n) {
+    kv::ReplicationSnapshot& r = s.nodes[n].replication;
+    r.enabled = rf > 1;
+    r.alive = node_state_[n].alive;
+    r.syncing = node_state_[n].syncing;
+    r.fanout_puts = repl_[n].fanout_puts;
+    r.fanout_bytes = repl_[n].fanout_bytes;
+    r.failover_gets = repl_[n].failover_gets;
+    r.catchup_keys = repl_[n].catchup_keys;
+    r.catchup_bytes = repl_[n].catchup_bytes;
+    r.catchup_lag_slots = repl_[n].catchup_lag_slots;
+  }
+  for (const auto& [t, state] : tenants_) {
+    for (int slot = 0; slot < shard_map_.shards_per_tenant(); ++slot) {
+      const std::vector<int> replicas = shard_map_.ReplicasOf(t, slot);
+      ++s.nodes[replicas[0]].replication.leader_slots;
+      for (size_t i = 1; i < replicas.size(); ++i) {
+        ++s.nodes[replicas[i]].replication.follower_slots;
+      }
+    }
   }
   s.tenants.reserve(tenants_.size());
   for (const auto& [t, state] : tenants_) {

@@ -59,11 +59,49 @@ struct GlobalProvisionerOptions {
   int overbook_intervals_before_migration = 3;
 };
 
+// Client-side retry policy applied by TenantHandle when a routed request
+// fails with kUnavailable (node crashed, no live replica, dropped RPC).
+// Retries re-route, so a request issued while a node is down succeeds once
+// failover or recovery makes a replica reachable. The defaults disable
+// retry entirely (one attempt, no sleeps) — the pre-replication behavior.
+struct RetryPolicy {
+  int max_retries = 0;  // additional attempts after the first
+  SimDuration initial_backoff = 1 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  // Per-request wall budget across all attempts; 0 = unbounded. When the
+  // budget runs out the request fails with kDeadlineExceeded (it never
+  // hangs); before that, exhausting max_retries surfaces the last
+  // underlying error.
+  SimDuration deadline = 0;
+};
+
+// Per-RPC fault decision, consulted on every routed node call when an
+// injector is installed (FaultInjector implements this): the call may be
+// delayed, and/or dropped — a drop surfaces as kUnavailable to the router,
+// exercising the same failover/retry machinery as a crashed node.
+struct RpcFault {
+  bool drop = false;
+  SimDuration delay = 0;
+};
+
+class RpcFaultInjector {
+ public:
+  virtual ~RpcFaultInjector() = default;
+  virtual RpcFault OnRpc(iosched::TenantId tenant, int node) = 0;
+};
+
 struct ClusterOptions {
   int num_nodes = 4;
   int shards_per_tenant = 8;
   int vnodes_per_node = 64;
   uint64_t placement_seed = 0x11b7a5eed;
+  // Replicas per shard slot (leader + rf-1 ring followers on distinct
+  // nodes; see ShardMap::ReplicasOf). At RF>1 writes fan out to every live
+  // replica (acked when at least one replica acked), reads fail over to
+  // followers when the leader is down, and a restarted node catches up via
+  // a VOP-priced copy stream from a surviving replica. 1 = unreplicated.
+  int replication_factor = 1;
+  RetryPolicy retry;
   kv::NodeOptions node_options;  // every node is configured identically
   GlobalProvisionerOptions provisioner;
   // Admission control: a tenant is admitted only if, on every node hosting
@@ -159,6 +197,34 @@ class Cluster {
   sim::Task<Status> MigrateShard(iosched::TenantId tenant, int slot,
                                  int to_node);
 
+  // --- crash fault injection & recovery ---
+
+  // Crashes node `node` at the current instant: its policy stops, its
+  // partitions are killed (in-flight requests there fail kUnavailable), and
+  // every tenant's reservation is immediately re-split over the surviving
+  // hosting nodes (exact-sum: no reservation mass is stranded on the dead
+  // node). Requests routed to the node fail over to live replicas (RF>1)
+  // or fail kUnavailable until RestartNode (RF=1).
+  Status CrashNode(int node);
+
+  // Restarts a crashed node: WAL replay restores its unflushed writes,
+  // reservations re-split to include it again, and (RF>1) a catch-up copy
+  // stream re-replicates each of its slots from a surviving replica,
+  // priced as InternalOp::kReplicate VOPs on both ends. Slots being caught
+  // up gate briefly (requests suspend, as during migration) so concurrent
+  // writes cannot be shadowed by older copied-in values. At RF=1 there is
+  // no surviving replica: flushed data is lost for good, only the WAL tail
+  // comes back.
+  sim::Task<Status> RestartNode(int node);
+
+  bool NodeAlive(int node) const { return node_state_[node].alive; }
+  bool NodeSyncing(int node) const { return node_state_[node].syncing; }
+
+  // Installs (or clears, with nullptr) the per-RPC fault hook. Not owned.
+  void SetRpcFaultInjector(RpcFaultInjector* injector) {
+    rpc_faults_ = injector;
+  }
+
   // --- introspection ---
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
@@ -219,6 +285,25 @@ class Cluster {
       std::vector<std::pair<size_t, std::string>> keys,
       std::vector<Result<std::string>>* out);
 
+  // Replica write fan-out helpers (TaskGroup-spawned: parameters by value,
+  // the frames outlive the caller's loop variables).
+  sim::Task<void> PutReplica(int node, iosched::TenantId tenant,
+                             std::string key, std::string value,
+                             TraceContext ctx, Status* out);
+  sim::Task<void> DeleteReplica(int node, iosched::TenantId tenant,
+                                std::string key, TraceContext ctx,
+                                Status* out);
+
+  // Re-splits every tenant's global reservation over the currently-alive
+  // hosting nodes (no admission check: lost capacity must not strand
+  // reservation mass).
+  Status ResplitForMembership();
+
+  // RF>1 catch-up after RestartNode: re-replicates every slot `node` hosts
+  // from a surviving replica (see RestartNode).
+  sim::Task<Status> CatchUpNode(int node);
+  sim::Task<Status> CatchUpTenant(iosched::TenantId tenant, int node);
+
   // VOP price of one normalized (1KB) request at admission time.
   double AdmissionPrice(iosched::AppRequest app) const;
   // Priced VOP demand of a local reservation share.
@@ -249,6 +334,24 @@ class Cluster {
   };
   std::map<iosched::TenantId, TenantState> tenants_;
   std::map<uint64_t, ShardState> shards_;
+
+  // Per-node liveness (indexed like nodes_).
+  struct NodeState {
+    bool alive = true;
+    bool syncing = false;  // restarted; catch-up copy streams still running
+  };
+  std::vector<NodeState> node_state_;
+  // Per-node replication traffic counters (indexed like nodes_).
+  struct ReplTelemetry {
+    uint64_t fanout_puts = 0;
+    uint64_t fanout_bytes = 0;
+    uint64_t failover_gets = 0;
+    uint64_t catchup_keys = 0;
+    uint64_t catchup_bytes = 0;
+    int catchup_lag_slots = 0;
+  };
+  std::vector<ReplTelemetry> repl_;
+  RpcFaultInjector* rpc_faults_ = nullptr;
   obs::RebalanceLog rebalance_log_;
   int active_migrations_ = 0;  // MigrateShard calls currently draining/copying
   uint64_t multiget_groups_ = 0;

@@ -70,7 +70,7 @@ void GlobalProvisioner::RunIntervalStep() {
   for (const iosched::TenantId tenant : cluster_.tenants()) {
     const std::vector<int> slots = cluster_.shard_map_.SlotsPerNode(tenant);
     for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
-      if (slots[n] > 0) {
+      if (slots[n] > 0 && cluster_.NodeAlive(n)) {
         UpdateDemand(tenant, n);
       }
     }
@@ -127,11 +127,13 @@ void GlobalProvisioner::ResplitTenant(iosched::TenantId tenant) {
   }
   const GlobalReservation global = tit->second.global;
 
+  // Hosting set: alive nodes only — a crashed node earns no share, and its
+  // mass must land on the survivors so the split still sums to the global.
   const std::vector<int> slots = cluster_.shard_map_.SlotsPerNode(tenant);
   std::vector<int> hosting;
   int total_slots = 0;
   for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
-    if (slots[n] > 0) {
+    if (slots[n] > 0 && cluster_.NodeAlive(n)) {
       hosting.push_back(n);
       total_slots += slots[n];
     }
@@ -232,6 +234,10 @@ void GlobalProvisioner::CheckOverbooking() {
   // Advance per-node streaks from the nodes' provisioning audit logs (one
   // record per policy interval; the watermark skips already-seen records).
   for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    if (!cluster_.NodeAlive(n)) {
+      overbooked_streak_[n] = 0;  // a dead node cannot be overbooked
+      continue;
+    }
     const auto& log = cluster_.nodes_[n]->policy().audit_log();
     const uint64_t total = log.total_appended();
     if (total > audit_seen_[n]) {
@@ -296,7 +302,8 @@ void GlobalProvisioner::CheckOverbooking() {
   double dst_load = std::numeric_limits<double>::infinity();
   for (int pass = 0; pass < 2 && dst < 0; ++pass) {
     for (int n = 0; n < cluster_.num_nodes(); ++n) {
-      if (n == src || (pass == 0 && overbooked_streak_[n] > 0)) {
+      if (n == src || !cluster_.NodeAlive(n) ||
+          (pass == 0 && overbooked_streak_[n] > 0)) {
         continue;
       }
       double load = 0.0;

@@ -54,15 +54,22 @@ int ShardMap::SlotOfKey(std::string_view key) const {
                           static_cast<uint64_t>(options_.shards_per_tenant));
 }
 
-int ShardMap::RingLookup(uint64_t point) const {
+size_t ShardMap::RingIndex(uint64_t point) const {
   // First ring point at or after `point`, wrapping to the smallest.
-  auto it = std::lower_bound(
+  const auto it = std::lower_bound(
       ring_.begin(), ring_.end(), point,
       [](const RingPoint& rp, uint64_t p) { return rp.point < p; });
-  if (it == ring_.end()) {
-    it = ring_.begin();
-  }
-  return it->node;
+  return it == ring_.end() ? 0 : static_cast<size_t>(it - ring_.begin());
+}
+
+int ShardMap::RingLookup(uint64_t point) const {
+  return ring_[RingIndex(point)].node;
+}
+
+uint64_t ShardMap::SlotPoint(uint32_t tenant, int slot) const {
+  return Mix64(options_.seed ^
+               (static_cast<uint64_t>(tenant) * 0x85ebca6bULL) ^
+               (static_cast<uint64_t>(slot) * 0xc2b2ae35ULL));
 }
 
 int ShardMap::HomeOf(uint32_t tenant, int slot) const {
@@ -71,10 +78,30 @@ int ShardMap::HomeOf(uint32_t tenant, int slot) const {
       it != overrides_.end()) {
     return it->second;
   }
-  const uint64_t point =
-      Mix64(options_.seed ^ (static_cast<uint64_t>(tenant) * 0x85ebca6bULL) ^
-            (static_cast<uint64_t>(slot) * 0xc2b2ae35ULL));
-  return RingLookup(point);
+  return RingLookup(SlotPoint(tenant, slot));
+}
+
+std::vector<int> ShardMap::ReplicasOf(uint32_t tenant, int slot) const {
+  const int rf = replication_factor();
+  std::vector<int> out;
+  out.reserve(rf);
+  out.push_back(HomeOf(tenant, slot));
+  if (rf <= 1) {
+    return out;
+  }
+  // Followers: walk the ring from the slot's own position, collecting the
+  // next distinct nodes. The leader's natural home is the first point on
+  // that walk, so with no override the walk yields leader + successors.
+  size_t idx = RingIndex(SlotPoint(tenant, slot));
+  for (size_t steps = 0;
+       steps < ring_.size() && static_cast<int>(out.size()) < rf; ++steps) {
+    const int node = ring_[idx].node;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+    idx = (idx + 1) % ring_.size();
+  }
+  return out;
 }
 
 int ShardMap::NodeOfKey(uint32_t tenant, std::string_view key) const {
@@ -91,8 +118,16 @@ std::vector<int> ShardMap::Assignment(uint32_t tenant) const {
 
 std::vector<int> ShardMap::SlotsPerNode(uint32_t tenant) const {
   std::vector<int> out(options_.num_nodes, 0);
+  if (replication_factor() <= 1) {
+    for (int s = 0; s < options_.shards_per_tenant; ++s) {
+      ++out[HomeOf(tenant, s)];
+    }
+    return out;
+  }
   for (int s = 0; s < options_.shards_per_tenant; ++s) {
-    ++out[HomeOf(tenant, s)];
+    for (const int node : ReplicasOf(tenant, s)) {
+      ++out[node];
+    }
   }
   return out;
 }

@@ -29,6 +29,10 @@ struct ShardMapOptions {
   // slot-count imbalance between nodes.
   int vnodes_per_node = 64;
   uint64_t seed = 0x11b7a5eed;  // any change reshuffles every placement
+  // Replicas per slot: the leader plus rf-1 followers on distinct nodes
+  // (the next distinct nodes walking the ring from the slot's position).
+  // Clamped to num_nodes. 1 = unreplicated, the pre-replication layout.
+  int replication_factor = 1;
 };
 
 class ShardMap {
@@ -37,6 +41,11 @@ class ShardMap {
 
   int num_nodes() const { return options_.num_nodes; }
   int shards_per_tenant() const { return options_.shards_per_tenant; }
+  int replication_factor() const {
+    return options_.replication_factor < options_.num_nodes
+               ? options_.replication_factor
+               : options_.num_nodes;
+  }
 
   // Shard slot of a key (tenant-independent: a tenant's keys spread over
   // all of its slots regardless of id).
@@ -49,10 +58,20 @@ class ShardMap {
   // Convenience: HomeOf(tenant, SlotOfKey(key)).
   int NodeOfKey(uint32_t tenant, std::string_view key) const;
 
+  // Replica set of (tenant, slot): the leader (HomeOf, override-aware)
+  // first, then RF-1 followers — the next distinct nodes walking the ring
+  // from the slot's position. Size = replication_factor() (leader-only at
+  // RF=1). Followers come from the ring even when a migration override
+  // moved the leader, so a re-homed slot keeps its original followers.
+  std::vector<int> ReplicasOf(uint32_t tenant, int slot) const;
+
   // Per-slot homes for a tenant (size shards_per_tenant).
   std::vector<int> Assignment(uint32_t tenant) const;
 
-  // Number of `tenant` slots homed on each node (size num_nodes).
+  // Number of `tenant` slot *replicas* hosted on each node (size
+  // num_nodes). At RF=1 this is the leader count per node; at RF>1 a node
+  // is counted for every slot it leads or follows — the unit of PUT work
+  // (and reservation mass) the node actually carries.
   std::vector<int> SlotsPerNode(uint32_t tenant) const;
 
   // Pins (tenant, slot) to `node` (shard migration). An override equal to
@@ -75,6 +94,9 @@ class ShardMap {
   };
 
   int RingLookup(uint64_t point) const;
+  // Index of the first ring point at or after `point` (wrapping).
+  size_t RingIndex(uint64_t point) const;
+  uint64_t SlotPoint(uint32_t tenant, int slot) const;
 
   ShardMapOptions options_;
   std::vector<RingPoint> ring_;  // sorted by point

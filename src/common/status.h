@@ -28,6 +28,7 @@ enum class StatusCode {
   kUnavailable,
   kDataLoss,
   kInternal,
+  kDeadlineExceeded,
 };
 
 // Human-readable name for a status code ("ok", "not_found", ...).
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -245,6 +245,35 @@ Status SimFs::PeekContents(FileId file, std::string* out) const {
   return Status::Ok();
 }
 
+Status SimFs::Truncate(const std::string& name, uint64_t size) {
+  const auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::NotFound(name);
+  }
+  File* f = Lookup(it->second);
+  assert(f != nullptr);
+  if (size < f->data.size()) {
+    f->data.resize(size);
+  }
+  return Status::Ok();
+}
+
+Status SimFs::CorruptByte(const std::string& name, uint64_t offset,
+                          uint8_t mask) {
+  const auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::NotFound(name);
+  }
+  File* f = Lookup(it->second);
+  assert(f != nullptr);
+  if (offset >= f->data.size()) {
+    return Status::OutOfRange("corrupt past EOF");
+  }
+  f->data[offset] = static_cast<char>(
+      static_cast<uint8_t>(f->data[offset]) ^ mask);
+  return Status::Ok();
+}
+
 FsStats SimFs::stats() const {
   FsStats s;
   s.files = files_.size();

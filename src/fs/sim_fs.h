@@ -88,6 +88,21 @@ class SimFs {
   // ReadAt so their IO is charged.
   Status PeekContents(FileId file, std::string* out) const;
 
+  // --- fault-injection hooks (host-side, no device IO) ---
+  //
+  // Crash modeling for recovery tests: a torn tail is a truncation at an
+  // arbitrary byte, and media corruption is an in-place bit flip. Both act
+  // on the stored bytes only — extent accounting keeps the original
+  // allocation, as a real crash would leave blocks allocated past the
+  // last valid write.
+
+  // Truncates the file's contents to `size` bytes (no-op if already
+  // smaller). Returns kNotFound for an unknown name.
+  Status Truncate(const std::string& name, uint64_t size);
+
+  // XORs the byte at `offset` with `mask`. Returns kOutOfRange past EOF.
+  Status CorruptByte(const std::string& name, uint64_t offset, uint8_t mask);
+
  private:
   struct File {
     std::string name;

@@ -30,8 +30,9 @@ enum class InternalOp : uint8_t {
   kNone = 0,  // direct IO of the app request itself
   kFlush = 1,
   kCompact = 2,
+  kReplicate = 3,  // re-replication / recovery copy stream
 };
-inline constexpr int kNumInternalOps = 3;
+inline constexpr int kNumInternalOps = 4;
 
 inline std::string_view AppRequestName(AppRequest a) {
   switch (a) {
@@ -53,6 +54,8 @@ inline std::string_view InternalOpName(InternalOp i) {
       return "FLUSH";
     case InternalOp::kCompact:
       return "COMPACT";
+    case InternalOp::kReplicate:
+      return "REPL";
   }
   return "?";
 }

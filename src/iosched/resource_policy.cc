@@ -79,7 +79,14 @@ double ResourcePolicy::PriceOf(TenantId tenant, AppRequest app) const {
   if (options_.mode == ProfileMode::kObjectSizeOnly) {
     return object_price;
   }
-  return scheduler_.tracker().Profile(tenant, app, object_price).total();
+  AppRequestProfile p = scheduler_.tracker().Profile(tenant, app, object_price);
+  // Re-replication catch-up is membership-event work, not steady-state
+  // per-request amplification like FLUSH/COMPACT: its VOPs are charged to
+  // the tenant's allocation as they happen, but baking them into the
+  // per-request price would overbook the node for intervals after every
+  // recovery and scale down the surviving tenants' allocations.
+  p.indirect[static_cast<size_t>(InternalOp::kReplicate)] = 0.0;
+  return p.total();
 }
 
 AppRequestProfile ResourcePolicy::ProfileOf(TenantId tenant,
@@ -131,7 +138,10 @@ void ResourcePolicy::RunIntervalStep() {
 
   // SLA conformance: did each tenant achieve its priced reservation over the
   // interval that just ended? Demand-gated — an idle tenant below its
-  // reservation is not a violation, a backlogged one is.
+  // reservation is not a violation, a backlogged one is. Demand is measured
+  // over the interval (busy time), not sampled at its end: the guarantee is
+  // conditional on offered load, and one in-flight request at the sampling
+  // instant must not turn a tenant-side load dip into a violation.
   std::map<TenantId, std::pair<double, bool>> achieved;
   if (elapsed_secs > 0.0) {
     for (const auto& [tenant, res] : reservations_) {
@@ -139,9 +149,12 @@ void ResourcePolicy::RunIntervalStep() {
       double& last = last_tenant_vops_[tenant];
       const double rate = (vops_now - last) / elapsed_secs;
       last = vops_now;
-      const bool violated = sla_.RecordInterval(
-          tenant, now, required[tenant], rate, scheduler_.HasDemand(tenant),
-          options_.sla_tolerance);
+      const double busy_secs = ToSeconds(scheduler_.ConsumeDemandTime(tenant));
+      const bool demand_pending =
+          busy_secs >= options_.sla_demand_fraction * elapsed_secs;
+      const bool violated =
+          sla_.RecordInterval(tenant, now, required[tenant], rate,
+                              demand_pending, options_.sla_tolerance);
       achieved[tenant] = {rate, violated};
     }
   }

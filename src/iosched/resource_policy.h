@@ -56,6 +56,12 @@ struct PolicyOptions {
   // below (1 - sla_tolerance) x the priced reservation while the tenant
   // had pending demand (see obs::SlaMonitor).
   double sla_tolerance = 0.05;
+  // Demand gate for those violations: the tenant must have had queued or
+  // in-flight work for at least this fraction of the interval. The
+  // guarantee is conditional on offered load — a tenant whose own load
+  // dipped (workers blocked elsewhere, e.g. on a recovering shard) did not
+  // have its reservation violated by this node.
+  double sla_demand_fraction = 0.5;
 };
 
 // Overbooking notification passed to higher-level policies.
@@ -99,6 +105,7 @@ class ResourcePolicy {
   // before a final draining Run().
   void Start();
   void Stop();
+  bool running() const { return running_; }
 
   // Runs one provisioning step immediately (also used by tests).
   void RunIntervalStep();

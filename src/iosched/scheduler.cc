@@ -193,6 +193,9 @@ sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
                     static_cast<uint8_t>(tag.internal),
                     type == ssd::IoType::kWrite, offset, size, 0, 0, 0});
   }
+  if (!tenant.active() && tenant.busy_since < 0) {
+    tenant.busy_since = loop_.Now();  // idle -> active: busy period opens
+  }
   tenant.queue.push_back(op);
   Pump();
   co_await done.Wait();
@@ -204,6 +207,21 @@ uint32_t IoScheduler::NextChunkBytes(const Op& op) const {
     return remaining;
   }
   return std::min(remaining, options_.chunk_bytes);
+}
+
+SimDuration IoScheduler::ConsumeDemandTime(TenantId tenant) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return 0;
+  }
+  const SimTime now = loop_.Now();
+  if (t->busy_since >= 0) {
+    t->busy_accum += now - t->busy_since;
+    t->busy_since = now;
+  }
+  const SimDuration out = t->busy_accum;
+  t->busy_accum = 0;
+  return out;
 }
 
 size_t IoScheduler::backlog() const {
@@ -383,6 +401,13 @@ void IoScheduler::OnChunkComplete(uint32_t index) {
     }
     op->done->Set(true);
     FreeOp(op);  // last reference: recycle for the next Submit
+  }
+  if (!t.active() && t.busy_since >= 0) {
+    // Active -> idle (a same-instant resubmission inside the Set above
+    // keeps the tenant active, so a saturating closed loop never closes
+    // its period; a genuine zero-duration gap accumulates zero anyway).
+    t.busy_accum += loop_.Now() - t.busy_since;
+    t.busy_since = -1;
   }
   --inflight_;
   // Deferred so that same-instant worker resumptions (the Set above)

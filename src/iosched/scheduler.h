@@ -163,12 +163,18 @@ class IoScheduler {
   obs::SpanCollector* spans() { return spans_.get(); }
   const obs::SpanCollector* spans() const { return spans_.get(); }
 
-  // Whether the tenant has queued or in-flight work right now (the SLA
-  // monitor's demand-pending predicate).
+  // Whether the tenant has queued or in-flight work right now.
   bool HasDemand(TenantId tenant) const {
     const Tenant* t = FindTenant(tenant);
     return t != nullptr && t->active();
   }
+
+  // Nanoseconds the tenant had queued or in-flight work since the last
+  // call — the SLA monitor's per-interval demand measure (an instantaneous
+  // HasDemand sample at interval end mislabels load dips as enforcement
+  // failures). Closes any open busy period at the current time and starts
+  // a fresh one if the tenant is still active.
+  SimDuration ConsumeDemandTime(TenantId tenant);
 
  private:
   // Ops live in a scheduler-owned pool (op_arena_ + op_free_) and are
@@ -204,6 +210,11 @@ class IoScheduler {
     // Heap-allocated (large: fixed histogram arrays); created once at
     // tenant registration, then updated allocation-free.
     std::unique_ptr<TenantLifecycleStats> lifecycle;
+
+    // Demand busy-time accounting for ConsumeDemandTime: start of the open
+    // busy period (< 0 while idle) and time accumulated since last consumed.
+    SimTime busy_since = -1;
+    SimDuration busy_accum = 0;
 
     // A tenant is active while it has queued or in-flight work; closed-loop
     // workers mid-IO count as demand (their next op arrives on completion).

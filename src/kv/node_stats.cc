@@ -249,6 +249,48 @@ std::string NodeStatsToJson(const NodeStats& stats) {
   w.Key("coalesced_gets");
   w.Uint(stats.coalesced_gets);
 
+  w.Key("replication");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(stats.replication.enabled);
+  w.Key("alive");
+  w.Bool(stats.replication.alive);
+  w.Key("syncing");
+  w.Bool(stats.replication.syncing);
+  w.Key("leader_slots");
+  w.Int(stats.replication.leader_slots);
+  w.Key("follower_slots");
+  w.Int(stats.replication.follower_slots);
+  w.Key("fanout_puts");
+  w.Uint(stats.replication.fanout_puts);
+  w.Key("fanout_bytes");
+  w.Uint(stats.replication.fanout_bytes);
+  w.Key("failover_gets");
+  w.Uint(stats.replication.failover_gets);
+  w.Key("catchup_keys");
+  w.Uint(stats.replication.catchup_keys);
+  w.Key("catchup_bytes");
+  w.Uint(stats.replication.catchup_bytes);
+  w.Key("catchup_lag_slots");
+  w.Int(stats.replication.catchup_lag_slots);
+  w.EndObject();
+
+  w.Key("recovery");
+  w.BeginObject();
+  w.Key("crashes");
+  w.Uint(stats.recovery.crashes);
+  w.Key("restarts");
+  w.Uint(stats.recovery.restarts);
+  w.Key("wal_files_replayed");
+  w.Uint(stats.recovery.wal_files_replayed);
+  w.Key("replay_records");
+  w.Uint(stats.recovery.replay_records);
+  w.Key("replay_bytes");
+  w.Uint(stats.recovery.replay_bytes);
+  w.Key("rereplication_vops");
+  w.Double(stats.recovery.rereplication_vops);
+  w.EndObject();
+
   w.Key("tenants");
   w.BeginArray();
   for (const TenantSnapshot& t : stats.tenants) {

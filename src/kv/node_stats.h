@@ -98,6 +98,36 @@ struct SpanCollectorSnapshot {
   uint32_t sample_every = 1;
 };
 
+// Replication role and traffic counters for this node (filled by the
+// cluster layer after StorageNode::Snapshot; all defaults for a standalone
+// node). `enabled` is true when the cluster runs with RF > 1.
+struct ReplicationSnapshot {
+  bool enabled = false;
+  bool alive = true;     // false between CrashNode and RestartNode
+  bool syncing = false;  // restarted; catch-up copy streams still running
+  int leader_slots = 0;    // (tenant, slot) pairs this node leads
+  int follower_slots = 0;  // (tenant, slot) pairs this node follows
+  uint64_t fanout_puts = 0;   // replica writes forwarded to this node
+  uint64_t fanout_bytes = 0;  // payload bytes of those forwarded writes
+  uint64_t failover_gets = 0;  // GETs this node served for a down leader
+  uint64_t catchup_keys = 0;   // keys copied INTO this node by catch-up
+  uint64_t catchup_bytes = 0;  // value bytes of those copied keys
+  int catchup_lag_slots = 0;   // slots still awaiting catch-up (0 if synced)
+};
+
+// Crash/recovery accounting for this node (filled by StorageNode).
+struct RecoverySnapshot {
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t wal_files_replayed = 0;  // across all restarts
+  uint64_t replay_records = 0;
+  uint64_t replay_bytes = 0;
+  // Cumulative VOPs consumed by the re-replication copy stream (the
+  // InternalOp::kReplicate class, reads + writes, summed over tenants) —
+  // recovery work priced in the same currency as everything else.
+  double rereplication_vops = 0.0;
+};
+
 struct NodeStats {
   int64_t time_ns = 0;
   ssd::DeviceStats device;
@@ -110,6 +140,8 @@ struct NodeStats {
   // GETs served by riding another request's in-flight lookup (read
   // coalescing; 0 unless NodeOptions.enable_read_coalescing).
   uint64_t coalesced_gets = 0;
+  ReplicationSnapshot replication;
+  RecoverySnapshot recovery;
   std::vector<TenantSnapshot> tenants;
   std::vector<obs::AuditRecord> audit;  // the policy's retained records
 };

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/sim/sync.h"
+
 namespace libra::kv {
 
 using iosched::AppRequest;
@@ -132,6 +134,72 @@ Status StorageNode::UpdateReservation(TenantId tenant,
   return Status::Ok();
 }
 
+void StorageNode::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  ++crashes_;
+  // Remember whether the policy was running so Restart() doesn't resurrect
+  // a periodic timer on a node that was never Start()ed (tests and
+  // harnesses that drive provisioning manually rely on a draining Run()).
+  policy_was_running_ = policy_.running();
+  policy_.Stop();
+  for (auto& [tenant, db] : partitions_) {
+    db->Kill();
+    graveyard_.push_back(std::move(db));
+  }
+  partitions_.clear();
+}
+
+sim::Task<Status> StorageNode::Restart() {
+  if (!crashed_) {
+    co_return Status::FailedPrecondition("node is not crashed");
+  }
+  // Let every killed coroutine observe dead_ and unwind before the DBs
+  // (whose members they reference) are destroyed.
+  for (;;) {
+    bool quiescent = true;
+    for (const auto& db : graveyard_) {
+      if (!db->Quiescent()) {
+        quiescent = false;
+        break;
+      }
+    }
+    if (quiescent) {
+      break;
+    }
+    co_await sim::SleepFor(loop_, kMillisecond);
+  }
+  // Destroying the dead incarnations drops their table handles, deleting
+  // the installed SST files: with no manifest, the table metadata died
+  // with the process, so flushed data is unrecoverable locally (the
+  // cluster layer re-replicates it). WAL files survive on the fs.
+  graveyard_.clear();
+  crashed_ = false;
+  // The policy kept every tenant's reservation and declared profile;
+  // request_latency_ kept the tenant set. Reopen each partition over its
+  // old prefix — Open() replays the surviving WALs.
+  for (const auto& [tenant, unused] : request_latency_) {
+    auto db = std::make_unique<lsm::LsmDb>(loop_, fs_, scheduler_, tenant,
+                                           "tenant_" + std::to_string(tenant),
+                                           options_.lsm_options);
+    if (Status s = db->Open(); !s.ok()) {
+      co_return s;
+    }
+    const lsm::LsmStats st = db->stats();
+    recovery_wal_files_ += st.recovered_wal_files;
+    recovery_replay_records_ += st.recovered_records;
+    recovery_replay_bytes_ += st.recovered_bytes;
+    partitions_.emplace(tenant, std::move(db));
+  }
+  ++restarts_;
+  if (policy_was_running_) {
+    policy_.Start();
+  }
+  co_return Status::Ok();
+}
+
 lsm::LsmDb* StorageNode::partition(TenantId tenant) {
   const auto it = partitions_.find(tenant);
   return it == partitions_.end() ? nullptr : it->second.get();
@@ -148,6 +216,9 @@ std::vector<TenantId> StorageNode::tenants() const {
 
 sim::Task<Status> StorageNode::Put(TenantId tenant, const std::string& key,
                                    const std::string& value, TraceContext ctx) {
+  if (crashed_) {
+    co_return Status::Unavailable("node crashed");
+  }
   lsm::LsmDb* db = partition(tenant);
   if (db == nullptr) {
     co_return Status::NotFound("unknown tenant");
@@ -180,6 +251,9 @@ sim::Task<Status> StorageNode::Put(TenantId tenant, const std::string& key,
 
 sim::Task<Status> StorageNode::Delete(TenantId tenant, const std::string& key,
                                       TraceContext ctx) {
+  if (crashed_) {
+    co_return Status::Unavailable("node crashed");
+  }
   lsm::LsmDb* db = partition(tenant);
   if (db == nullptr) {
     co_return Status::NotFound("unknown tenant");
@@ -209,6 +283,9 @@ sim::Task<Status> StorageNode::Delete(TenantId tenant, const std::string& key,
 sim::Task<Result<std::string>> StorageNode::Get(TenantId tenant,
                                                 const std::string& key,
                                                 TraceContext ctx) {
+  if (crashed_) {
+    co_return Result<std::string>(Status::Unavailable("node crashed"));
+  }
   lsm::LsmDb* db = partition(tenant);
   if (db == nullptr) {
     co_return Result<std::string>(Status::NotFound("unknown tenant"));
@@ -336,6 +413,17 @@ NodeStats StorageNode::Snapshot() const {
     s.object_cache.entries = cache_->entries();
   }
   s.coalesced_gets = coalesced_gets_;
+  s.recovery.crashes = crashes_;
+  s.recovery.restarts = restarts_;
+  s.recovery.wal_files_replayed = recovery_wal_files_;
+  s.recovery.replay_records = recovery_replay_records_;
+  s.recovery.replay_bytes = recovery_replay_bytes_;
+  for (const auto& [tenant, unused] : request_latency_) {
+    for (const ssd::IoType type : {ssd::IoType::kRead, ssd::IoType::kWrite}) {
+      s.recovery.rereplication_vops += scheduler_.tracker().VopsBy(
+          tenant, AppRequest::kPut, iosched::InternalOp::kReplicate, type);
+    }
+  }
   s.tenants.reserve(partitions_.size());
   for (const auto& [tenant, db] : partitions_) {
     TenantSnapshot t;

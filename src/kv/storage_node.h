@@ -89,6 +89,29 @@ class StorageNode {
   void Start() { policy_.Start(); }
   void Stop() { policy_.Stop(); }
 
+  // --- crash / recovery simulation ---
+
+  // Crash(): stops the policy, kills every partition (in-flight coroutines
+  // unwind at their next suspension point) and gates the request API
+  // behind kUnavailable. The device, filesystem and reservations survive —
+  // disk contents and control-plane state are durable; only the process
+  // dies. Killed partitions are parked in a graveyard until Restart().
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  // Restart(): waits for the killed partitions' coroutines to unwind,
+  // destroys them (their installed SSTs are reclaimed — with no manifest,
+  // table metadata died with the process; WAL files persist), then
+  // recreates every tenant's partition over the same prefix so Open()
+  // replays the surviving WALs. Reservations and declared profiles are
+  // restored from the policy, which kept them. Resumes the policy. The
+  // cluster layer drives re-replication catch-up afterwards.
+  sim::Task<Status> Restart();
+
+  // Cumulative recovery accounting across all restarts of this node.
+  uint64_t crashes() const { return crashes_; }
+  uint64_t restarts() const { return restarts_; }
+
   // --- request API (coroutines; suspend on IO scheduling) ---
 
   // `ctx` is an optional caller span (the cluster layer's client-request
@@ -143,6 +166,19 @@ class StorageNode {
   iosched::ResourcePolicy policy_;
   std::unique_ptr<LruCache> cache_;
   std::map<iosched::TenantId, std::unique_ptr<lsm::LsmDb>> partitions_;
+  // Killed partitions awaiting quiescence (see Crash/Restart). Declared
+  // next to partitions_ so destruction order versus fs_/scheduler_ is the
+  // same for both.
+  std::vector<std::unique_ptr<lsm::LsmDb>> graveyard_;
+  bool crashed_ = false;
+  bool policy_was_running_ = false;  // policy state to restore at Restart()
+  uint64_t crashes_ = 0;
+  uint64_t restarts_ = 0;
+  // WAL replay totals accumulated over every restart (the per-partition
+  // LsmStats reset with each new incarnation).
+  uint64_t recovery_wal_files_ = 0;
+  uint64_t recovery_replay_records_ = 0;
+  uint64_t recovery_replay_bytes_ = 0;
   obs::MetricsRegistry metrics_;
   std::map<iosched::TenantId, RequestLatency> request_latency_;
   // Singleflight table: in-flight GET leaders keyed by (tenant, key);

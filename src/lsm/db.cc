@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace libra::lsm {
 
@@ -56,29 +57,61 @@ uint64_t LsmDb::MaxBytesForLevel(int level) const {
 
 Status LsmDb::Open() {
   mem_ = std::make_unique<MemTable>();
-  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++),
-                                         MakeWalOptions(), &wal_counters_);
-  const bool existing = fs_.Exists(wal_->filename());
-  if (Status s = wal_->Open(); !s.ok()) {
-    return s;
+  // Boot-time recovery. There is no manifest (see header): sst_* files
+  // left by a previous incarnation are orphans whose metadata died with
+  // it and are deleted here; every surviving wal_* file is replayed in
+  // file-number order, rebuilding acked-but-unflushed writes in the fresh
+  // memtable. Flushed data does not survive a crash locally — a
+  // replicated deployment restores it via the catch-up copy stream.
+  const std::string wal_prefix = prefix_ + "/wal_";
+  const std::string sst_prefix = prefix_ + "/sst_";
+  std::vector<std::pair<uint64_t, std::string>> wals;
+  uint64_t max_number = 0;
+  for (const std::string& name : fs_.List()) {
+    if (name.size() > wal_prefix.size() &&
+        name.compare(0, wal_prefix.size(), wal_prefix) == 0) {
+      const uint64_t num =
+          std::strtoull(name.c_str() + wal_prefix.size(), nullptr, 10);
+      max_number = std::max(max_number, num);
+      wals.emplace_back(num, name);
+    } else if (name.size() > sst_prefix.size() &&
+               name.compare(0, sst_prefix.size(), sst_prefix) == 0) {
+      const uint64_t num =
+          std::strtoull(name.c_str() + sst_prefix.size(), nullptr, 10);
+      max_number = std::max(max_number, num);
+      fs_.Delete(name);
+    }
   }
-  if (existing) {
-    // Crash recovery: replay intact records into the fresh memtable.
-    SequenceNumber max_seq = seq_;
-    Status s = wal_->Replay([&](const Record& rec) {
+  std::sort(wals.begin(), wals.end());
+  SequenceNumber max_seq = seq_;
+  for (const auto& [num, name] : wals) {
+    WriteAheadLog wal(fs_, name, MakeWalOptions(), &wal_counters_);
+    if (Status s = wal.Open(); !s.ok()) {
+      return s;
+    }
+    Status s = wal.Replay([&](const Record& rec) {
       if (rec.type == ValueType::kDelete) {
         mem_->Delete(rec.key, rec.seq);
       } else {
         mem_->Put(rec.key, rec.seq, rec.value);
       }
       max_seq = std::max(max_seq, rec.seq);
+      ++recovered_records_;
+      recovered_bytes_ += rec.key.size() + rec.value.size();
     });
     if (!s.ok()) {
       return s;
     }
-    seq_ = max_seq;
+    ++recovered_wal_files_;
+    recovered_wals_.push_back(name);
   }
-  return Status::Ok();
+  seq_ = max_seq;
+  // Number new files past every survivor: a pre-crash incarnation may have
+  // created files this one never learns about until they collide.
+  next_file_number_ = std::max(next_file_number_, max_number + 1);
+  wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++),
+                                         MakeWalOptions(), &wal_counters_);
+  return wal_->Open();
 }
 
 bool LsmDb::WriteStalled() const {
@@ -94,6 +127,11 @@ Status LsmDb::SealMemtable() {
   assert(imm_ == nullptr);
   imm_ = std::move(mem_);
   imm_wal_ = std::move(wal_);
+  if (!recovered_wals_.empty()) {
+    // The sealed memtable absorbs the replayed records; once its flush
+    // lands, the recovered WAL files are fully covered and can go.
+    recovered_in_imm_ = true;
+  }
   mem_ = std::make_unique<MemTable>();
   wal_ = std::make_unique<WriteAheadLog>(fs_, WalName(next_file_number_++),
                                          MakeWalOptions(), &wal_counters_);
@@ -112,24 +150,36 @@ Status LsmDb::SealMemtable() {
 
 sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
                                        std::string_view value, ValueType type,
-                                       TraceContext ctx) {
+                                       TraceContext ctx, InternalOp op) {
+  const OpGuard guard(this);
+  if (dead_) {
+    co_return Status::Unavailable("db killed");
+  }
   // Backpressure: L0 overload or both write buffers full.
   if (WriteStalled()) {
     const SimTime stall_start = loop_.Now();
     ++stalls_;
     while (WriteStalled()) {
       co_await stall_mu_.Lock();
-      if (WriteStalled()) {
+      if (!dead_ && WriteStalled()) {
         co_await stall_cv_.Wait(stall_mu_);
       }
       stall_mu_.Unlock();
+      if (dead_) {
+        co_return Status::Unavailable("db killed");
+      }
     }
     stall_ns_ += static_cast<uint64_t>(loop_.Now() - stall_start);
   }
 
   const SequenceNumber seq = ++seq_;
-  const IoTag tag{tenant_, AppRequest::kPut, InternalOp::kNone, ctx};
+  const IoTag tag{tenant_, AppRequest::kPut, op, ctx};
   Status s = co_await wal_->Append(tag, key, seq, type, value);
+  if (dead_) {
+    // The record may or may not be durable; the crash decides. Either way
+    // this incarnation stops mutating state — replay arbitrates at boot.
+    co_return Status::Unavailable("db killed");
+  }
   if (!s.ok()) {
     co_return s;
   }
@@ -149,19 +199,25 @@ sim::Task<Status> LsmDb::WriteInternal(std::string_view key,
 }
 
 sim::Task<Status> LsmDb::Put(std::string_view key, std::string_view value,
-                             TraceContext ctx) {
-  return WriteInternal(key, value, ValueType::kPut, ctx);
+                             TraceContext ctx, InternalOp op) {
+  return WriteInternal(key, value, ValueType::kPut, ctx, op);
 }
 
-sim::Task<Status> LsmDb::Delete(std::string_view key, TraceContext ctx) {
-  return WriteInternal(key, "", ValueType::kDelete, ctx);
+sim::Task<Status> LsmDb::Delete(std::string_view key, TraceContext ctx,
+                                InternalOp op) {
+  return WriteInternal(key, "", ValueType::kDelete, ctx, op);
 }
 
 sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key, TraceContext ctx) {
+  const OpGuard guard(this);
   ++gets_;
   const SequenceNumber snapshot = seq_;
   const IoTag tag{tenant_, AppRequest::kGet, InternalOp::kNone, ctx};
   GetResult out;
+  if (dead_) {
+    out.status = Status::Unavailable("db killed");
+    co_return out;
+  }
 
   // Memtables first (no IO).
   for (const MemTable* mt : {mem_.get(), imm_.get()}) {
@@ -189,6 +245,10 @@ sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key, TraceContext ctx) {
     }
     ++tables_probed_;
     SstableReader::GetResult r = co_await table->reader->Get(tag, key, snapshot);
+    if (dead_) {
+      out.status = Status::Unavailable("db killed");
+      co_return out;
+    }
     if (!r.status.ok()) {
       out.status = r.status;
       co_return out;
@@ -213,6 +273,10 @@ sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key, TraceContext ctx) {
     }
     ++tables_probed_;
     SstableReader::GetResult r = co_await (*it)->reader->Get(tag, key, snapshot);
+    if (dead_) {
+      out.status = Status::Unavailable("db killed");
+      co_return out;
+    }
     if (!r.status.ok()) {
       out.status = r.status;
       co_return out;
@@ -270,7 +334,7 @@ sim::Task<StatusOr<LsmDb::TableRef>> LsmDb::BuildTable(
 }
 
 sim::Task<void> LsmDb::FlushJob() {
-  while (imm_ != nullptr) {
+  while (imm_ != nullptr && !dead_) {
     const SimTime flush_start = loop_.Now();
     // Collect the sealed memtable in order, gathering the origin spans of
     // the requests whose bytes this flush persists.
@@ -292,6 +356,9 @@ sim::Task<void> LsmDb::FlushJob() {
     uint64_t built_bytes = 0;
     if (!entries.empty()) {
       auto built = co_await BuildTable(entries, 0, entries.size(), tag);
+      if (dead_) {
+        break;  // crash: drop the build (dtor reclaims it), keep the WAL
+      }
       if (built.ok()) {
         flush_bytes_ += (*built)->size_bytes;
         built_bytes = (*built)->size_bytes;
@@ -325,6 +392,15 @@ sim::Task<void> LsmDb::FlushJob() {
     if (imm_wal_ != nullptr) {
       imm_wal_->Remove();
       imm_wal_.reset();
+    }
+    if (recovered_in_imm_) {
+      // The flush that just landed persisted the replayed records; the
+      // recovered WAL files are now fully covered.
+      for (const std::string& name : recovered_wals_) {
+        fs_.Delete(name);
+      }
+      recovered_wals_.clear();
+      recovered_in_imm_ = false;
     }
     stall_cv_.NotifyAll();
     MaybeStartCompaction();
@@ -366,7 +442,7 @@ void LsmDb::MaybeStartCompaction() {
 }
 
 sim::Task<void> LsmDb::CompactionJob() {
-  while (true) {
+  while (!dead_) {
     const int level = PickCompactionLevel();
     if (level < 0) {
       break;
@@ -457,6 +533,9 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
   for (const std::vector<TableRef>* group : {&inputs, &overlap}) {
     for (const TableRef& t : *group) {
       Status s = co_await t->reader->ScanAll(tag, collect);
+      if (dead_) {
+        co_return Status::Unavailable("db killed");
+      }
       if (!s.ok()) {
         scheduler_.tracker().RecordInternalOpDone(tenant_,
                                                   InternalOp::kCompact);
@@ -499,6 +578,9 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
             : bytes >= options_.target_file_bytes && i > begin;
     if (flush_now) {
       auto built = co_await BuildTable(merged, begin, i, tag);
+      if (dead_) {
+        co_return Status::Unavailable("db killed");  // outputs dtor-reclaimed
+      }
       if (!built.ok()) {
         scheduler_.tracker().RecordInternalOpDone(tenant_,
                                                   InternalOp::kCompact);
@@ -583,15 +665,28 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
 }
 
 sim::Task<void> LsmDb::WaitIdle() {
-  while (flush_running_ || compaction_running_ || imm_ != nullptr) {
+  while (!dead_ && (flush_running_ || compaction_running_ || imm_ != nullptr)) {
     co_await sim::SleepFor(loop_, 10 * kMillisecond);
   }
+}
+
+void LsmDb::Kill() {
+  if (dead_) {
+    return;
+  }
+  dead_ = true;
+  // Wake stalled writers so they observe the crash and unwind.
+  stall_cv_.NotifyAll();
 }
 
 sim::Task<Status> LsmDb::ScanLive(
     const iosched::IoTag& tag,
     const std::function<void(std::string_view key, std::string_view value)>&
         fn) {
+  const OpGuard guard(this);
+  if (dead_) {
+    co_return Status::Unavailable("db killed");
+  }
   const SequenceNumber snapshot = seq_;
   // Pin the version and the memtables' contents before any suspension: the
   // merge below must see one consistent cut of the tree.
@@ -616,6 +711,9 @@ sim::Task<Status> LsmDb::ScanLive(
   for (const std::vector<TableRef>& level : base->levels) {
     for (const TableRef& t : level) {
       Status s = co_await t->reader->ScanAll(tag, collect);
+      if (dead_) {
+        co_return Status::Unavailable("db killed");
+      }
       if (!s.ok()) {
         co_return s;
       }
@@ -659,6 +757,9 @@ LsmStats LsmDb::stats() const {
   s.wal_batches = wal_counters_.batches;
   s.wal_batched_records = wal_counters_.batched_records;
   s.wal_max_batch_records = wal_counters_.max_batch_records;
+  s.recovered_wal_files = recovered_wal_files_;
+  s.recovered_records = recovered_records_;
+  s.recovered_bytes = recovered_bytes_;
   s.table_cache_hits = table_cache_.hits();
   s.table_cache_misses = table_cache_.misses();
   s.table_cache_evictions = table_cache_.evictions();

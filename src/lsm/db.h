@@ -87,6 +87,11 @@ struct LsmStats {
   uint64_t table_cache_misses = 0;
   uint64_t table_cache_evictions = 0;
   uint64_t table_cache_resident_bytes = 0;
+  // Boot-time WAL recovery (non-zero only when Open() found surviving
+  // files from a previous incarnation under the same prefix):
+  uint64_t recovered_wal_files = 0;
+  uint64_t recovered_records = 0;
+  uint64_t recovered_bytes = 0;  // key+value payload bytes replayed
   std::vector<int> files_per_level;
 };
 
@@ -105,10 +110,15 @@ class LsmDb {
   // `ctx` is the caller's trace span (invalid when untraced); it rides the
   // operation's IoTags so its device IO emits causally-linked spans, and —
   // for writes — is remembered as the memtable entry's origin so the FLUSH
-  // and COMPACTions that later move those bytes link back to it.
+  // and COMPACTions that later move those bytes link back to it. `op`
+  // tags the write's direct IO with an internal-op class: the cluster
+  // layer's re-replication copy stream writes with InternalOp::kReplicate
+  // so catch-up traffic is attributed (and priced) as background work.
   sim::Task<Status> Put(std::string_view key, std::string_view value,
-                        TraceContext ctx = {});
-  sim::Task<Status> Delete(std::string_view key, TraceContext ctx = {});
+                        TraceContext ctx = {},
+                        iosched::InternalOp op = iosched::InternalOp::kNone);
+  sim::Task<Status> Delete(std::string_view key, TraceContext ctx = {},
+                           iosched::InternalOp op = iosched::InternalOp::kNone);
 
   struct GetResult {
     Status status;      // NotFound when the key does not exist
@@ -129,6 +139,21 @@ class LsmDb {
       const iosched::IoTag& tag,
       const std::function<void(std::string_view key, std::string_view value)>&
           fn);
+
+  // Crash simulation. Kill() marks the DB dead: new operations fail with
+  // kUnavailable, and in-flight coroutines (writers, readers, flush,
+  // compaction) bail at their next suspension point without installing
+  // results or removing WAL files — exactly the durable state a power cut
+  // would leave. The filesystem keeps the WAL files; a successor LsmDb
+  // constructed over the same prefix replays them in Open().
+  void Kill();
+  bool dead() const { return dead_; }
+  // True once every in-flight coroutine has unwound. A killed DB must be
+  // quiescent before destruction (destroying live coroutine state is UB);
+  // StorageNode parks killed DBs in a graveyard until this holds.
+  bool Quiescent() const {
+    return !flush_running_ && !compaction_running_ && active_ops_ == 0;
+  }
 
   LsmStats stats() const;
   int NumFilesAtLevel(int level) const;
@@ -175,9 +200,20 @@ class LsmDb {
   };
   using VersionRef = std::shared_ptr<const Version>;
 
+  // Frame-scoped in-flight counter backing Quiescent(): constructed at the
+  // top of every public coroutine, destroyed with the coroutine frame.
+  struct OpGuard {
+    explicit OpGuard(LsmDb* db) : db_(db) { ++db_->active_ops_; }
+    ~OpGuard() { --db_->active_ops_; }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+    LsmDb* db_;
+  };
+
   // --- write path ---
   sim::Task<Status> WriteInternal(std::string_view key, std::string_view value,
-                                  ValueType type, TraceContext ctx);
+                                  ValueType type, TraceContext ctx,
+                                  iosched::InternalOp op);
   bool WriteStalled() const;
   // Seals the memtable + WAL and kicks the flush task if needed.
   Status SealMemtable();
@@ -225,8 +261,18 @@ class LsmDb {
 
   bool flush_running_ = false;
   bool compaction_running_ = false;
+  bool dead_ = false;
+  int active_ops_ = 0;
   sim::Mutex stall_mu_;
   sim::CondVar stall_cv_;
+
+  // WAL files replayed by Open(); deleted once the first flush persists
+  // the memtable that absorbed them (see FlushJob).
+  std::vector<std::string> recovered_wals_;
+  bool recovered_in_imm_ = false;
+  uint64_t recovered_wal_files_ = 0;
+  uint64_t recovered_records_ = 0;
+  uint64_t recovered_bytes_ = 0;
 
   uint64_t puts_ = 0;
   uint64_t gets_ = 0;

@@ -26,7 +26,7 @@ namespace libra::obs {
 
 // Mirrors iosched::kNumAppRequests / kNumInternalOps.
 inline constexpr int kAttrApps = 3;      // none, GET, PUT
-inline constexpr int kAttrInternal = 3;  // direct, FLUSH, COMPACT
+inline constexpr int kAttrInternal = 4;  // direct, FLUSH, COMPACT, REPL
 
 // One tenant's cumulative attribution state. A value type: a steady-state
 // window is the element-wise difference of two snapshots (Diff below).

@@ -77,6 +77,14 @@ void ClusterTenantWorkload::Start(sim::TaskGroup& group, SimTime end_time) {
   }
 }
 
+void ClusterTenantWorkload::CountError(const Status& s) {
+  if (s.code() == StatusCode::kUnavailable) {
+    ++unavailable_errors_;
+  } else if (s.code() == StatusCode::kDeadlineExceeded) {
+    ++deadline_errors_;
+  }
+}
+
 sim::Task<void> ClusterTenantWorkload::Worker(SimTime end_time) {
   while (loop_.Now() < end_time) {
     if (rng_.Bernoulli(spec_.get_fraction)) {
@@ -85,14 +93,19 @@ sim::Task<void> ClusterTenantWorkload::Worker(SimTime end_time) {
       const Result<std::string> r = co_await handle_.Get(GetKey(idx));
       if (!r.ok()) {
         ++get_errors_;
+        CountError(r.status());
       }
       ++gets_done_;
     } else {
       const uint64_t idx = zipf_ != nullptr ? zipf_->Sample(rng_) % put_keys_
                                             : rng_.NextU64(put_keys_);
       const std::string key = PutKey(idx);
-      co_await handle_.Put(key,
-                           MakeValue(key, put_dist_->Sample(rng_)));
+      const Status s = co_await handle_.Put(
+          key, MakeValue(key, put_dist_->Sample(rng_)));
+      if (!s.ok()) {
+        ++put_errors_;
+        CountError(s);
+      }
       ++puts_done_;
     }
   }

@@ -35,6 +35,13 @@ class ClusterTenantWorkload {
   uint64_t gets_done() const { return gets_done_; }
   uint64_t puts_done() const { return puts_done_; }
   uint64_t get_errors() const { return get_errors_; }
+  // Failure-mode breakdown (crash experiments): requests that ultimately
+  // failed kUnavailable (retry budget exhausted against down replicas) or
+  // kDeadlineExceeded (RetryPolicy.deadline ran out), and PUT failures of
+  // any kind. An acked PUT never lands in put_errors_.
+  uint64_t put_errors() const { return put_errors_; }
+  uint64_t unavailable_errors() const { return unavailable_errors_; }
+  uint64_t deadline_errors() const { return deadline_errors_; }
   cluster::TenantHandle handle() const { return handle_; }
 
   uint64_t put_keys() const { return put_keys_; }
@@ -61,6 +68,11 @@ class ClusterTenantWorkload {
   uint64_t gets_done_ = 0;
   uint64_t puts_done_ = 0;
   uint64_t get_errors_ = 0;
+  uint64_t put_errors_ = 0;
+  uint64_t unavailable_errors_ = 0;
+  uint64_t deadline_errors_ = 0;
+
+  void CountError(const Status& s);
 };
 
 }  // namespace libra::workload

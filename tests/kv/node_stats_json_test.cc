@@ -69,6 +69,63 @@ TEST(NodeStatsJsonTest, EmptyNodeSnapshotParses) {
   EXPECT_TRUE(v.Find("tenants")->array.empty());
   EXPECT_TRUE(v.Find("audit")->array.empty());
   EXPECT_GT(v.Find("capacity")->Find("floor_vops")->number, 0.0);
+
+  // Replication/recovery sections are always present; a standalone node
+  // reports the unreplicated, never-crashed defaults.
+  const JsonValue* repl = v.Find("replication");
+  ASSERT_NE(repl, nullptr);
+  EXPECT_FALSE(repl->Find("enabled")->bool_value);
+  EXPECT_TRUE(repl->Find("alive")->bool_value);
+  EXPECT_FALSE(repl->Find("syncing")->bool_value);
+  for (const char* k : {"leader_slots", "follower_slots", "fanout_puts",
+                        "fanout_bytes", "failover_gets", "catchup_keys",
+                        "catchup_bytes", "catchup_lag_slots"}) {
+    ASSERT_NE(repl->Find(k), nullptr) << k;
+    EXPECT_EQ(repl->Find(k)->number, 0.0) << k;
+  }
+  const JsonValue* rec = v.Find("recovery");
+  ASSERT_NE(rec, nullptr);
+  for (const char* k : {"crashes", "restarts", "wal_files_replayed",
+                        "replay_records", "replay_bytes",
+                        "rereplication_vops"}) {
+    ASSERT_NE(rec->Find(k), nullptr) << k;
+    EXPECT_EQ(rec->Find(k)->number, 0.0) << k;
+  }
+}
+
+TEST(NodeStatsJsonTest, RecoverySectionCountsCrashRestartAndReplay) {
+  sim::EventLoop loop;
+  NodeOptions opt;
+  opt.calibration = SnapshotTable();
+  opt.prefill_bytes = 0;
+  StorageNode node(loop, opt);
+  ASSERT_TRUE(node.AddTenant(1, {100.0, 100.0}).ok());
+
+  auto fill = [&]() -> sim::Task<void> {
+    for (int i = 0; i < 12; ++i) {
+      co_await node.Put(1, "key" + std::to_string(i), std::string(64, 'v'));
+    }
+  };
+  sim::Detach(fill());
+  loop.Run();
+  node.Crash();
+  auto restart = [&]() -> sim::Task<void> {
+    const Status s = co_await node.Restart();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  };
+  sim::Detach(restart());
+  loop.Run();
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonParse(NodeStatsToJson(node.Snapshot()), &v, &err)) << err;
+  const JsonValue* rec = v.Find("recovery");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->Find("crashes")->number, 1.0);
+  EXPECT_EQ(rec->Find("restarts")->number, 1.0);
+  EXPECT_GE(rec->Find("wal_files_replayed")->number, 1.0);
+  EXPECT_EQ(rec->Find("replay_records")->number, 12.0);
+  EXPECT_GT(rec->Find("replay_bytes")->number, 0.0);
 }
 
 TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
@@ -163,7 +220,7 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
       const std::string& internal = c.Find("internal")->string_value;
       EXPECT_TRUE(app == "GET" || app == "PUT" || app == "none") << app;
       EXPECT_TRUE(internal == "direct" || internal == "FLUSH" ||
-                  internal == "COMPACT")
+                  internal == "COMPACT" || internal == "REPL")
           << internal;
       saw_direct_put |= app == "PUT" && internal == "direct";
       EXPECT_GT(c.Find("stats")->Find("ops")->number, 0.0);

@@ -283,7 +283,9 @@ TEST(NodeTraceTest, StatsJsonCarriesTracingSections) {
   ASSERT_NE(attr, nullptr);
   EXPECT_TRUE(attr->Find("observed")->bool_value);
   ASSERT_NE(attr->Find("q"), nullptr);
-  EXPECT_EQ(attr->Find("q")->array.size(), 6u);  // GET/PUT x 3 internals
+  // GET/PUT x kAttrInternal internals (direct, FLUSH, COMPACT, REPL).
+  EXPECT_EQ(attr->Find("q")->array.size(),
+            2u * static_cast<size_t>(obs::kAttrInternal));
   const obs::JsonValue* sla = t.Find("sla");
   ASSERT_NE(sla, nullptr);
   ASSERT_NE(sla->Find("violation_rate"), nullptr);

@@ -85,6 +85,16 @@ BenchArgs ParseCommonFlags(int argc, char** argv) {
       args.nodes = std::max(1, std::atoi(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       args.trace_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--sim-threads=", 14) == 0) {
+      args.sim_threads = std::atoi(argv[i] + 14);
+      if (args.sim_threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        args.sim_threads = hw > 0 ? static_cast<int>(hw) : 1;
+      }
+    } else if (std::strncmp(argv[i], "--rpc-latency-us=", 17) == 0) {
+      args.rpc_latency =
+          static_cast<SimDuration>(std::max(0, std::atoi(argv[i] + 17))) *
+          kMicrosecond;
     } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
       const char* v = argv[i] + 15;
       if (std::strncmp(v, "1/", 2) == 0) {  // accept both "N" and "1/N"
@@ -98,7 +108,10 @@ BenchArgs ParseCommonFlags(int argc, char** argv) {
           "--jobs=N (parallel sweep workers; 0 = all cores)  "
           "--nodes=N (cluster size, multi-node benches)  "
           "--trace-json=PATH (Chrome/Perfetto span export)  "
-          "--trace-sample=1/N (trace 1 of every N root requests)\n");
+          "--trace-sample=1/N (trace 1 of every N root requests)  "
+          "--sim-threads=N (parallel sim engine workers; 0 = all cores)  "
+          "--rpc-latency-us=N (cross-node RPC latency; selects the parallel "
+          "engine when > 0)\n");
     }
   }
   if (!args.stats_json.empty() && g_stats == nullptr) {

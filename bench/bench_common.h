@@ -30,12 +30,22 @@ struct BenchArgs {
   int nodes = 4;            // --nodes=N: cluster size (multi-node benches)
   std::string trace_json;   // --trace-json=PATH: Chrome/Perfetto span export
   uint32_t trace_sample = 1;  // --trace-sample=1/N: trace 1 of every N roots
+  // --sim-threads=N: worker threads for the parallel simulation engine
+  // (0 = all cores). N > 1 switches multi-node benches to the epoch-barrier
+  // MultiLoop engine; output is byte-identical for every N at a fixed
+  // --rpc-latency-us, only wall-clock time changes.
+  int sim_threads = 1;
+  // --rpc-latency-us=N: minimum cross-node RPC latency. 0 keeps the
+  // historical instantaneous-RPC serial engine; > 0 selects the parallel
+  // engine (and doubles as its conservative lookahead) even at one thread.
+  SimDuration rpc_latency = 0;
 };
 
 // Parses the flags shared by every bench binary (--full, --csv,
 // --stats-json=PATH, --jobs=N, --nodes=N, --trace-json=PATH,
-// --trace-sample=1/N) and installs the --stats-json capture hook. Unknown
-// flags are ignored so binaries can layer their own parsing on top.
+// --trace-sample=1/N, --sim-threads=N, --rpc-latency-us=N) and installs the
+// --stats-json capture hook. Unknown flags are ignored so binaries can
+// layer their own parsing on top.
 BenchArgs ParseCommonFlags(int argc, char** argv);
 
 // True when --trace-json=PATH was given: benches should enable span

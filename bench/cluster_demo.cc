@@ -11,8 +11,9 @@
 //   2. an over-booked AddTenant is rejected up front with a descriptive
 //      status,
 //   3. a shard migration under live traffic completes without losing a key.
-// The demo is one simulation on one virtual-time loop, so its output is
-// identical for any --jobs value.
+// The demo is one deterministic virtual-time simulation, so its output is
+// identical for any --jobs value — and, with --rpc-latency-us set, for any
+// --sim-threads value on the parallel epoch-barrier engine.
 
 #include <cstdio>
 #include <memory>
@@ -78,7 +79,8 @@ sim::Task<void> VerifySlot(workload::ClusterTenantWorkload* wl,
 }
 
 int RunDemo(const BenchArgs& args) {
-  sim::EventLoop loop;
+  SimRig rig = MakeSimRig(args, args.nodes);
+  sim::EventLoop& loop = rig.client();
   cluster::ClusterOptions copt;
   copt.num_nodes = args.nodes;
   copt.node_options = PrototypeNodeOptions();
@@ -91,7 +93,8 @@ int RunDemo(const BenchArgs& args) {
   copt.node_options.enable_read_coalescing = true;
   copt.node_options.lsm_options.wal_group_commit = true;
   copt.node_options.lsm_options.table_cache_bytes = 256 * kKiB;
-  Cluster cl(loop, copt);
+  std::unique_ptr<Cluster> cl_holder = MakeCluster(rig, copt);
+  Cluster& cl = *cl_holder;
 
   Section(args, "Cluster demo: admission");
   std::vector<cluster::TenantHandle> handles;
@@ -131,7 +134,7 @@ int RunDemo(const BenchArgs& args) {
   {
     sim::TaskGroup group(loop);
     group.Spawn(PreloadAll(&workloads));
-    loop.Run();
+    rig.Run();
   }
 
   const SimTime t0 = loop.Now();
@@ -150,8 +153,10 @@ int RunDemo(const BenchArgs& args) {
       p[i] = cl.GlobalNormalizedTotal(kTenants[i].tenant, AppRequest::kPut);
     }
   };
-  loop.ScheduleAt(t_warm, [&] { snap(gets0, puts0); });
-  loop.ScheduleAt(t_end, [&] { snap(gets1, puts1); });
+  // Mid-run tracker reads need quiesced node loops: barrier hooks in
+  // parallel mode, plain events in serial mode.
+  rig.AtTime(t_warm, [&] { snap(gets0, puts0); });
+  rig.AtTime(t_end, [&] { snap(gets1, puts1); });
 
   // Mid-run shard migration under live traffic: move the skewed tenant's
   // slot 0 one node over. Gated requests suspend, nothing is lost.
@@ -169,9 +174,9 @@ int RunDemo(const BenchArgs& args) {
     for (auto& wl : workloads) {
       wl->Start(group, t_end);
     }
-    loop.RunUntil(t_end + kSecond);
+    rig.RunUntil(t_end + kSecond);
     cl.Stop();
-    loop.Run();
+    rig.Run();
   }
 
   Section(args, "Cluster demo: global reservations");
@@ -222,7 +227,7 @@ int RunDemo(const BenchArgs& args) {
     sim::TaskGroup group(loop);
     group.Spawn(VerifySlot(workloads[0].get(), &cl.shard_map(), mig_slot,
                            &checked, &lost));
-    loop.Run();
+    rig.Run();
   }
   std::printf("migration verification: %llu stable keys checked, %llu lost\n",
               static_cast<unsigned long long>(checked),

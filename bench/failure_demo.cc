@@ -14,9 +14,9 @@
 //   3. the victim's recovery work is visible in attribution: WAL replay
 //      counters and InternalOp::kReplicate VOPs are nonzero.
 // Everything (workload, fault schedule, placement) derives from --seed, and
-// the run is one simulation on one virtual-time loop, so two runs with the
-// same seed emit byte-identical output — the property the CI fault smoke
-// job diffs for.
+// the run is one deterministic virtual-time simulation, so two runs with
+// the same seed emit byte-identical output — for any --sim-threads value at
+// a fixed --rpc-latency-us — the property the CI fault smoke job diffs for.
 
 #include <cstdio>
 #include <cstdlib>
@@ -127,7 +127,8 @@ uint64_t ParseSeedFlag(int argc, char** argv, uint64_t def) {
 }
 
 int RunDemo(const BenchArgs& args, uint64_t seed) {
-  sim::EventLoop loop;
+  SimRig rig = MakeSimRig(args, args.nodes);
+  sim::EventLoop& loop = rig.client();
   cluster::ClusterOptions copt;
   copt.num_nodes = args.nodes;
   copt.node_options = PrototypeNodeOptions();
@@ -136,7 +137,8 @@ int RunDemo(const BenchArgs& args, uint64_t seed) {
   copt.retry.initial_backoff = 1 * kMillisecond;
   copt.retry.backoff_multiplier = 2.0;
   copt.retry.deadline = 2 * kSecond;
-  Cluster cl(loop, copt);
+  std::unique_ptr<Cluster> cl_holder = MakeCluster(rig, copt);
+  Cluster& cl = *cl_holder;
 
   cluster::FaultInjectorOptions fopt;
   fopt.seed = seed;
@@ -175,7 +177,7 @@ int RunDemo(const BenchArgs& args, uint64_t seed) {
   {
     sim::TaskGroup group(loop);
     group.Spawn(PreloadAll(&workloads));
-    loop.Run();
+    rig.Run();
   }
 
   const SimDuration step = (args.full ? 2 : 1) * kSecond;
@@ -199,14 +201,16 @@ int RunDemo(const BenchArgs& args, uint64_t seed) {
       p[i] = cl.GlobalNormalizedTotal(kTenants[i].tenant, AppRequest::kPut);
     }
   };
-  loop.ScheduleAt(t_warm, [&] { snap(gets0, puts0); });
-  loop.ScheduleAt(t_end, [&] { snap(gets1, puts1); });
+  // Mid-run tracker reads need quiesced node loops: barrier hooks in
+  // parallel mode, plain events in serial mode.
+  rig.AtTime(t_warm, [&] { snap(gets0, puts0); });
+  rig.AtTime(t_end, [&] { snap(gets1, puts1); });
 
   // SlaMonitor baseline on the surviving nodes at the instant recovery
   // starts: any violation counted after this is a violation *during
   // re-replication*, the window the contract is about.
   std::map<std::pair<int, TenantId>, uint64_t> sla_base;
-  loop.ScheduleAt(t_restart, [&] {
+  rig.AtTime(t_restart, [&] {
     for (int n = 0; n < cl.num_nodes(); ++n) {
       if (n == victim) {
         continue;
@@ -226,9 +230,9 @@ int RunDemo(const BenchArgs& args, uint64_t seed) {
     }
     group.Spawn(WriteMarkers(&loop, handles[0], t_warm, t_end - step,
                              100 * kMillisecond, &markers));
-    loop.RunUntil(t_end + kSecond);
+    rig.RunUntil(t_end + kSecond);
     cl.Stop();
-    loop.Run();
+    rig.Run();
   }
 
   Section(args, "Failure demo: workload through the outage");
@@ -257,7 +261,7 @@ int RunDemo(const BenchArgs& args, uint64_t seed) {
     for (auto& wl : workloads) {
       group.Spawn(VerifyStableObjects(wl.get(), &stable_checked, &stable_lost));
     }
-    loop.Run();
+    rig.Run();
   }
   std::printf(
       "markers: %llu issued, %llu acked, %llu lost; stable objects: %llu "

@@ -13,6 +13,7 @@
 // object-size-only pricing ("no profile") the allocation misses the
 // secondary IO and the write-heavy tenants fall short.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -222,9 +223,12 @@ int main(int argc, char** argv) {
       {ProfileMode::kObjectSizeOnly, "No profile (object-size pricing)"}};
 
   // The two profile modes are independent simulations: run them across
-  // --jobs workers, then emit in the fixed mode order.
+  // --jobs workers, then emit in the fixed mode order. --sim-threads is
+  // honored as a sweep width too — this figure is single-node, so its
+  // parallelism is mode-level (one worker per simulation), not the
+  // cluster demos' per-node epoch engine; output is identical either way.
   TableFor(libra::ssd::Intel320Profile());  // warm before the pool starts
-  SweepRunner runner(args.jobs);
+  SweepRunner runner(std::max(args.jobs, args.sim_threads));
   const std::vector<ModeResult> mode_results =
       runner.Map<ModeResult>(std::size(modes), [&](size_t i) {
         return RunMode(args, modes[i].first);

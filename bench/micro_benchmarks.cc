@@ -18,6 +18,7 @@
 #include "src/lsm/memtable.h"
 #include "src/lsm/wal.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/multi_loop.h"
 #include "src/sim/sync.h"
 #include "src/ssd/device.h"
 #include "src/ssd/profile.h"
@@ -238,6 +239,33 @@ void BM_MultiGetFanout(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 16);
 }
 BENCHMARK(BM_MultiGetFanout)->Arg(0)->Arg(1);
+
+// One epoch of the parallel engine: every loop sends one message around a
+// ring, then a single barrier — outbox exchange, (when, sender, seq) sort,
+// injection, and the epoch step — delivers them all. Arg0 = loop count,
+// Arg1 = worker threads (1 = no pool; >1 adds the cv hand-off, which is
+// the per-epoch overhead a multi-core host must amortize against the
+// per-loop event work). Items = messages exchanged.
+void BM_EpochBarrierExchange(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  constexpr SimDuration kLookahead = 1000;
+  sim::MultiLoop ml(n, {threads, kLookahead});
+  uint64_t delivered = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      ml.Send(i, (i + 1) % n, kLookahead, [&delivered] { ++delivered; });
+    }
+    ml.Run();  // one barrier: exchange + advance + step every loop
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_EpochBarrierExchange)
+    ->Args({2, 1})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({8, 4});
 
 }  // namespace
 }  // namespace libra

@@ -32,4 +32,49 @@ if [[ -n "${MIN_TIME}" ]]; then
 fi
 
 "${BUILD_DIR}/bench/micro_benchmarks" "${ARGS[@]}"
+
+# Wall-clock of one fig11 run at --sim-threads=1 vs a 4-wide pool, appended
+# to the benchmark JSON as synthetic entries (compare_benchmarks.py treats
+# names missing from the other file as informational, so older baselines
+# still compare cleanly). fig11's parallelism is its mode sweep, so the
+# ratio measures the host's usable sweep speedup; on a single-core host the
+# two times simply coincide. FIG11_THREADS=0 skips the timing runs.
+FIG11_THREADS="${FIG11_THREADS:-4}"
+if [[ "${FIG11_THREADS}" != "0" ]]; then
+  cmake --build "${BUILD_DIR}" --target fig11_reservations -j"$(nproc)"
+  fig11_secs() {
+    local start end
+    start=$(date +%s.%N)
+    "${BUILD_DIR}/bench/fig11_reservations" --sim-threads="$1" > /dev/null
+    end=$(date +%s.%N)
+    awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.6f", b - a }'
+  }
+  T1=$(fig11_secs 1)
+  TN=$(fig11_secs "${FIG11_THREADS}")
+  python3 - "${OUT}" "${T1}" "${TN}" "${FIG11_THREADS}" <<'PYEOF'
+import json
+import sys
+
+path, t1, tn, n = sys.argv[1], float(sys.argv[2]), float(sys.argv[3]), sys.argv[4]
+with open(path, "r", encoding="utf-8") as f:
+    doc = json.load(f)
+
+
+def entry(name, secs):
+    ns = secs * 1e9
+    return {"name": name, "run_name": name, "run_type": "iteration",
+            "repetitions": 1, "iterations": 1, "real_time": ns,
+            "cpu_time": ns, "time_unit": "ns"}
+
+
+doc.setdefault("benchmarks", []).extend([
+    entry("fig11_reservations/walltime/sim_threads:1", t1),
+    entry(f"fig11_reservations/walltime/sim_threads:{n}", tn),
+])
+with open(path, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
+  echo "fig11 wall-clock: ${T1}s at --sim-threads=1, ${TN}s at --sim-threads=${FIG11_THREADS}"
+fi
 echo "wrote ${OUT}"

@@ -64,7 +64,11 @@ RunOutput RunOnce(const BenchArgs& args, SimDuration duration,
                   uint64_t seed_base,
                   const std::map<TenantId, obs::DeclaredAttribution>* declared,
                   bool export_artifacts) {
-  sim::EventLoop loop;
+  // Single-node demo: with --sim-threads/--rpc-latency-us the node simply
+  // lives on the parallel engine's only loop, which pins the degenerate
+  // one-loop case of the epoch engine to the serial EventLoop's output.
+  SimRig rig = MakeSimRig(args, /*nodes=*/0);
+  sim::EventLoop& loop = rig.client();
   kv::NodeOptions opt = PrototypeNodeOptions();
   // Small buffers/levels so flush + compaction churn within seconds.
   opt.lsm_options.write_buffer_bytes = 256 * kKiB;
@@ -98,7 +102,7 @@ RunOutput RunOnce(const BenchArgs& args, SimDuration duration,
         loop, node, t, spec, seed_base + t));
     raw.push_back(wls.back().get());
   }
-  RunPreloads(loop, raw);
+  RunPreloads(rig, raw);
 
   {
     sim::TaskGroup group(loop);
@@ -107,9 +111,9 @@ RunOutput RunOnce(const BenchArgs& args, SimDuration duration,
     for (auto& wl : wls) {
       wl->Start(group, start + duration);
     }
-    loop.RunUntil(start + duration + kSecond);
+    rig.RunUntil(start + duration + kSecond);
     node.Stop();
-    loop.Run();
+    rig.Run();
   }
 
   RunOutput out;

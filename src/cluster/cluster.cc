@@ -225,20 +225,54 @@ Cluster::Cluster(sim::EventLoop& loop, ClusterOptions options)
                                  options_.vnodes_per_node,
                                  options_.placement_seed,
                                  options_.replication_factor}) {
+  assert(options_.rpc_latency == 0 &&
+         "rpc_latency requires the MultiLoop constructor");
+  Init(nullptr);
+}
+
+Cluster::Cluster(sim::MultiLoop& engine, ClusterOptions options)
+    : loop_(engine.loop(0)),
+      multi_(&engine),
+      options_(std::move(options)),
+      shard_map_(ShardMapOptions{options_.num_nodes,
+                                 options_.shards_per_tenant,
+                                 options_.vnodes_per_node,
+                                 options_.placement_seed,
+                                 options_.replication_factor}) {
+  assert(engine.num_loops() == options_.num_nodes + 1 &&
+         "parallel cluster needs one loop per node plus the coordinator");
+  assert(options_.rpc_latency > 0 &&
+         "parallel cluster needs a positive rpc_latency");
+  assert(options_.rpc_latency >= engine.lookahead() &&
+         "rpc_latency below the engine lookahead would break conservative "
+         "synchronization");
+  Init(&engine);
+}
+
+void Cluster::Init(sim::MultiLoop* engine) {
   assert(options_.num_nodes > 0);
   assert(options_.replication_factor >= 1);
   node_state_.assign(static_cast<size_t>(options_.num_nodes), NodeState{});
   repl_.assign(static_cast<size_t>(options_.num_nodes), ReplTelemetry{});
   nodes_.reserve(options_.num_nodes);
   for (int i = 0; i < options_.num_nodes; ++i) {
+    sim::EventLoop& node_loop =
+        engine != nullptr ? engine->loop(NodeLoopIndex(i)) : loop_;
     nodes_.push_back(
-        std::make_unique<kv::StorageNode>(loop_, options_.node_options));
+        std::make_unique<kv::StorageNode>(node_loop, options_.node_options));
     // Namespace each node's minted trace/span ids so a merged cluster
     // export never collides across nodes (and stays deterministic).
     if (obs::SpanCollector* spans = nodes_.back()->scheduler().spans();
         spans != nullptr) {
       spans->SeedIds(static_cast<uint64_t>(i) + 1);
     }
+  }
+  if (engine != nullptr &&
+      options_.node_options.scheduler_options.span_capacity > 0) {
+    client_spans_ = std::make_unique<obs::SpanCollector>(
+        options_.node_options.scheduler_options.span_capacity,
+        options_.node_options.scheduler_options.span_sample_every);
+    client_spans_->SeedIds(static_cast<uint64_t>(options_.num_nodes) + 1);
   }
   provisioner_ = std::make_unique<GlobalProvisioner>(loop_, *this,
                                                      options_.provisioner);
@@ -258,6 +292,372 @@ void Cluster::Stop() {
   for (auto& n : nodes_) {
     n->Stop();
   }
+}
+
+// --- cross-node seam ---
+//
+// Serial mode: direct calls, byte-identical to the historical inlined
+// paths. Parallel mode: request/response MultiLoop messages. The server
+// coroutine runs detached on the node's loop; the response message runs on
+// the coordinator loop and completes the caller's OneShot there, so the
+// OneShot (like all routing state) is touched only by the coordinator.
+// Per-channel FIFO at equal delays means control messages (tenant install,
+// crash) are never overtaken by requests sent after them.
+
+sim::Task<Status> Cluster::NodePut(int node, TenantId tenant, std::string key,
+                                   std::string value, TraceContext ctx,
+                                   SimDuration request_delay) {
+  if (multi_ == nullptr) {
+    co_return co_await nodes_[node]->Put(tenant, key, value, ctx);
+  }
+  sim::OneShot<Status> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), request_delay,
+               [this, node, tenant, key = std::move(key),
+                value = std::move(value), ctx, &done]() mutable {
+                 sim::Detach(PutServer(node, tenant, std::move(key),
+                                       std::move(value), ctx, &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::PutServer(int node, TenantId tenant, std::string key,
+                                   std::string value, TraceContext ctx,
+                                   sim::OneShot<Status>* done) {
+  Status s = co_await nodes_[node]->Put(tenant, key, value, ctx);
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, s = std::move(s)]() mutable { done->Set(std::move(s)); });
+}
+
+sim::Task<Status> Cluster::NodeDelete(int node, TenantId tenant,
+                                      std::string key, TraceContext ctx,
+                                      SimDuration request_delay) {
+  if (multi_ == nullptr) {
+    co_return co_await nodes_[node]->Delete(tenant, key, ctx);
+  }
+  sim::OneShot<Status> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), request_delay,
+               [this, node, tenant, key = std::move(key), ctx,
+                &done]() mutable {
+                 sim::Detach(DeleteServer(node, tenant, std::move(key), ctx,
+                                          &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::DeleteServer(int node, TenantId tenant,
+                                      std::string key, TraceContext ctx,
+                                      sim::OneShot<Status>* done) {
+  Status s = co_await nodes_[node]->Delete(tenant, key, ctx);
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, s = std::move(s)]() mutable { done->Set(std::move(s)); });
+}
+
+sim::Task<Result<std::string>> Cluster::NodeGet(int node, TenantId tenant,
+                                                std::string key,
+                                                TraceContext ctx,
+                                                SimDuration request_delay) {
+  if (multi_ == nullptr) {
+    co_return co_await nodes_[node]->Get(tenant, key, ctx);
+  }
+  sim::OneShot<Result<std::string>> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), request_delay,
+               [this, node, tenant, key = std::move(key), ctx,
+                &done]() mutable {
+                 sim::Detach(GetServer(node, tenant, std::move(key), ctx,
+                                       &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::GetServer(int node, TenantId tenant, std::string key,
+                                   TraceContext ctx,
+                                   sim::OneShot<Result<std::string>>* done) {
+  Result<std::string> r = co_await nodes_[node]->Get(tenant, key, ctx);
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, r = std::move(r)]() mutable { done->Set(std::move(r)); });
+}
+
+sim::Task<std::vector<Result<std::string>>> Cluster::NodeMultiGet(
+    int node, TenantId tenant, std::vector<std::string> keys,
+    TraceContext ctx) {
+  sim::OneShot<std::vector<Result<std::string>>> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [this, node, tenant, keys = std::move(keys), ctx,
+                &done]() mutable {
+                 sim::Detach(MultiGetServer(node, tenant, std::move(keys), ctx,
+                                            &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::MultiGetServer(
+    int node, TenantId tenant, std::vector<std::string> keys, TraceContext ctx,
+    sim::OneShot<std::vector<Result<std::string>>>* done) {
+  std::vector<Result<std::string>> results(keys.size());
+  sim::TaskGroup group(multi_->loop(NodeLoopIndex(node)));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    group.Spawn(
+        NodeGetInto(nodes_[node].get(), tenant, keys[i], ctx, &results[i]));
+  }
+  co_await group.Join();
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, results = std::move(results)]() mutable {
+                 done->Set(std::move(results));
+               });
+}
+
+sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
+Cluster::NodeScanSlots(int node, TenantId tenant, std::vector<int> slots,
+                       iosched::IoTag tag, const char* missing_msg) {
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+  if (multi_ == nullptr) {
+    lsm::LsmDb* db = nodes_[node]->partition(tenant);
+    if (db == nullptr) {
+      co_return Result<Entries>(Status::Internal(missing_msg));
+    }
+    Entries entries;
+    Status scan = co_await db->ScanLive(
+        tag, [&](std::string_view k, std::string_view v) {
+          const int slot = shard_map_.SlotOfKey(k);
+          if (std::find(slots.begin(), slots.end(), slot) != slots.end()) {
+            entries.emplace_back(std::string(k), std::string(v));
+          }
+        });
+    if (!scan.ok()) {
+      co_return Result<Entries>(std::move(scan));
+    }
+    co_return Result<Entries>(std::move(entries));
+  }
+  sim::OneShot<Result<Entries>> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [this, node, tenant, slots = std::move(slots), tag, missing_msg,
+                &done]() mutable {
+                 sim::Detach(ScanSlotsServer(node, tenant, std::move(slots),
+                                             tag, missing_msg, &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::ScanSlotsServer(
+    int node, TenantId tenant, std::vector<int> slots, iosched::IoTag tag,
+    const char* missing_msg,
+    sim::OneShot<Result<std::vector<std::pair<std::string, std::string>>>>*
+        done) {
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+  Result<Entries> result;
+  lsm::LsmDb* db = nodes_[node]->partition(tenant);
+  if (db == nullptr) {
+    result = Result<Entries>(Status::Internal(missing_msg));
+  } else {
+    Entries entries;
+    // ShardMap::SlotOfKey is a pure hash of the key (no placement state),
+    // so calling it from the node's thread is safe.
+    Status scan = co_await db->ScanLive(
+        tag, [&](std::string_view k, std::string_view v) {
+          const int slot = shard_map_.SlotOfKey(k);
+          if (std::find(slots.begin(), slots.end(), slot) != slots.end()) {
+            entries.emplace_back(std::string(k), std::string(v));
+          }
+        });
+    result = scan.ok() ? Result<Entries>(std::move(entries))
+                       : Result<Entries>(std::move(scan));
+  }
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, result = std::move(result)]() mutable {
+                 done->Set(std::move(result));
+               });
+}
+
+sim::Task<Cluster::ApplyResult> Cluster::NodeApplyOps(
+    int node, TenantId tenant,
+    std::vector<std::pair<std::string, std::string>> puts,
+    std::vector<std::string> deletes, TraceContext ctx, iosched::InternalOp op,
+    const char* missing_msg) {
+  if (multi_ == nullptr) {
+    ApplyResult result;
+    lsm::LsmDb* db = nodes_[node]->partition(tenant);
+    if (db == nullptr) {
+      result.status = Status::Internal(missing_msg);
+      co_return result;
+    }
+    for (const auto& [k, v] : puts) {
+      if (Status s = co_await db->Put(k, v, ctx, op); !s.ok()) {
+        result.status = std::move(s);
+        co_return result;
+      }
+      ++result.puts_applied;
+      result.put_key_bytes += k.size();
+      result.put_value_bytes += v.size();
+    }
+    for (const std::string& k : deletes) {
+      if (Status s = co_await db->Delete(k, ctx, op); !s.ok()) {
+        result.status = std::move(s);
+        co_return result;
+      }
+      ++result.deletes_applied;
+    }
+    co_return result;
+  }
+  sim::OneShot<ApplyResult> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [this, node, tenant, puts = std::move(puts),
+                deletes = std::move(deletes), ctx, op, missing_msg,
+                &done]() mutable {
+                 sim::Detach(ApplyOpsServer(node, tenant, std::move(puts),
+                                            std::move(deletes), ctx, op,
+                                            missing_msg, &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::ApplyOpsServer(
+    int node, TenantId tenant,
+    std::vector<std::pair<std::string, std::string>> puts,
+    std::vector<std::string> deletes, TraceContext ctx, iosched::InternalOp op,
+    const char* missing_msg, sim::OneShot<ApplyResult>* done) {
+  ApplyResult result;
+  lsm::LsmDb* db = nodes_[node]->partition(tenant);
+  if (db == nullptr) {
+    result.status = Status::Internal(missing_msg);
+  } else {
+    for (const auto& [k, v] : puts) {
+      if (Status s = co_await db->Put(k, v, ctx, op); !s.ok()) {
+        result.status = std::move(s);
+        break;
+      }
+      ++result.puts_applied;
+      result.put_key_bytes += k.size();
+      result.put_value_bytes += v.size();
+    }
+    if (result.status.ok()) {
+      for (const std::string& k : deletes) {
+        if (Status s = co_await db->Delete(k, ctx, op); !s.ok()) {
+          result.status = std::move(s);
+          break;
+        }
+        ++result.deletes_applied;
+      }
+    }
+  }
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, result = std::move(result)]() mutable {
+                 done->Set(std::move(result));
+               });
+}
+
+Status Cluster::NodeEnsureTenant(int node, TenantId tenant) {
+  if (multi_ == nullptr) {
+    if (!nodes_[node]->HasTenant(tenant)) {
+      return nodes_[node]->AddTenant(tenant, Reservation{});
+    }
+    return Status::Ok();
+  }
+  kv::StorageNode* n = nodes_[node].get();
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency, [n, tenant] {
+    if (!n->HasTenant(tenant)) {
+      (void)n->AddTenant(tenant, Reservation{});
+    }
+  });
+  return Status::Ok();
+}
+
+Status Cluster::NodeInstallReservation(int node, TenantId tenant,
+                                       Reservation share) {
+  if (multi_ == nullptr) {
+    return nodes_[node]->HasTenant(tenant)
+               ? nodes_[node]->UpdateReservation(tenant, share)
+               : nodes_[node]->AddTenant(tenant, share);
+  }
+  kv::StorageNode* n = nodes_[node].get();
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency, [n, tenant,
+                                                              share] {
+    if (n->HasTenant(tenant)) {
+      (void)n->UpdateReservation(tenant, share);
+    } else {
+      (void)n->AddTenant(tenant, share);
+    }
+  });
+  return Status::Ok();
+}
+
+Status Cluster::NodeZeroReservation(int node, TenantId tenant) {
+  if (multi_ == nullptr) {
+    if (nodes_[node]->HasTenant(tenant)) {
+      return nodes_[node]->UpdateReservation(tenant, Reservation{});
+    }
+    return Status::Ok();
+  }
+  kv::StorageNode* n = nodes_[node].get();
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency, [n, tenant] {
+    if (n->HasTenant(tenant)) {
+      (void)n->UpdateReservation(tenant, Reservation{});
+    }
+  });
+  return Status::Ok();
+}
+
+void Cluster::NodeRecordReplTrigger(int node, TenantId tenant) {
+  if (multi_ == nullptr) {
+    nodes_[node]->tracker().RecordTrigger(tenant, AppRequest::kPut,
+                                          iosched::InternalOp::kReplicate);
+    return;
+  }
+  kv::StorageNode* n = nodes_[node].get();
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency, [n, tenant] {
+    n->tracker().RecordTrigger(tenant, AppRequest::kPut,
+                               iosched::InternalOp::kReplicate);
+  });
+}
+
+void Cluster::NodeRecordReplDone(int node, TenantId tenant) {
+  if (multi_ == nullptr) {
+    nodes_[node]->tracker().RecordInternalOpDone(
+        tenant, iosched::InternalOp::kReplicate);
+    return;
+  }
+  kv::StorageNode* n = nodes_[node].get();
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency, [n, tenant] {
+    n->tracker().RecordInternalOpDone(tenant,
+                                      iosched::InternalOp::kReplicate);
+  });
+}
+
+void Cluster::NodeCrash(int node) {
+  if (multi_ == nullptr) {
+    nodes_[node]->Crash();
+    return;
+  }
+  kv::StorageNode* n = nodes_[node].get();
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [n] { n->Crash(); });
+}
+
+sim::Task<Status> Cluster::NodeRestart(int node) {
+  if (multi_ == nullptr) {
+    co_return co_await nodes_[node]->Restart();
+  }
+  sim::OneShot<Status> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [this, node, &done] {
+                 sim::Detach(RestartServer(node, &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::RestartServer(int node, sim::OneShot<Status>* done) {
+  Status s = co_await nodes_[node]->Restart();
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, s = std::move(s)]() mutable { done->Set(std::move(s)); });
+}
+
+void Cluster::InjectGcStall(int node, SimDuration stall) {
+  if (multi_ == nullptr) {
+    nodes_[node]->device().InjectGcStall(stall);
+    return;
+  }
+  kv::StorageNode* n = nodes_[node].get();
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [n, stall] { n->device().InjectGcStall(stall); });
 }
 
 double Cluster::AdmissionPrice(AppRequest app) const {
@@ -316,6 +716,9 @@ std::map<int, Reservation> Cluster::EvenSplit(
 
 Status Cluster::CheckAdmission(
     TenantId tenant, const std::map<int, Reservation>& split) const {
+  if (!options_.admission_enabled) {
+    return Status::Ok();
+  }
   for (const auto& [n, share] : split) {
     double provisioned = 0.0;
     for (const auto& [other, state] : tenants_) {
@@ -354,18 +757,14 @@ Status Cluster::ApplySplit(TenantId tenant,
     if (!node_state_[n].alive) {
       continue;  // dead node: its policy is stopped; resplit covers it later
     }
-    if (split.count(n) == 0 && nodes_[n]->HasTenant(tenant)) {
-      if (Status s = nodes_[n]->UpdateReservation(tenant, Reservation{});
-          !s.ok()) {
+    if (split.count(n) == 0) {
+      if (Status s = NodeZeroReservation(n, tenant); !s.ok()) {
         return s;
       }
     }
   }
   for (const auto& [n, share] : split) {
-    Status s = nodes_[n]->HasTenant(tenant)
-                   ? nodes_[n]->UpdateReservation(tenant, share)
-                   : nodes_[n]->AddTenant(tenant, share);
-    if (!s.ok()) {
+    if (Status s = NodeInstallReservation(n, tenant, share); !s.ok()) {
       return s;
     }
   }
@@ -454,13 +853,23 @@ sim::Task<int> Cluster::AwaitRoutable(TenantId tenant, int slot) {
   co_return shard_map_.HomeOf(tenant, slot);
 }
 
+// Fault semantics at the replica seam: in serial mode an injected delay is
+// slept before the (instantaneous) call, exactly as before; in parallel
+// mode it replaces the request-leg latency — which is why FaultInjector
+// enforces delay >= lookahead. A drop never reaches the node in either
+// mode.
 sim::Task<void> Cluster::PutReplica(int node, TenantId tenant, std::string key,
                                     std::string value, TraceContext ctx,
                                     Status* out) {
+  SimDuration request_delay = options_.rpc_latency;
   if (rpc_faults_ != nullptr) {
     const RpcFault f = rpc_faults_->OnRpc(tenant, node);
     if (f.delay > 0) {
-      co_await sim::SleepFor(loop_, f.delay);
+      if (multi_ == nullptr) {
+        co_await sim::SleepFor(loop_, f.delay);
+      } else {
+        request_delay = f.delay;
+      }
     }
     if (f.drop) {
       *out = Status::Unavailable("rpc to node " + std::to_string(node) +
@@ -472,16 +881,22 @@ sim::Task<void> Cluster::PutReplica(int node, TenantId tenant, std::string key,
     *out = Status::Unavailable("node " + std::to_string(node) + " down");
     co_return;
   }
-  *out = co_await nodes_[node]->Put(tenant, key, value, ctx);
+  *out = co_await NodePut(node, tenant, std::move(key), std::move(value), ctx,
+                          request_delay);
 }
 
 sim::Task<void> Cluster::DeleteReplica(int node, TenantId tenant,
                                        std::string key, TraceContext ctx,
                                        Status* out) {
+  SimDuration request_delay = options_.rpc_latency;
   if (rpc_faults_ != nullptr) {
     const RpcFault f = rpc_faults_->OnRpc(tenant, node);
     if (f.delay > 0) {
-      co_await sim::SleepFor(loop_, f.delay);
+      if (multi_ == nullptr) {
+        co_await sim::SleepFor(loop_, f.delay);
+      } else {
+        request_delay = f.delay;
+      }
     }
     if (f.drop) {
       *out = Status::Unavailable("rpc to node " + std::to_string(node) +
@@ -493,7 +908,7 @@ sim::Task<void> Cluster::DeleteReplica(int node, TenantId tenant,
     *out = Status::Unavailable("node " + std::to_string(node) + " down");
     co_return;
   }
-  *out = co_await nodes_[node]->Delete(tenant, key, ctx);
+  *out = co_await NodeDelete(node, tenant, std::move(key), ctx, request_delay);
 }
 
 namespace {
@@ -545,7 +960,12 @@ sim::Task<Status> Cluster::Put(TenantId tenant, std::string key,
   Status result = Status::Unavailable("no live replica for slot " +
                                       std::to_string(slot));
   if (!targets.empty()) {
-    obs::SpanCollector* spans = nodes_[targets[0]]->scheduler().spans();
+    // Parallel mode mints and records the client-request span in the
+    // coordinator's own collector; node collectors are never touched from
+    // this thread.
+    obs::SpanCollector* spans = multi_ != nullptr
+                                    ? client_spans_.get()
+                                    : nodes_[targets[0]]->scheduler().spans();
     const TraceContext ctx =
         spans != nullptr ? spans->MintTrace() : TraceContext{};
     const SimTime start = loop_.Now();
@@ -592,7 +1012,9 @@ sim::Task<Status> Cluster::Delete(TenantId tenant, std::string key) {
   Status result = Status::Unavailable("no live replica for slot " +
                                       std::to_string(slot));
   if (!targets.empty()) {
-    obs::SpanCollector* spans = nodes_[targets[0]]->scheduler().spans();
+    obs::SpanCollector* spans = multi_ != nullptr
+                                    ? client_spans_.get()
+                                    : nodes_[targets[0]]->scheduler().spans();
     const TraceContext ctx =
         spans != nullptr ? spans->MintTrace() : TraceContext{};
     const SimTime start = loop_.Now();
@@ -647,10 +1069,15 @@ sim::Task<Result<std::string>> Cluster::Get(TenantId tenant, std::string key) {
   Result<std::string> result(Status::Unavailable(
       "no live replica for slot " + std::to_string(slot)));
   for (const int node : order) {
+    SimDuration request_delay = options_.rpc_latency;
     if (rpc_faults_ != nullptr) {
       const RpcFault f = rpc_faults_->OnRpc(tenant, node);
       if (f.delay > 0) {
-        co_await sim::SleepFor(loop_, f.delay);
+        if (multi_ == nullptr) {
+          co_await sim::SleepFor(loop_, f.delay);
+        } else {
+          request_delay = f.delay;
+        }
       }
       if (f.drop) {
         result = Result<std::string>(Status::Unavailable(
@@ -658,11 +1085,13 @@ sim::Task<Result<std::string>> Cluster::Get(TenantId tenant, std::string key) {
         continue;  // fail over to the next replica
       }
     }
-    obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
+    obs::SpanCollector* spans = multi_ != nullptr
+                                    ? client_spans_.get()
+                                    : nodes_[node]->scheduler().spans();
     const TraceContext ctx =
         spans != nullptr ? spans->MintTrace() : TraceContext{};
     const SimTime start = loop_.Now();
-    result = co_await nodes_[node]->Get(tenant, key, ctx);
+    result = co_await NodeGet(node, tenant, key, ctx, request_delay);
     RecordClientSpan(spans, ctx, AppRequest::kGet, tenant, start, loop_.Now(),
                      result.ok() ? result.value().size() : 0);
     if (result.status().code() != StatusCode::kUnavailable) {
@@ -724,15 +1153,33 @@ sim::Task<void> Cluster::MultiGetSlotGroup(
   ss.inflight += static_cast<int>(keys.size());
   // One client-request span covers the whole slot group; each member
   // lookup becomes a child span at the node.
-  obs::SpanCollector* spans = nodes_[node]->scheduler().spans();
+  obs::SpanCollector* spans = multi_ != nullptr
+                                  ? client_spans_.get()
+                                  : nodes_[node]->scheduler().spans();
   const TraceContext ctx =
       spans != nullptr ? spans->MintTrace() : TraceContext{};
   const SimTime start = loop_.Now();
-  sim::TaskGroup group(loop_);
-  for (const auto& [i, key] : keys) {
-    group.Spawn(NodeGetInto(nodes_[node].get(), tenant, key, ctx, &(*out)[i]));
+  if (multi_ == nullptr) {
+    sim::TaskGroup group(loop_);
+    for (const auto& [i, key] : keys) {
+      group.Spawn(
+          NodeGetInto(nodes_[node].get(), tenant, key, ctx, &(*out)[i]));
+    }
+    co_await group.Join();
+  } else {
+    // One message carries the whole group; the node fans out on its own
+    // loop and replies with results in key order.
+    std::vector<std::string> group_keys;
+    group_keys.reserve(keys.size());
+    for (const auto& [i, key] : keys) {
+      group_keys.push_back(key);
+    }
+    std::vector<Result<std::string>> results =
+        co_await NodeMultiGet(node, tenant, std::move(group_keys), ctx);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*out)[keys[i].first] = std::move(results[i]);
+    }
   }
-  co_await group.Join();
   RecordClientSpan(spans, ctx, AppRequest::kGet, tenant, start, loop_.Now(),
                    keys.size());
   ss.inflight -= static_cast<int>(keys.size());
@@ -783,29 +1230,26 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
     co_await sim::SleepFor(loop_, kGatePoll);
   }
 
-  kv::StorageNode& src = *nodes_[from];
-  kv::StorageNode& dst = *nodes_[to_node];
-  if (!dst.HasTenant(tenant)) {
-    // Best-effort registration; the provisioner assigns it a real share of
-    // the global reservation at its next split.
-    if (Status s = dst.AddTenant(tenant, Reservation{}); !s.ok()) {
-      co_return s;
-    }
-  }
-  lsm::LsmDb* src_db = src.partition(tenant);
-  lsm::LsmDb* dst_db = dst.partition(tenant);
-  if (src_db == nullptr || dst_db == nullptr) {
-    co_return Status::Internal("missing partition during migration");
+  // Best-effort registration; the provisioner assigns it a real share of
+  // the global reservation at its next split. (Node-side membership checks
+  // happen on the node's own loop in parallel mode.)
+  if (Status s = NodeEnsureTenant(to_node, tenant); !s.ok()) {
+    co_return s;
   }
 
   // Copy every live key of the migrating slot. The drain read and the
   // re-home writes are charged to the tenant as unattributed IO (no app
   // request class), so its GET/PUT profiles are not distorted. Each side
-  // gets a kMigration span in its own node's collector: the source span
-  // covers the scan + tombstoning, the destination span (linked to the
-  // source) covers the copy-in, and all device IO parents under them.
-  obs::SpanCollector* src_spans = src.scheduler().spans();
-  obs::SpanCollector* dst_spans = dst.scheduler().spans();
+  // gets a kMigration span — in its own node's collector (serial), or in
+  // the coordinator's client collector (parallel): the source span covers
+  // the scan + tombstoning, the destination span (linked to the source)
+  // covers the copy-in, and all device IO parents under them.
+  obs::SpanCollector* src_spans = multi_ != nullptr
+                                      ? client_spans_.get()
+                                      : nodes_[from]->scheduler().spans();
+  obs::SpanCollector* dst_spans = multi_ != nullptr
+                                      ? client_spans_.get()
+                                      : nodes_[to_node]->scheduler().spans();
   const TraceContext src_ctx =
       src_spans != nullptr ? src_spans->MintAlways() : TraceContext{};
   const TraceContext dst_ctx =
@@ -813,23 +1257,23 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
   const SimTime copy_start = loop_.Now();
   const iosched::IoTag drain_tag{tenant, AppRequest::kNone,
                                  iosched::InternalOp::kNone, src_ctx};
-  std::vector<std::pair<std::string, std::string>> moving;
-  Status scan = co_await src_db->ScanLive(
-      drain_tag, [&](std::string_view k, std::string_view v) {
-        if (shard_map_.SlotOfKey(k) == slot) {
-          moving.emplace_back(std::string(k), std::string(v));
-        }
-      });
-  if (!scan.ok()) {
-    co_return scan;
+  const char* const kMissing = "missing partition during migration";
+  std::vector<int> slot_vec(1, slot);
+  Result<std::vector<std::pair<std::string, std::string>>> scanned = co_await
+      NodeScanSlots(from, tenant, std::move(slot_vec), drain_tag, kMissing);
+  if (!scanned.ok()) {
+    co_return scanned.status();
   }
-  uint64_t moved_bytes = 0;
-  for (const auto& [k, v] : moving) {
-    if (Status s = co_await dst_db->Put(k, v, dst_ctx); !s.ok()) {
-      co_return s;
-    }
-    moved_bytes += k.size() + v.size();
+  std::vector<std::pair<std::string, std::string>> moving =
+      std::move(scanned.value());
+  const ApplyResult copy_in =
+      co_await NodeApplyOps(to_node, tenant, moving, {}, dst_ctx,
+                            iosched::InternalOp::kNone, kMissing);
+  if (!copy_in.status.ok()) {
+    co_return copy_in.status;
   }
+  const uint64_t moved_bytes =
+      copy_in.put_key_bytes + copy_in.put_value_bytes;
   // Flip the map only after the copy fully succeeded (re-running a failed
   // migration must still see the source's keys), then tombstone the moved
   // keys at the source — unless the source remains in the slot's replica
@@ -841,10 +1285,16 @@ sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
       std::find(post_replicas.begin(), post_replicas.end(), from) !=
       post_replicas.end();
   if (!from_still_replica) {
+    std::vector<std::string> dead_keys;
+    dead_keys.reserve(moving.size());
     for (const auto& [k, v] : moving) {
-      if (Status s = co_await src_db->Delete(k, src_ctx); !s.ok()) {
-        co_return s;
-      }
+      dead_keys.push_back(k);
+    }
+    const ApplyResult tombstoned =
+        co_await NodeApplyOps(from, tenant, {}, std::move(dead_keys), src_ctx,
+                              iosched::InternalOp::kNone, kMissing);
+    if (!tombstoned.status.ok()) {
+      co_return tombstoned.status;
     }
   }
   if (src_spans != nullptr) {
@@ -911,7 +1361,7 @@ Status Cluster::CrashNode(int node) {
     return Status::FailedPrecondition("node " + std::to_string(node) +
                                       " already down");
   }
-  nodes_[node]->Crash();
+  NodeCrash(node);
   node_state_[node].alive = false;
   node_state_[node].syncing = false;
   // Immediately move the dead node's reservation mass to the survivors so
@@ -928,7 +1378,7 @@ sim::Task<Status> Cluster::RestartNode(int node) {
     co_return Status::FailedPrecondition("node " + std::to_string(node) +
                                          " is not crashed");
   }
-  if (Status s = co_await nodes_[node]->Restart(); !s.ok()) {
+  if (Status s = co_await NodeRestart(node); !s.ok()) {
     co_return s;
   }
   node_state_[node].alive = true;
@@ -985,11 +1435,6 @@ sim::Task<Status> Cluster::CatchUpTenant(TenantId tenant, int node) {
     co_return Status::Ok();
   }
   repl_[node].catchup_lag_slots += total_slots;
-  kv::StorageNode& dst = *nodes_[node];
-  lsm::LsmDb* dst_db = dst.partition(tenant);
-  if (dst_db == nullptr) {
-    co_return Status::Internal("missing partition during catch-up");
-  }
   for (const auto& [src_node, slots] : by_source) {
     // Gate the group's slots like a migration: new requests suspend and
     // in-flight ones drain, so a write cannot race the copy and be
@@ -1022,74 +1467,56 @@ sim::Task<Status> Cluster::CatchUpTenant(TenantId tenant, int node) {
       co_await sim::SleepFor(loop_, kGatePoll);
     }
 
-    kv::StorageNode& src = *nodes_[src_node];
-    lsm::LsmDb* src_db = src.partition(tenant);
-    if (src_db == nullptr) {
-      co_return Status::Internal("missing source partition during catch-up");
-    }
     // Both sides bill the copy stream as PUT-triggered REPL work: the scan
     // on the source and the copy-in on the restarted node all carry
     // InternalOp::kReplicate, so recovery lands in each node's attribution
     // matrix and interval pricing like any other background amplification.
-    src.tracker().RecordTrigger(tenant, AppRequest::kPut,
-                                iosched::InternalOp::kReplicate);
-    dst.tracker().RecordTrigger(tenant, AppRequest::kPut,
-                                iosched::InternalOp::kReplicate);
+    NodeRecordReplTrigger(src_node, tenant);
+    NodeRecordReplTrigger(node, tenant);
     const iosched::IoTag repl_tag{tenant, AppRequest::kPut,
                                   iosched::InternalOp::kReplicate,
                                   TraceContext{}};
-    const auto in_group = [&](std::string_view k) {
-      const int slot = shard_map_.SlotOfKey(k);
-      return std::find(slots.begin(), slots.end(), slot) != slots.end();
-    };
+    Result<std::vector<std::pair<std::string, std::string>>> src_scan =
+        co_await NodeScanSlots(src_node, tenant, slots, repl_tag,
+                               "missing source partition during catch-up");
+    if (!src_scan.ok()) {
+      NodeRecordReplDone(src_node, tenant);
+      NodeRecordReplDone(node, tenant);
+      co_return src_scan.status();
+    }
     std::map<std::string, std::string> authoritative;
-    Status scan = co_await src_db->ScanLive(
-        repl_tag, [&](std::string_view k, std::string_view v) {
-          if (in_group(k)) {
-            authoritative.emplace(std::string(k), std::string(v));
-          }
-        });
-    if (!scan.ok()) {
-      src.tracker().RecordInternalOpDone(tenant,
-                                         iosched::InternalOp::kReplicate);
-      dst.tracker().RecordInternalOpDone(tenant,
-                                         iosched::InternalOp::kReplicate);
-      co_return scan;
+    for (auto& [k, v] : src_scan.value()) {
+      authoritative.emplace(std::move(k), std::move(v));
     }
     // WAL replay may have resurrected keys deleted cluster-wide while the
-    // node was down; sweep anything the source no longer has.
+    // node was down; sweep anything the source no longer has. The slot
+    // filter runs node-side (pure key hash); the authoritative diff runs
+    // here against the map we just assembled.
+    Result<std::vector<std::pair<std::string, std::string>>> dst_scan =
+        co_await NodeScanSlots(node, tenant, slots, repl_tag,
+                               "missing partition during catch-up");
     std::vector<std::string> stale;
-    Status dst_scan = co_await dst_db->ScanLive(
-        repl_tag, [&](std::string_view k, std::string_view /*v*/) {
-          if (in_group(k) && authoritative.count(std::string(k)) == 0) {
-            stale.emplace_back(k);
-          }
-        });
-    Status copy = dst_scan;
+    Status copy = dst_scan.status();
     if (copy.ok()) {
+      for (auto& [k, v] : dst_scan.value()) {
+        if (authoritative.count(k) == 0) {
+          stale.push_back(std::move(k));
+        }
+      }
+      std::vector<std::pair<std::string, std::string>> puts;
+      puts.reserve(authoritative.size());
       for (const auto& [k, v] : authoritative) {
-        copy = co_await dst_db->Put(k, v, TraceContext{},
-                                    iosched::InternalOp::kReplicate);
-        if (!copy.ok()) {
-          break;
-        }
-        ++repl_[node].catchup_keys;
-        repl_[node].catchup_bytes += v.size();
+        puts.emplace_back(k, v);
       }
+      const ApplyResult applied = co_await NodeApplyOps(
+          node, tenant, std::move(puts), std::move(stale), TraceContext{},
+          iosched::InternalOp::kReplicate, "missing partition during catch-up");
+      repl_[node].catchup_keys += applied.puts_applied;
+      repl_[node].catchup_bytes += applied.put_value_bytes;
+      copy = applied.status;
     }
-    if (copy.ok()) {
-      for (const std::string& k : stale) {
-        copy = co_await dst_db->Delete(k, TraceContext{},
-                                       iosched::InternalOp::kReplicate);
-        if (!copy.ok()) {
-          break;
-        }
-      }
-    }
-    src.tracker().RecordInternalOpDone(tenant,
-                                       iosched::InternalOp::kReplicate);
-    dst.tracker().RecordInternalOpDone(tenant,
-                                       iosched::InternalOp::kReplicate);
+    NodeRecordReplDone(src_node, tenant);
+    NodeRecordReplDone(node, tenant);
     if (!copy.ok()) {
       co_return copy;
     }

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/shard_map.h"
@@ -30,7 +31,10 @@
 #include "src/kv/node_stats.h"
 #include "src/kv/storage_node.h"
 #include "src/obs/audit.h"
+#include "src/obs/span.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/multi_loop.h"
+#include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 namespace libra::cluster {
@@ -111,6 +115,17 @@ struct ClusterOptions {
   // factor (a stand-in for unobserved amplification at admission time).
   double admission_utilization = 0.95;
   double admission_headroom = 1.0;
+  // Disables the admission check entirely (AddTenant/UpdateGlobalReservation
+  // always admit). The check walks every admitted tenant per hosting node,
+  // which is O(tenants^2) across a mega-scale setup phase; consolidation
+  // experiments that only study steady-state scheduling turn it off.
+  bool admission_enabled = true;
+  // One-way cross-node RPC latency. 0 (default) keeps the historical
+  // instantaneous-RPC behavior and is required with the single-EventLoop
+  // constructor; the parallel (MultiLoop) constructor requires it positive
+  // and >= the engine's lookahead, since it bounds every cross-node message
+  // delay the conservative synchronization relies on.
+  SimDuration rpc_latency = 0;
   // Group MultiGet fan-out by shard slot: same-slot keys share one routing
   // gate (one AwaitRoutable instead of one per key) and are issued to the
   // home node as one batch whose lookups still proceed concurrently. Off by
@@ -162,7 +177,18 @@ std::string ClusterStatsToJson(const ClusterStats& stats);
 
 class Cluster {
  public:
+  // Serial cluster: every node shares `loop` and cross-node calls are
+  // direct (options.rpc_latency must be 0) — the historical engine.
   Cluster(sim::EventLoop& loop, ClusterOptions options);
+
+  // Parallel cluster: `engine` must have options.num_nodes + 1 loops — loop
+  // 0 runs clients, routing, the provisioner, and fault schedules; loop
+  // i + 1 runs node i. Every cross-node interaction becomes a MultiLoop
+  // message with options.rpc_latency as the request/response leg, so
+  // options.rpc_latency must be positive and >= engine.lookahead(). Output
+  // is byte-identical across engine thread counts.
+  Cluster(sim::MultiLoop& engine, ClusterOptions options);
+
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -225,11 +251,30 @@ class Cluster {
     rpc_faults_ = injector;
   }
 
+  // Synchronous GC pause on one node's device, routed through the node's
+  // own loop in parallel mode (FaultInjector::InjectGcStall forwards here).
+  void InjectGcStall(int node, SimDuration stall);
+
   // --- introspection ---
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   kv::StorageNode& node(int i) { return *nodes_[i]; }
   const ShardMap& shard_map() const { return shard_map_; }
+  // Parallel-engine introspection. In parallel mode, reading node state
+  // (node(i), Snapshot, GlobalNormalizedTotal) is only safe while the
+  // engine is quiesced: before RunUntil/Run, after it returns, or inside a
+  // MultiLoop barrier hook.
+  bool parallel() const { return multi_ != nullptr; }
+  sim::MultiLoop* multi_loop() { return multi_; }
+  SimDuration lookahead() const {
+    return multi_ != nullptr ? multi_->lookahead() : 0;
+  }
+  // Coordinator-side collector for client-request and migration spans in
+  // parallel mode (nullptr in serial mode, where those spans land in the
+  // home node's collector, and when tracing is off).
+  const obs::SpanCollector* client_spans() const {
+    return client_spans_.get();
+  }
   GlobalProvisioner& provisioner() { return *provisioner_; }
   const obs::RebalanceLog& rebalance_log() const { return rebalance_log_; }
   GlobalReservation global_reservation(iosched::TenantId tenant) const;
@@ -294,6 +339,98 @@ class Cluster {
                                 std::string key, TraceContext ctx,
                                 Status* out);
 
+  // --- cross-node seam ---
+  //
+  // Every interaction with a StorageNode funnels through these. Serial
+  // mode: a direct call on the shared loop, byte-identical to the
+  // historical inlined paths. Parallel mode: a MultiLoop message carrying
+  // the arguments to the node's loop (request leg `request_delay`, response
+  // leg rpc_latency), where a detached server coroutine performs the
+  // operation; the reply message completes a OneShot on the coordinator
+  // loop. `request_delay` lets an injected RPC delay replace the request
+  // leg (which is why FaultInjector delays must stay >= the lookahead).
+
+  int NodeLoopIndex(int node) const { return node + 1; }
+
+  sim::Task<Status> NodePut(int node, iosched::TenantId tenant,
+                            std::string key, std::string value,
+                            TraceContext ctx, SimDuration request_delay);
+  sim::Task<Status> NodeDelete(int node, iosched::TenantId tenant,
+                               std::string key, TraceContext ctx,
+                               SimDuration request_delay);
+  sim::Task<Result<std::string>> NodeGet(int node, iosched::TenantId tenant,
+                                         std::string key, TraceContext ctx,
+                                         SimDuration request_delay);
+  sim::Task<void> PutServer(int node, iosched::TenantId tenant,
+                            std::string key, std::string value,
+                            TraceContext ctx, sim::OneShot<Status>* done);
+  sim::Task<void> DeleteServer(int node, iosched::TenantId tenant,
+                               std::string key, TraceContext ctx,
+                               sim::OneShot<Status>* done);
+  sim::Task<void> GetServer(int node, iosched::TenantId tenant,
+                            std::string key, TraceContext ctx,
+                            sim::OneShot<Result<std::string>>* done);
+
+  // Batched slot-group lookup: one message carries the whole key group; the
+  // node fans the lookups out concurrently on its own loop and replies with
+  // the results in key order.
+  sim::Task<std::vector<Result<std::string>>> NodeMultiGet(
+      int node, iosched::TenantId tenant, std::vector<std::string> keys,
+      TraceContext ctx);
+  sim::Task<void> MultiGetServer(
+      int node, iosched::TenantId tenant, std::vector<std::string> keys,
+      TraceContext ctx,
+      sim::OneShot<std::vector<Result<std::string>>>* done);
+
+  // Copy-stream primitives shared by migration and catch-up. ScanSlots
+  // reads every live key whose shard slot is in `slots`, in user-key order;
+  // `missing_msg` is the kInternal message when the partition is absent.
+  sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
+  NodeScanSlots(int node, iosched::TenantId tenant, std::vector<int> slots,
+                iosched::IoTag tag, const char* missing_msg);
+  sim::Task<void> ScanSlotsServer(
+      int node, iosched::TenantId tenant, std::vector<int> slots,
+      iosched::IoTag tag, const char* missing_msg,
+      sim::OneShot<Result<std::vector<std::pair<std::string, std::string>>>>*
+          done);
+
+  // Applies `puts` then `deletes` sequentially on the node's partition,
+  // stopping at the first error; counts cover the successful prefix.
+  struct ApplyResult {
+    Status status;
+    uint64_t puts_applied = 0;
+    uint64_t put_key_bytes = 0;
+    uint64_t put_value_bytes = 0;
+    uint64_t deletes_applied = 0;
+  };
+  sim::Task<ApplyResult> NodeApplyOps(
+      int node, iosched::TenantId tenant,
+      std::vector<std::pair<std::string, std::string>> puts,
+      std::vector<std::string> deletes, TraceContext ctx,
+      iosched::InternalOp op, const char* missing_msg);
+  sim::Task<void> ApplyOpsServer(
+      int node, iosched::TenantId tenant,
+      std::vector<std::pair<std::string, std::string>> puts,
+      std::vector<std::string> deletes, TraceContext ctx,
+      iosched::InternalOp op, const char* missing_msg,
+      sim::OneShot<ApplyResult>* done);
+
+  // One-way control-plane seams (no reply; the node-side closure performs
+  // the membership/registration checks so no node state is read
+  // cross-thread).
+  Status NodeEnsureTenant(int node, iosched::TenantId tenant);
+  // Serial mode propagates the node's status; parallel mode is
+  // fire-and-forget (the shares were validated at admission) and returns
+  // Ok.
+  Status NodeInstallReservation(int node, iosched::TenantId tenant,
+                                iosched::Reservation share);
+  Status NodeZeroReservation(int node, iosched::TenantId tenant);
+  void NodeRecordReplTrigger(int node, iosched::TenantId tenant);
+  void NodeRecordReplDone(int node, iosched::TenantId tenant);
+  void NodeCrash(int node);
+  sim::Task<Status> NodeRestart(int node);
+  sim::Task<void> RestartServer(int node, sim::OneShot<Status>* done);
+
   // Re-splits every tenant's global reservation over the currently-alive
   // hosting nodes (no admission check: lost capacity must not strand
   // reservation mass).
@@ -321,7 +458,12 @@ class Cluster {
   Status ApplySplit(iosched::TenantId tenant,
                     const std::map<int, iosched::Reservation>& split);
 
+  // Shared constructor tail: node creation (on per-node loops when
+  // `engine` is set), span-id namespacing, provisioner.
+  void Init(sim::MultiLoop* engine);
+
   sim::EventLoop& loop_;
+  sim::MultiLoop* multi_ = nullptr;
   ClusterOptions options_;
   ShardMap shard_map_;
   std::vector<std::unique_ptr<kv::StorageNode>> nodes_;
@@ -352,6 +494,11 @@ class Cluster {
   };
   std::vector<ReplTelemetry> repl_;
   RpcFaultInjector* rpc_faults_ = nullptr;
+  // Parallel mode only: client-request and migration spans are recorded
+  // here (coordinator loop) instead of the home node's collector, so no
+  // collector is ever touched from two threads. Ids are namespaced with
+  // seed num_nodes + 1 (nodes use 1..num_nodes).
+  std::unique_ptr<obs::SpanCollector> client_spans_;
   obs::RebalanceLog rebalance_log_;
   int active_migrations_ = 0;  // MigrateShard calls currently draining/copying
   uint64_t multiget_groups_ = 0;

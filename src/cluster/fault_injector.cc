@@ -1,5 +1,8 @@
 #include "src/cluster/fault_injector.h"
 
+#include <cstdio>
+#include <string>
+
 #include "src/sim/task.h"
 
 namespace libra::cluster {
@@ -12,12 +15,36 @@ sim::Task<void> RunRestart(Cluster* cluster, int node) {
 
 }  // namespace
 
+Status CheckFaultDelayFloor(const FaultInjectorOptions& options,
+                            SimDuration lookahead) {
+  if (lookahead <= 0 || options.rpc_delay_rate <= 0.0) {
+    return Status::Ok();
+  }
+  if (options.rpc_delay_min < lookahead) {
+    return Status::InvalidArgument(
+        "rpc_delay_min " + std::to_string(options.rpc_delay_min) +
+        "ns is below the parallel engine's conservative lookahead " +
+        std::to_string(lookahead) +
+        "ns: an injected delay replaces the request leg's cross-node "
+        "latency, so a shorter draw could deliver into an epoch that "
+        "already ran and diverge from the single-threaded schedule (raise "
+        "rpc_delay_min or lower the engine lookahead)");
+  }
+  return Status::Ok();
+}
+
 FaultInjector::FaultInjector(sim::EventLoop& loop, Cluster& cluster,
                              FaultInjectorOptions options)
     : loop_(loop),
       cluster_(cluster),
       options_(options),
       rng_(options.seed) {
+  config_status_ = CheckFaultDelayFloor(options_, cluster_.lookahead());
+  if (!config_status_.ok()) {
+    std::fprintf(stderr, "FaultInjector: %s\n",
+                 config_status_.message().c_str());
+    return;  // RPC hook stays uninstalled; crash/GC faults still work
+  }
   if (options_.rpc_drop_rate > 0.0 || options_.rpc_delay_rate > 0.0) {
     cluster_.SetRpcFaultInjector(this);
     installed_ = true;
@@ -59,7 +86,7 @@ void FaultInjector::ScheduleRestart(int node, SimTime at) {
 }
 
 void FaultInjector::InjectGcStall(int node, SimDuration stall) {
-  cluster_.node(node).device().InjectGcStall(stall);
+  cluster_.InjectGcStall(node, stall);
 }
 
 RpcFault FaultInjector::OnRpc(iosched::TenantId /*tenant*/, int /*node*/) {

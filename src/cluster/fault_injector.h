@@ -33,9 +33,21 @@ struct FaultInjectorOptions {
   // a fault-free run is byte-identical to one without an injector).
   double rpc_drop_rate = 0.0;
   double rpc_delay_rate = 0.0;
+  // On a parallel cluster an injected delay REPLACES the request leg's
+  // cross-node latency, so rpc_delay_min must be at least the engine's
+  // conservative lookahead (see CheckFaultDelayFloor).
   SimDuration rpc_delay_min = 100 * kMicrosecond;
   SimDuration rpc_delay_max = 2 * kMillisecond;
 };
+
+// Validates a fault configuration against a parallel engine's conservative
+// lookahead. An injected RPC delay replaces the request leg's cross-node
+// latency, so every possible draw must stay at or above the lookahead —
+// otherwise the delayed message could land inside an epoch that already
+// ran and silently diverge from the single-threaded schedule. Returns Ok
+// for serial engines (lookahead <= 0) or configs that never inject delays.
+Status CheckFaultDelayFloor(const FaultInjectorOptions& options,
+                            SimDuration lookahead);
 
 class FaultInjector : public RpcFaultInjector {
  public:
@@ -60,6 +72,11 @@ class FaultInjector : public RpcFaultInjector {
   // RpcFaultInjector: one RNG draw per configured fault family per RPC.
   RpcFault OnRpc(iosched::TenantId tenant, int node) override;
 
+  // Non-Ok when the configuration failed CheckFaultDelayFloor against the
+  // cluster's engine at construction; the RPC hook is then left
+  // uninstalled (crash and GC-stall faults still work).
+  const Status& config_status() const { return config_status_; }
+
   uint64_t crashes_injected() const { return crashes_injected_; }
   uint64_t restarts_injected() const { return restarts_injected_; }
   uint64_t rpcs_dropped() const { return rpcs_dropped_; }
@@ -72,6 +89,7 @@ class FaultInjector : public RpcFaultInjector {
   Cluster& cluster_;
   FaultInjectorOptions options_;
   uint64_t rng_;
+  Status config_status_;
   bool installed_ = false;
   uint64_t crashes_injected_ = 0;
   uint64_t restarts_injected_ = 0;

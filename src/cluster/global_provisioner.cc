@@ -41,6 +41,24 @@ void GlobalProvisioner::Start() {
     return;
   }
   running_ = true;
+  if (sim::MultiLoop* multi = cluster_.multi_loop(); multi != nullptr) {
+    // Parallel engine: the interval step reads every node's tracker and
+    // audit log, which is only safe with all node loops quiesced — so the
+    // timer is a re-arming barrier hook instead of a loop event. A stale
+    // hook after Stop() fires once as a no-op (hooks cannot be cancelled).
+    auto rearm = [this, multi](auto&& self) -> void {
+      multi->ScheduleBarrierAt(multi->Now() + options_.interval,
+                               [this, multi, self] {
+                                 if (!running_) {
+                                   return;
+                                 }
+                                 RunIntervalStep();
+                                 self(self);
+                               });
+    };
+    rearm(rearm);
+    return;
+  }
   auto reschedule = [this](auto&& self) -> void {
     pending_event_ = loop_.ScheduleAfter(options_.interval, [this, self] {
       if (!running_) {

@@ -140,6 +140,35 @@ uint64_t EventLoop::RunUntil(SimTime deadline) {
   return dispatched;
 }
 
+uint64_t EventLoop::RunBefore(SimTime horizon) {
+  stopped_ = false;
+  uint64_t dispatched = 0;
+  while (!stopped_) {
+    if (!SkimCancelled() || heap_.front().when >= horizon) {
+      break;
+    }
+    Callback cb = TakeTop();
+    cb();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::AdvanceTo(SimTime t) {
+  if (t <= now_) {
+    return;
+  }
+  assert(!SkimCancelled() || heap_.front().when >= t);
+  now_ = t;
+}
+
+std::optional<SimTime> EventLoop::NextEventTime() {
+  if (!SkimCancelled()) {
+    return std::nullopt;
+  }
+  return heap_.front().when;
+}
+
 bool EventLoop::RunOne() {
   if (!SkimCancelled()) {
     return false;

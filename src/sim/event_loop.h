@@ -21,6 +21,7 @@
 #define LIBRA_SRC_SIM_EVENT_LOOP_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/common/units.h"
@@ -63,6 +64,22 @@ class EventLoop {
   // Runs events with timestamp <= `deadline`, then advances the clock to
   // `deadline` (even if idle). Returns the number of events dispatched.
   uint64_t RunUntil(SimTime deadline);
+
+  // Runs events with timestamp strictly before `horizon` and leaves the
+  // clock at the last dispatched event (an idle loop does not advance).
+  // This is the epoch-step primitive of MultiLoop: the barrier advances
+  // clocks explicitly with AdvanceTo, and the exclusive horizon is what
+  // keeps an event scheduled exactly at a barrier timestamp in the epoch
+  // the serial engine would run it in. Returns events dispatched.
+  uint64_t RunBefore(SimTime horizon);
+
+  // Advances the clock to `t` when it is behind (no-op otherwise). The
+  // caller must guarantee no pending event is earlier than `t` — the epoch
+  // barrier does, because `t` is the minimum next event time across loops.
+  void AdvanceTo(SimTime t);
+
+  // Timestamp of the next live event, or nullopt when idle.
+  std::optional<SimTime> NextEventTime();
 
   // Convenience: RunUntil(Now() + d).
   uint64_t RunFor(SimDuration d) { return RunUntil(now_ + d); }

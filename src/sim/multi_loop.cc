@@ -1,0 +1,250 @@
+#include "src/sim/multi_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+namespace libra::sim {
+
+MultiLoop::MultiLoop(int num_loops, MultiLoopOptions options)
+    : options_(options) {
+  assert(num_loops >= 1);
+  assert(options_.lookahead > 0 && "MultiLoop requires a positive lookahead");
+  if (options_.threads < 1) {
+    options_.threads = 1;
+  }
+  loops_.reserve(static_cast<size_t>(num_loops));
+  for (int i = 0; i < num_loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+  outbox_.resize(static_cast<size_t>(num_loops));
+  const int pool = std::min(options_.threads, num_loops) - 1;
+  workers_.reserve(static_cast<size_t>(std::max(0, pool)));
+  for (int i = 0; i < pool; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+MultiLoop::~MultiLoop() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+}
+
+Status MultiLoop::CheckDelay(SimDuration delay) const {
+  if (delay < options_.lookahead) {
+    return Status::InvalidArgument(
+        "cross-loop delay " + std::to_string(delay) +
+        "ns is below the conservative-sync lookahead " +
+        std::to_string(options_.lookahead) +
+        "ns: a message could arrive inside an epoch that already ran, "
+        "diverging from the serial engine (raise the delay or lower the "
+        "lookahead)");
+  }
+  return Status::Ok();
+}
+
+void MultiLoop::Send(int from, int to, SimDuration delay, SmallFn cb) {
+  assert(from >= 0 && from < num_loops());
+  assert(to >= 0 && to < num_loops());
+  if (Status s = CheckDelay(delay); !s.ok()) {
+    std::fprintf(stderr, "MultiLoop::Send: %s\n", s.message().c_str());
+    std::abort();
+  }
+  Outbox& ob = outbox_[static_cast<size_t>(from)];
+  ob.msgs.push_back(Message{loops_[static_cast<size_t>(from)]->Now() + delay,
+                            static_cast<uint32_t>(from),
+                            static_cast<uint32_t>(to), ob.next_seq++,
+                            std::move(cb)});
+}
+
+void MultiLoop::ScheduleBarrierAt(SimTime when, std::function<void()> hook) {
+  if (when < barrier_now_) {
+    when = barrier_now_;
+  }
+  hooks_.push_back(Hook{when, hook_seq_++, std::move(hook)});
+}
+
+void MultiLoop::Exchange() {
+  std::vector<Message> all;
+  for (Outbox& ob : outbox_) {
+    if (ob.msgs.empty()) {
+      continue;
+    }
+    all.insert(all.end(), std::make_move_iterator(ob.msgs.begin()),
+               std::make_move_iterator(ob.msgs.end()));
+    ob.msgs.clear();
+  }
+  if (all.empty()) {
+    return;
+  }
+  messages_sent_ += all.size();
+  // Stable cross-thread order: delivery time, then sender, then the
+  // sender's own send order. Injection in this order makes the receiving
+  // loop's FIFO tie-break at equal timestamps schedule-independent.
+  std::sort(all.begin(), all.end(), [](const Message& a, const Message& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    if (a.from != b.from) {
+      return a.from < b.from;
+    }
+    return a.seq < b.seq;
+  });
+  for (Message& m : all) {
+    // The lookahead floor guarantees delivery at or after the next horizon,
+    // which is ahead of every receiver's clock — never clamped.
+    assert(m.when >= loops_[m.to]->Now());
+    loops_[m.to]->ScheduleAt(m.when, std::move(m.cb));
+  }
+}
+
+std::optional<SimTime> MultiLoop::NextBarrierTime() {
+  std::optional<SimTime> g;
+  for (auto& l : loops_) {
+    const std::optional<SimTime> t = l->NextEventTime();
+    if (t.has_value() && (!g.has_value() || *t < *g)) {
+      g = t;
+    }
+  }
+  for (const Hook& h : hooks_) {
+    const SimTime t = std::max(h.when, barrier_now_);
+    if (!g.has_value() || t < *g) {
+      g = t;
+    }
+  }
+  return g;
+}
+
+void MultiLoop::RunDueHooks(SimTime barrier) {
+  if (hooks_.empty()) {
+    return;
+  }
+  // Snapshot the due set: hooks registered by a running hook (re-arming
+  // timers) wait for the next barrier. (when, seq) order keeps multiple
+  // due hooks deterministic.
+  std::vector<Hook> due;
+  std::vector<Hook> rest;
+  for (Hook& h : hooks_) {
+    (h.when <= barrier ? due : rest).push_back(std::move(h));
+  }
+  hooks_ = std::move(rest);
+  std::sort(due.begin(), due.end(), [](const Hook& a, const Hook& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  });
+  for (Hook& h : due) {
+    h.fn();
+  }
+}
+
+uint64_t MultiLoop::RunEpochs(bool bounded, SimTime deadline) {
+  uint64_t dispatched = 0;
+  for (;;) {
+    Exchange();
+    const std::optional<SimTime> g = NextBarrierTime();
+    if (!g.has_value() || (bounded && *g > deadline)) {
+      break;
+    }
+    const SimTime barrier = *g;
+    for (auto& l : loops_) {
+      l->AdvanceTo(barrier);
+    }
+    barrier_now_ = barrier;
+    RunDueHooks(barrier);
+    // Exclusive horizon: an event exactly at `deadline` must dispatch (the
+    // serial RunUntil deadline is inclusive), while events exactly at an
+    // interior barrier time H belong to the NEXT epoch, whose barrier will
+    // be exactly H — the same instant the serial engine runs them.
+    SimTime horizon = barrier + options_.lookahead;
+    if (bounded && horizon > deadline) {
+      horizon = deadline + 1;
+    }
+    dispatched += StepAll(horizon);
+    ++epochs_;
+  }
+  if (bounded) {
+    for (auto& l : loops_) {
+      l->AdvanceTo(deadline);
+    }
+    if (barrier_now_ < deadline) {
+      barrier_now_ = deadline;
+    }
+  }
+  return dispatched;
+}
+
+uint64_t MultiLoop::RunUntil(SimTime deadline) {
+  return RunEpochs(/*bounded=*/true, deadline);
+}
+
+uint64_t MultiLoop::Run() {
+  return RunEpochs(/*bounded=*/false,
+                   std::numeric_limits<SimTime>::max());
+}
+
+uint64_t MultiLoop::StepAll(SimTime horizon) {
+  step_horizon_ = horizon;
+  next_loop_.store(0, std::memory_order_relaxed);
+  step_dispatched_.store(0, std::memory_order_relaxed);
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++epoch_gen_;
+      workers_running_ = static_cast<int>(workers_.size());
+    }
+    cv_start_.notify_all();
+  }
+  StepWorker();
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return workers_running_ == 0; });
+  }
+  return step_dispatched_.load(std::memory_order_relaxed);
+}
+
+void MultiLoop::StepWorker() {
+  const int n = num_loops();
+  for (;;) {
+    const int i = next_loop_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      return;
+    }
+    step_dispatched_.fetch_add(
+        loops_[static_cast<size_t>(i)]->RunBefore(step_horizon_),
+        std::memory_order_relaxed);
+  }
+}
+
+void MultiLoop::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk,
+                     [this, seen] { return shutdown_ || epoch_gen_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = epoch_gen_;
+    }
+    StepWorker();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--workers_running_ == 0) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace libra::sim

@@ -14,6 +14,7 @@
 #include "src/fs/sim_fs.h"
 #include "src/iosched/cost_model.h"
 #include "src/iosched/scheduler.h"
+#include "src/lsm/db.h"
 #include "src/lsm/format.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/wal.h"
@@ -199,6 +200,57 @@ void BM_WalGroupCommit(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * qd);
 }
 BENCHMARK(BM_WalGroupCommit)->Arg(1)->Arg(8)->Arg(32);
+
+// One bounded range scan per iteration through the LSM k-way merge path:
+// the window overlaps the memtable and several flushed tables, so every
+// scan exercises cursor seeding, heap merging, newest-version-wins dedup,
+// and tombstone shadowing (every 7th key is deleted). Arg = scan limit in
+// keys; items = live entries returned.
+void BM_ScanMerge(benchmark::State& state) {
+  sim::EventLoop loop;
+  ssd::SsdDevice device(loop, ssd::Intel320Profile());
+  device.Prefill(256 * kMiB);
+  iosched::IoScheduler sched(
+      loop, device, std::make_unique<iosched::ExactCostModel>(MicroTable()));
+  sched.SetAllocation(1, 100000.0);
+  fs::SimFs fs(sched, device);
+  lsm::LsmOptions opt;
+  opt.write_buffer_bytes = 64 * 1024;  // many small tables in the merge
+  lsm::LsmDb db(loop, fs, sched, 1, "bench_scan", opt);
+  if (!db.Open().ok()) {
+    state.SkipWithError("lsm open failed");
+    return;
+  }
+  sim::Detach([](lsm::LsmDb* d) -> sim::Task<void> {
+    char k[32];
+    for (int i = 0; i < 4096; ++i) {
+      std::snprintf(k, sizeof(k), "key%06d", i);
+      co_await d->Put(k, std::string(128, 'v'));
+      if (i % 7 == 0) {
+        co_await d->Delete(k);
+      }
+    }
+    co_await d->WaitIdle();
+  }(&db));
+  loop.Run();
+  const int span = static_cast<int>(state.range(0));
+  Rng rng(11);
+  char key[32];
+  uint64_t returned = 0;
+  for (auto _ : state) {
+    const int start = static_cast<int>(rng.NextU64(4096 - span));
+    std::snprintf(key, sizeof(key), "key%06d", start);
+    sim::Detach([](lsm::LsmDb* d, std::string s, size_t lim,
+                   uint64_t* out) -> sim::Task<void> {
+      const lsm::LsmDb::ScanResult r = co_await d->Scan(s, "", lim);
+      *out += r.entries.size();
+    }(&db, key, static_cast<size_t>(span), &returned));
+    loop.Run();
+  }
+  benchmark::DoNotOptimize(returned);
+  state.SetItemsProcessed(static_cast<int64_t>(returned));
+}
+BENCHMARK(BM_ScanMerge)->Arg(16)->Arg(128);
 
 // One 16-key MultiGet per iteration through the cluster routing layer,
 // keys resident in memtables (zero simulated IO time): measures the

@@ -21,11 +21,14 @@ namespace {
 constexpr SimDuration kGatePoll = 200 * kMicrosecond;
 
 Status ValidateGlobal(const GlobalReservation& r) {
-  if (!(r.get_rps >= 0.0) || !(r.put_rps >= 0.0)) {
-    return Status::InvalidArgument(
-        "global reservation rates must be finite and non-negative (get_rps=" +
-        std::to_string(r.get_rps) + ", put_rps=" + std::to_string(r.put_rps) +
-        ")");
+  for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests; ++a) {
+    const auto app = static_cast<AppRequest>(a);
+    if (!(r.RateOf(app) >= 0.0)) {
+      return Status::InvalidArgument(
+          "global reservation rates must be finite and non-negative (" +
+          std::string(iosched::AppRequestName(app)) +
+          "=" + std::to_string(r.RateOf(app)) + ")");
+    }
   }
   return Status::Ok();
 }
@@ -213,6 +216,26 @@ sim::Task<std::vector<Result<std::string>>> TenantHandle::MultiGet(
   }
   co_await group.Join();
   co_return out;
+}
+
+sim::Task<Result<ScanEntries>> TenantHandle::Scan(const std::string& start,
+                                                  const std::string& end,
+                                                  size_t limit) {
+  if (!valid()) {
+    co_return Result<ScanEntries>(
+        Status::FailedPrecondition("invalid tenant handle"));
+  }
+  RetryState retry(cluster_->options_.retry, cluster_->loop_);
+  for (;;) {
+    Result<ScanEntries> r =
+        co_await cluster_->Scan(tenant_, start, end, limit);
+    if (retry.Exhausted(r.status())) {
+      co_return retry.deadline_hit
+          ? Result<ScanEntries>(retry.DeadlineError(r.status()))
+          : r;
+    }
+    co_await retry.Backoff();
+  }
 }
 
 // --- Cluster ---
@@ -406,6 +429,32 @@ sim::Task<void> Cluster::MultiGetServer(
                });
 }
 
+sim::Task<lsm::LsmDb::ScanResult> Cluster::NodeScan(
+    int node, TenantId tenant, std::string start, std::string end,
+    size_t limit, TraceContext ctx, SimDuration request_delay) {
+  if (multi_ == nullptr) {
+    co_return co_await nodes_[node]->Scan(tenant, start, end, limit, ctx);
+  }
+  sim::OneShot<lsm::LsmDb::ScanResult> done(loop_);
+  multi_->Send(0, NodeLoopIndex(node), request_delay,
+               [this, node, tenant, start = std::move(start),
+                end = std::move(end), limit, ctx, &done]() mutable {
+                 sim::Detach(ScanServer(node, tenant, std::move(start),
+                                        std::move(end), limit, ctx, &done));
+               });
+  co_return co_await done.Wait();
+}
+
+sim::Task<void> Cluster::ScanServer(
+    int node, TenantId tenant, std::string start, std::string end,
+    size_t limit, TraceContext ctx,
+    sim::OneShot<lsm::LsmDb::ScanResult>* done) {
+  lsm::LsmDb::ScanResult r =
+      co_await nodes_[node]->Scan(tenant, start, end, limit, ctx);
+  multi_->Send(NodeLoopIndex(node), 0, options_.rpc_latency,
+               [done, r = std::move(r)]() mutable { done->Set(std::move(r)); });
+}
+
 sim::Task<Result<std::vector<std::pair<std::string, std::string>>>>
 Cluster::NodeScanSlots(int node, TenantId tenant, std::vector<int> slots,
                        iosched::IoTag tag, const char* missing_msg) {
@@ -545,36 +594,45 @@ sim::Task<void> Cluster::ApplyOpsServer(
                });
 }
 
+lsm::CompactionPolicy Cluster::CompactionOf(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? lsm::CompactionPolicy::kLeveled
+                              : it->second.compaction;
+}
+
 Status Cluster::NodeEnsureTenant(int node, TenantId tenant) {
+  const lsm::CompactionPolicy compaction = CompactionOf(tenant);
   if (multi_ == nullptr) {
     if (!nodes_[node]->HasTenant(tenant)) {
-      return nodes_[node]->AddTenant(tenant, Reservation{});
+      return nodes_[node]->AddTenant(tenant, Reservation{}, {}, compaction);
     }
     return Status::Ok();
   }
   kv::StorageNode* n = nodes_[node].get();
-  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency, [n, tenant] {
-    if (!n->HasTenant(tenant)) {
-      (void)n->AddTenant(tenant, Reservation{});
-    }
-  });
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [n, tenant, compaction] {
+                 if (!n->HasTenant(tenant)) {
+                   (void)n->AddTenant(tenant, Reservation{}, {}, compaction);
+                 }
+               });
   return Status::Ok();
 }
 
 Status Cluster::NodeInstallReservation(int node, TenantId tenant,
                                        Reservation share) {
+  const lsm::CompactionPolicy compaction = CompactionOf(tenant);
   if (multi_ == nullptr) {
     return nodes_[node]->HasTenant(tenant)
                ? nodes_[node]->UpdateReservation(tenant, share)
-               : nodes_[node]->AddTenant(tenant, share);
+               : nodes_[node]->AddTenant(tenant, share, {}, compaction);
   }
   kv::StorageNode* n = nodes_[node].get();
-  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency, [n, tenant,
-                                                              share] {
+  multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
+               [n, tenant, share, compaction] {
     if (n->HasTenant(tenant)) {
       (void)n->UpdateReservation(tenant, share);
     } else {
-      (void)n->AddTenant(tenant, share);
+      (void)n->AddTenant(tenant, share, {}, compaction);
     }
   });
   return Status::Ok();
@@ -664,14 +722,27 @@ double Cluster::AdmissionPrice(AppRequest app) const {
   // Direct cost of one normalized (1KB) request under the shared cost
   // model; headroom stands in for amplification unobservable at admission.
   const auto& model = nodes_[0]->scheduler().cost_model();
-  const ssd::IoType type =
-      app == AppRequest::kGet ? ssd::IoType::kRead : ssd::IoType::kWrite;
+  ssd::IoType type = ssd::IoType::kRead;
+  switch (app) {
+    case AppRequest::kNone:  // unpriced class; priced as a read if asked
+    case AppRequest::kGet:
+    case AppRequest::kScan:  // scans are read IO per normalized request
+      type = ssd::IoType::kRead;
+      break;
+    case AppRequest::kPut:
+      type = ssd::IoType::kWrite;
+      break;
+  }
   return model.Cost(type, 1024) * options_.admission_headroom;
 }
 
 double Cluster::PricedVops(const Reservation& r) const {
-  return r.get_rps * AdmissionPrice(AppRequest::kGet) +
-         r.put_rps * AdmissionPrice(AppRequest::kPut);
+  double total = 0.0;
+  for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests; ++a) {
+    const auto app = static_cast<AppRequest>(a);
+    total += r.RateOf(app) * AdmissionPrice(app);
+  }
+  return total;
 }
 
 std::map<int, Reservation> Cluster::EvenSplit(
@@ -694,22 +765,27 @@ std::map<int, Reservation> Cluster::EvenSplit(
   if (last_node < 0) {
     return split;  // every hosting node is down
   }
-  double used_get = 0.0;
-  double used_put = 0.0;
+  double used[iosched::kNumAppRequests] = {};
   for (int n = 0; n < static_cast<int>(slots.size()); ++n) {
     if (slots[n] == 0 || !node_state_[n].alive) {
       continue;
     }
+    Reservation r;
     if (n == last_node) {
       // Exact-sum invariant: the last hosting node takes the remainder.
-      split[n] = Reservation{global.get_rps - used_get,
-                             global.put_rps - used_put};
+      for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests;
+           ++a) {
+        r.rps[a] = global.rps[a] - used[a];
+      }
     } else {
       const double share = static_cast<double>(slots[n]) / total;
-      split[n] = Reservation{global.get_rps * share, global.put_rps * share};
-      used_get += split[n].get_rps;
-      used_put += split[n].put_rps;
+      for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests;
+           ++a) {
+        r.rps[a] = global.rps[a] * share;
+        used[a] += r.rps[a];
+      }
     }
+    split[n] = r;
   }
   return split;
 }
@@ -773,7 +849,8 @@ Status Cluster::ApplySplit(TenantId tenant,
 }
 
 Result<TenantHandle> Cluster::AddTenant(TenantId tenant,
-                                        GlobalReservation reservation) {
+                                        GlobalReservation reservation,
+                                        lsm::CompactionPolicy compaction) {
   if (tenants_.count(tenant) > 0) {
     return Result<TenantHandle>(Status::AlreadyExists(
         "tenant " + std::to_string(tenant) + " already admitted"));
@@ -785,7 +862,9 @@ Result<TenantHandle> Cluster::AddTenant(TenantId tenant,
   if (Status s = CheckAdmission(tenant, split); !s.ok()) {
     return Result<TenantHandle>(std::move(s));
   }
-  tenants_[tenant].global = reservation;
+  TenantState& state = tenants_[tenant];
+  state.global = reservation;
+  state.compaction = compaction;
   if (Status s = ApplySplit(tenant, split); !s.ok()) {
     tenants_.erase(tenant);
     return Result<TenantHandle>(std::move(s));
@@ -1185,6 +1264,147 @@ sim::Task<void> Cluster::MultiGetSlotGroup(
   ss.inflight -= static_cast<int>(keys.size());
 }
 
+// --- range scans ---
+
+sim::Task<void> Cluster::ScanNodeGroup(TenantId tenant, int node,
+                                       std::vector<int> slots,
+                                       std::string start, std::string end,
+                                       size_t limit,
+                                       lsm::LsmDb::ScanResult* out) {
+  SimDuration request_delay = options_.rpc_latency;
+  if (rpc_faults_ != nullptr) {
+    const RpcFault f = rpc_faults_->OnRpc(tenant, node);
+    if (f.delay > 0) {
+      if (multi_ == nullptr) {
+        co_await sim::SleepFor(loop_, f.delay);
+      } else {
+        request_delay = f.delay;
+      }
+    }
+    if (f.drop) {
+      out->status = Status::Unavailable("rpc to node " +
+                                        std::to_string(node) +
+                                        " dropped (injected)");
+      co_return;
+    }
+  }
+  if (!node_state_[node].alive) {
+    out->status =
+        Status::Unavailable("node " + std::to_string(node) + " down");
+    co_return;
+  }
+  obs::SpanCollector* spans = multi_ != nullptr
+                                  ? client_spans_.get()
+                                  : nodes_[node]->scheduler().spans();
+  const TraceContext ctx =
+      spans != nullptr ? spans->MintTrace() : TraceContext{};
+  const SimTime start_time = loop_.Now();
+  // RF>1: the node's partition interleaves follower copies of slots served
+  // elsewhere, so a pushed-down limit could truncate before this group's
+  // own keys surface; scan unbounded and let the coordinator truncate.
+  const size_t node_limit = shard_map_.replication_factor() > 1 ? 0 : limit;
+  *out = co_await NodeScan(node, tenant, std::move(start), std::move(end),
+                           node_limit, ctx, request_delay);
+  uint64_t bytes = 0;
+  if (out->status.ok()) {
+    // Keep only the slots this node serves for the scan (SlotOfKey is a
+    // pure key hash); copies of other slots' keys are surfaced by their
+    // own serving nodes.
+    ScanEntries kept;
+    kept.reserve(out->entries.size());
+    for (auto& [k, v] : out->entries) {
+      const int slot = shard_map_.SlotOfKey(k);
+      if (std::find(slots.begin(), slots.end(), slot) != slots.end()) {
+        bytes += v.size();
+        kept.emplace_back(std::move(k), std::move(v));
+      }
+    }
+    out->entries = std::move(kept);
+  }
+  RecordClientSpan(spans, ctx, AppRequest::kScan, tenant, start_time,
+                   loop_.Now(), bytes);
+}
+
+sim::Task<Result<ScanEntries>> Cluster::Scan(TenantId tenant,
+                                             std::string start,
+                                             std::string end, size_t limit) {
+  if (tenants_.count(tenant) == 0) {
+    co_return Result<ScanEntries>(
+        Status::NotFound("unknown tenant " + std::to_string(tenant)));
+  }
+  if (!end.empty() && end <= start) {
+    co_return Result<ScanEntries>(ScanEntries{});  // empty range
+  }
+  // Resolve every slot's serving node in ring order: gate on migrations,
+  // then prefer the first live synced replica (the leader when it is up),
+  // falling back to any live one. A slot with no live replica fails the
+  // whole scan — a range scan must not silently skip part of the keyspace.
+  std::map<int, std::vector<int>> by_node;
+  for (int slot = 0; slot < shard_map_.shards_per_tenant(); ++slot) {
+    (void)co_await AwaitRoutable(tenant, slot);
+    const std::vector<int> replicas = shard_map_.ReplicasOf(tenant, slot);
+    int node = -1;
+    for (const int r : replicas) {
+      if (node_state_[r].alive && !node_state_[r].syncing) {
+        node = r;
+        break;
+      }
+    }
+    if (node < 0) {
+      for (const int r : replicas) {
+        if (node_state_[r].alive) {
+          node = r;
+          break;
+        }
+      }
+    }
+    if (node < 0) {
+      co_return Result<ScanEntries>(Status::Unavailable(
+          "no live replica for slot " + std::to_string(slot)));
+    }
+    by_node[node].push_back(slot);
+  }
+  // The scan holds every slot inflight for its whole duration, so a
+  // migration drain waits for it like any other request.
+  for (const auto& [node, slots] : by_node) {
+    for (const int slot : slots) {
+      ++Shard(tenant, slot).inflight;
+    }
+  }
+  std::vector<lsm::LsmDb::ScanResult> per_node(by_node.size());
+  {
+    sim::TaskGroup group(loop_);
+    size_t i = 0;
+    for (const auto& [node, slots] : by_node) {
+      group.Spawn(
+          ScanNodeGroup(tenant, node, slots, start, end, limit,
+                        &per_node[i]));
+      ++i;
+    }
+    co_await group.Join();
+  }
+  for (const auto& [node, slots] : by_node) {
+    for (const int slot : slots) {
+      --Shard(tenant, slot).inflight;
+    }
+  }
+  // Merge: slots partition the keyspace, so the per-node runs are disjoint
+  // — concatenate, restore key order, apply the global limit.
+  ScanEntries merged;
+  for (auto& r : per_node) {
+    if (!r.status.ok()) {
+      co_return Result<ScanEntries>(std::move(r.status));
+    }
+    merged.insert(merged.end(), std::make_move_iterator(r.entries.begin()),
+                  std::make_move_iterator(r.entries.end()));
+  }
+  std::sort(merged.begin(), merged.end());
+  if (limit != 0 && merged.size() > limit) {
+    merged.resize(limit);
+  }
+  co_return Result<ScanEntries>(std::move(merged));
+}
+
 // --- shard migration ---
 
 sim::Task<Status> Cluster::MigrateShard(TenantId tenant, int slot,
@@ -1560,6 +1780,7 @@ ClusterStats Cluster::Snapshot() const {
     ClusterStats::TenantEntry e;
     e.tenant = t;
     e.global = state.global;
+    e.compaction = state.compaction;
     e.slot_homes = shard_map_.Assignment(t);
     s.tenants.push_back(std::move(e));
   }

@@ -11,9 +11,12 @@
 // and shard migration off persistently overbooked nodes.
 //
 // Clients do not address nodes or carry raw TenantIds through call sites:
-// AddTenant returns a TenantHandle whose Get/Put/Delete/MultiGet coroutines
-// route each key to the node homing its shard, suspending while that shard
-// is mid-migration.
+// AddTenant returns a TenantHandle whose Get/Put/Delete/MultiGet/Scan
+// coroutines route each key (or key range) to the node homing its shard,
+// suspending while that shard is mid-migration. Reservations are per
+// app-request class (GET/PUT/SCAN), and each tenant declares its LSM
+// compaction policy at admission — the cluster installs it on every node
+// hosting one of the tenant's shards.
 
 #ifndef LIBRA_SRC_CLUSTER_CLUSTER_H_
 #define LIBRA_SRC_CLUSTER_CLUSTER_H_
@@ -44,8 +47,11 @@ class GlobalProvisioner;
 
 // A tenant's system-wide reservation in normalized (1KB) requests per
 // second — the quantity the provisioner splits into per-node
-// iosched::Reservations.
+// iosched::Reservations. One rate per app-request class (GET/PUT/SCAN).
 using GlobalReservation = iosched::Reservation;
+
+// A cluster-level range-scan result: live (key, value) pairs in key order.
+using ScanEntries = std::vector<std::pair<std::string, std::string>>;
 
 struct GlobalProvisionerOptions {
   SimDuration interval = 1 * kSecond;
@@ -150,6 +156,14 @@ class TenantHandle {
   // Issues all lookups concurrently; results are in `keys` order.
   sim::Task<std::vector<Result<std::string>>> MultiGet(
       const std::vector<std::string>& keys);
+  // Range scan over [start, end) — empty `end` = to the end of the keyspace
+  // — returning at most `limit` live entries (0 = no limit) in key order.
+  // Keys hash to shard slots, so a contiguous range spans every slot: the
+  // scan routes each slot to its serving node (leader when up), fans out
+  // one node-level SCAN per distinct node, and merges the per-node runs.
+  // IO is charged to the SCAN class on every node touched.
+  sim::Task<Result<ScanEntries>> Scan(const std::string& start,
+                                      const std::string& end, size_t limit);
 
  private:
   friend class Cluster;
@@ -167,6 +181,7 @@ struct ClusterStats {
   struct TenantEntry {
     iosched::TenantId tenant = iosched::kInvalidTenant;
     GlobalReservation global;
+    lsm::CompactionPolicy compaction = lsm::CompactionPolicy::kLeveled;
     std::vector<int> slot_homes;  // node per slot
   };
   std::vector<TenantEntry> tenants;
@@ -199,8 +214,12 @@ class Cluster {
   // kAlreadyExists (duplicate), kInvalidArgument (malformed reservation) or
   // kResourceExhausted (admission control: some hosting node cannot absorb
   // the tenant's share; the message names the node and the shortfall).
-  Result<TenantHandle> AddTenant(iosched::TenantId tenant,
-                                 GlobalReservation reservation);
+  // `compaction` is the tenant's LSM compaction policy, installed on every
+  // node that ever hosts one of its partitions (including nodes it migrates
+  // onto later).
+  Result<TenantHandle> AddTenant(
+      iosched::TenantId tenant, GlobalReservation reservation,
+      lsm::CompactionPolicy compaction = lsm::CompactionPolicy::kLeveled);
 
   // Replaces a tenant's global reservation, subject to the same admission
   // check against the other tenants' current provisioned demand.
@@ -316,6 +335,9 @@ class Cluster {
   sim::Task<Status> Delete(iosched::TenantId tenant, std::string key);
   sim::Task<Result<std::string>> Get(iosched::TenantId tenant,
                                      std::string key);
+  sim::Task<Result<ScanEntries>> Scan(iosched::TenantId tenant,
+                                      std::string start, std::string end,
+                                      size_t limit);
 
   // Suspends while (tenant, slot) is migrating, then returns its home node.
   sim::Task<int> AwaitRoutable(iosched::TenantId tenant, int slot);
@@ -329,6 +351,15 @@ class Cluster {
       iosched::TenantId tenant, int slot,
       std::vector<std::pair<size_t, std::string>> keys,
       std::vector<Result<std::string>>* out);
+
+  // One node's leg of a cluster scan: issues the node-level SCAN (with its
+  // own client span and RPC fault handling) and filters the returned run to
+  // the slots this node serves for the scan, writing into `out`. Spawned
+  // per distinct serving node; parameters by value (TaskGroup lifetime).
+  sim::Task<void> ScanNodeGroup(iosched::TenantId tenant, int node,
+                                std::vector<int> slots, std::string start,
+                                std::string end, size_t limit,
+                                lsm::LsmDb::ScanResult* out);
 
   // Replica write fan-out helpers (TaskGroup-spawned: parameters by value,
   // the frames outlive the caller's loop variables).
@@ -381,6 +412,19 @@ class Cluster {
       int node, iosched::TenantId tenant, std::vector<std::string> keys,
       TraceContext ctx,
       sim::OneShot<std::vector<Result<std::string>>>* done);
+
+  // Node-level range scan (StorageNode::Scan behind the seam): one request
+  // message per node touched; the reply carries the node's whole run.
+  sim::Task<lsm::LsmDb::ScanResult> NodeScan(int node,
+                                             iosched::TenantId tenant,
+                                             std::string start,
+                                             std::string end, size_t limit,
+                                             TraceContext ctx,
+                                             SimDuration request_delay);
+  sim::Task<void> ScanServer(int node, iosched::TenantId tenant,
+                             std::string start, std::string end, size_t limit,
+                             TraceContext ctx,
+                             sim::OneShot<lsm::LsmDb::ScanResult>* done);
 
   // Copy-stream primitives shared by migration and catch-up. ScanSlots
   // reads every live key whose shard slot is in `slots`, in user-key order;
@@ -441,6 +485,10 @@ class Cluster {
   sim::Task<Status> CatchUpNode(int node);
   sim::Task<Status> CatchUpTenant(iosched::TenantId tenant, int node);
 
+  // The tenant's declared compaction policy (kLeveled when unknown — e.g.
+  // a migration target registering the tenant before admission finishes).
+  lsm::CompactionPolicy CompactionOf(iosched::TenantId tenant) const;
+
   // VOP price of one normalized (1KB) request at admission time.
   double AdmissionPrice(iosched::AppRequest app) const;
   // Priced VOP demand of a local reservation share.
@@ -471,6 +519,9 @@ class Cluster {
 
   struct TenantState {
     GlobalReservation global;
+    // The tenant's declared LSM compaction policy, passed to every
+    // StorageNode::AddTenant the control-plane seams issue for it.
+    lsm::CompactionPolicy compaction = lsm::CompactionPolicy::kLeveled;
     // Current per-node split (what the nodes' policies were last told).
     std::map<int, iosched::Reservation> split;
   };

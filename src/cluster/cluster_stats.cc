@@ -43,6 +43,11 @@ std::string ClusterStatsToJson(const ClusterStats& stats) {
     w.Double(t.global.get_rps);
     w.Key("global_put_rps");
     w.Double(t.global.put_rps);
+    w.Key("global_scan_rps");
+    w.Double(t.global.scan_rps);
+    w.Key("compaction");
+    w.String(t.compaction == lsm::CompactionPolicy::kSizeTiered ? "tiered"
+                                                                : "leveled");
     w.Key("slot_homes");
     w.BeginArray();
     for (const int node : t.slot_homes) {

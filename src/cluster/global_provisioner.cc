@@ -103,22 +103,19 @@ void GlobalProvisioner::RunIntervalStep() {
 void GlobalProvisioner::UpdateDemand(iosched::TenantId tenant,
                                      int node_index) {
   const auto& tracker = cluster_.nodes_[node_index]->tracker();
-  const double get_total = tracker.NormalizedRequestsTotal(
-      tenant, iosched::AppRequest::kGet);
-  const double put_total = tracker.NormalizedRequestsTotal(
-      tenant, iosched::AppRequest::kPut);
-
   auto [it, created] = demand_.try_emplace(DemandKey(tenant, node_index),
                                            options_.demand_alpha);
   NodeDemand& d = it->second;
   const double elapsed =
       last_step_time_ < 0 ? 0.0 : ToSeconds(loop_.Now() - last_step_time_);
-  if (!created && elapsed > 0.0) {
-    d.get_rate.Observe((get_total - d.last_get_total) / elapsed);
-    d.put_rate.Observe((put_total - d.last_put_total) / elapsed);
+  for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests; ++a) {
+    const double total = tracker.NormalizedRequestsTotal(
+        tenant, static_cast<iosched::AppRequest>(a));
+    if (!created && elapsed > 0.0) {
+      d.rate[a].Observe((total - d.last_total[a]) / elapsed);
+    }
+    d.last_total[a] = total;
   }
-  d.last_get_total = get_total;
-  d.last_put_total = put_total;
 }
 
 double GlobalProvisioner::DemandShare(iosched::TenantId tenant,
@@ -127,12 +124,12 @@ double GlobalProvisioner::DemandShare(iosched::TenantId tenant,
   if (it == demand_.end()) {
     return 0.0;
   }
-  double mine = it->second.get_rate.Value() + it->second.put_rate.Value();
+  const double mine = it->second.TotalRate();
   double total = 0.0;
   for (int n = 0; n < cluster_.num_nodes(); ++n) {
     const auto nit = demand_.find(DemandKey(tenant, n));
     if (nit != demand_.end()) {
-      total += nit->second.get_rate.Value() + nit->second.put_rate.Value();
+      total += nit->second.TotalRate();
     }
   }
   return total > 0.0 ? mine / total : 0.0;
@@ -164,18 +161,19 @@ void GlobalProvisioner::ResplitTenant(iosched::TenantId tenant) {
   // slot-proportional while a class is entirely unobserved, floored at
   // min_share and renormalized so every hosting node can ramp back up.
   const size_t k = hosting.size();
-  std::vector<double> get_d(k, 0.0);
-  std::vector<double> put_d(k, 0.0);
-  double get_total = 0.0;
-  double put_total = 0.0;
+  std::vector<std::vector<double>> class_demand(
+      iosched::kNumAppRequests, std::vector<double>(k, 0.0));
+  std::vector<double> class_total(iosched::kNumAppRequests, 0.0);
   for (size_t i = 0; i < k; ++i) {
     const auto dit = demand_.find(DemandKey(tenant, hosting[i]));
-    if (dit != demand_.end()) {
-      get_d[i] = dit->second.get_rate.Value();
-      put_d[i] = dit->second.put_rate.Value();
+    if (dit == demand_.end()) {
+      continue;
     }
-    get_total += get_d[i];
-    put_total += put_d[i];
+    for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests;
+         ++a) {
+      class_demand[a][i] = dit->second.rate[a].Value();
+      class_total[a] += class_demand[a][i];
+    }
   }
   auto shares = [&](const std::vector<double>& demand, double total) {
     std::vector<double> s(k);
@@ -192,25 +190,28 @@ void GlobalProvisioner::ResplitTenant(iosched::TenantId tenant) {
     }
     return s;
   };
-  const std::vector<double> get_share = shares(get_d, get_total);
-  const std::vector<double> put_share = shares(put_d, put_total);
+  std::vector<std::vector<double>> share(iosched::kNumAppRequests);
+  for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests; ++a) {
+    share[a] = shares(class_demand[a], class_total[a]);
+  }
 
   // All but the last hosting node take their proportional cut; the last
   // takes the remainder so the split sums exactly to the global rate.
   std::map<int, iosched::Reservation> split;
-  double get_used = 0.0;
-  double put_used = 0.0;
+  double used[iosched::kNumAppRequests] = {};
   for (size_t i = 0; i + 1 < k; ++i) {
     iosched::Reservation r;
-    r.get_rps = global.get_rps * get_share[i];
-    r.put_rps = global.put_rps * put_share[i];
-    get_used += r.get_rps;
-    put_used += r.put_rps;
+    for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests;
+         ++a) {
+      r.rps[a] = global.rps[a] * share[a][i];
+      used[a] += r.rps[a];
+    }
     split[hosting[i]] = r;
   }
   iosched::Reservation last;
-  last.get_rps = std::max(0.0, global.get_rps - get_used);
-  last.put_rps = std::max(0.0, global.put_rps - put_used);
+  for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests; ++a) {
+    last.rps[a] = std::max(0.0, global.rps[a] - used[a]);
+  }
   split[hosting[k - 1]] = last;
 
   // Hysteresis: apply only when some node's share moved by more than the
@@ -225,11 +226,14 @@ void GlobalProvisioner::ResplitTenant(iosched::TenantId tenant) {
       hosting_changed = true;
       break;
     }
-    max_change = std::max(max_change,
-                          std::abs(r.get_rps - cit->second.get_rps) +
-                              std::abs(r.put_rps - cit->second.put_rps));
+    double change = 0.0;
+    for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests;
+         ++a) {
+      change += std::abs(r.rps[a] - cit->second.rps[a]);
+    }
+    max_change = std::max(max_change, change);
   }
-  const double denom = std::max(1.0, global.get_rps + global.put_rps);
+  const double denom = std::max(1.0, global.Total());
   if (!hosting_changed && !current.empty() &&
       max_change / denom < options_.hysteresis) {
     return;
@@ -293,7 +297,7 @@ void GlobalProvisioner::CheckOverbooking() {
     double d = 0.0;
     if (const auto dit = demand_.find(DemandKey(tenant, src));
         dit != demand_.end()) {
-      d = dit->second.get_rate.Value() + dit->second.put_rate.Value();
+      d = dit->second.TotalRate();
     }
     if (d > victim_demand) {
       victim_demand = d;

@@ -54,11 +54,25 @@ class GlobalProvisioner {
 
  private:
   struct NodeDemand {
-    double last_get_total = 0.0;  // counter snapshot at the previous step
-    double last_put_total = 0.0;
-    Ewma get_rate;  // smoothed normalized GET/s on this node
-    Ewma put_rate;
-    explicit NodeDemand(double alpha) : get_rate(alpha), put_rate(alpha) {}
+    // Counter snapshots at the previous step and smoothed normalized
+    // request rates on this node, one per app-request class (indexed by
+    // AppRequest — the kNone slot stays zero).
+    double last_total[iosched::kNumAppRequests] = {};
+    Ewma rate[iosched::kNumAppRequests];
+    explicit NodeDemand(double alpha) {
+      for (Ewma& e : rate) {
+        e = Ewma(alpha);
+      }
+    }
+    // Smoothed all-class demand (normalized requests/s).
+    double TotalRate() const {
+      double sum = 0.0;
+      for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests;
+           ++a) {
+        sum += rate[a].Value();
+      }
+      return sum;
+    }
   };
 
   void UpdateDemand(iosched::TenantId tenant, int node_index);

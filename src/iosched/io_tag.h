@@ -23,8 +23,13 @@ enum class AppRequest : uint8_t {
   kNone = 0,  // unattributed (e.g., system maintenance)
   kGet = 1,
   kPut = 2,
+  kScan = 3,  // bounded range scan (merge-read across the LSM)
 };
-inline constexpr int kNumAppRequests = 3;
+inline constexpr int kNumAppRequests = 4;
+
+// First attributable application class: loops over request classes skip
+// kNone (slot 0), which never carries reservations or profiles.
+inline constexpr int kFirstAppRequest = 1;
 
 enum class InternalOp : uint8_t {
   kNone = 0,  // direct IO of the app request itself
@@ -34,6 +39,8 @@ enum class InternalOp : uint8_t {
 };
 inline constexpr int kNumInternalOps = 4;
 
+// Exhaustive by design: adding an AppRequest value without updating every
+// switch over the enum is a compile error (-Wswitch), not a silent "?".
 inline std::string_view AppRequestName(AppRequest a) {
   switch (a) {
     case AppRequest::kNone:
@@ -42,8 +49,10 @@ inline std::string_view AppRequestName(AppRequest a) {
       return "GET";
     case AppRequest::kPut:
       return "PUT";
+    case AppRequest::kScan:
+      return "SCAN";
   }
-  return "?";
+  return "?";  // unreachable for in-range values
 }
 
 inline std::string_view InternalOpName(InternalOp i) {
@@ -57,7 +66,7 @@ inline std::string_view InternalOpName(InternalOp i) {
     case InternalOp::kReplicate:
       return "REPL";
   }
-  return "?";
+  return "?";  // unreachable for in-range values
 }
 
 struct IoTag {

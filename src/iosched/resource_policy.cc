@@ -20,7 +20,12 @@ ResourcePolicy::ResourcePolicy(sim::EventLoop& loop, IoScheduler& scheduler,
 ResourcePolicy::~ResourcePolicy() { Stop(); }
 
 void ResourcePolicy::SetReservation(TenantId tenant, Reservation r) {
-  assert(r.get_rps >= 0.0 && r.put_rps >= 0.0);
+#ifndef NDEBUG
+  for (int a = kFirstAppRequest; a < kNumAppRequests; ++a) {
+    assert(r.rps[a] >= 0.0);
+  }
+#endif
+  assert(r.rps[static_cast<int>(AppRequest::kNone)] == 0.0);
   reservations_[tenant] = r;
 }
 
@@ -63,8 +68,18 @@ void ResourcePolicy::Stop() {
 
 double ResourcePolicy::ObjectSizePrice(TenantId tenant, AppRequest app) const {
   const CostModel& model = scheduler_.cost_model();
-  const ssd::IoType type =
-      app == AppRequest::kGet ? ssd::IoType::kRead : ssd::IoType::kWrite;
+  ssd::IoType type = ssd::IoType::kRead;
+  switch (app) {
+    case AppRequest::kGet:
+    case AppRequest::kScan:
+      type = ssd::IoType::kRead;
+      break;
+    case AppRequest::kPut:
+      type = ssd::IoType::kWrite;
+      break;
+    case AppRequest::kNone:
+      break;  // unattributed classes are never priced; kRead is inert
+  }
   double mean = scheduler_.tracker().MeanRequestSize(tenant, app);
   if (mean <= 0.0) {
     mean = 1024.0;  // nothing observed yet: price a 1KB object
@@ -111,12 +126,17 @@ void ResourcePolicy::RunIntervalStep() {
 
   tracker.Roll();
 
-  // Price every reservation under the current profiles.
+  // Price every reservation under the current profiles: the reserved rate
+  // of every application request class times its per-class VOP price.
   std::map<TenantId, double> required;
   double total = 0.0;
   for (const auto& [tenant, res] : reservations_) {
-    const double r = res.get_rps * PriceOf(tenant, AppRequest::kGet) +
-                     res.put_rps * PriceOf(tenant, AppRequest::kPut);
+    double r = 0.0;
+    for (int a = kFirstAppRequest; a < kNumAppRequests; ++a) {
+      if (res.rps[a] > 0.0) {
+        r += res.rps[a] * PriceOf(tenant, static_cast<AppRequest>(a));
+      }
+    }
     required[tenant] = r;
     total += r;
   }
@@ -169,22 +189,22 @@ void ResourcePolicy::RunIntervalStep() {
     rec.overbooked = overbooked;
     rec.tenants.reserve(reservations_.size());
     for (const auto& [tenant, res] : reservations_) {
-      const AppRequestProfile get = ProfileOf(tenant, AppRequest::kGet);
-      const AppRequestProfile put = ProfileOf(tenant, AppRequest::kPut);
       obs::AuditTenantEntry e;
       e.tenant = tenant;
-      e.reserved_get_rps = res.get_rps;
-      e.reserved_put_rps = res.put_rps;
-      e.profile_get_direct = get.direct;
-      e.profile_get_flush = get.indirect[static_cast<int>(InternalOp::kFlush)];
-      e.profile_get_compact =
-          get.indirect[static_cast<int>(InternalOp::kCompact)];
-      e.profile_put_direct = put.direct;
-      e.profile_put_flush = put.indirect[static_cast<int>(InternalOp::kFlush)];
-      e.profile_put_compact =
-          put.indirect[static_cast<int>(InternalOp::kCompact)];
-      e.price_get = PriceOf(tenant, AppRequest::kGet);
-      e.price_put = PriceOf(tenant, AppRequest::kPut);
+      for (int a = kFirstAppRequest; a < kNumAppRequests; ++a) {
+        const AppRequest app = static_cast<AppRequest>(a);
+        const AppRequestProfile p = ProfileOf(tenant, app);
+        e.reserved_rps[a] = res.rps[a];
+        e.profile_direct[a] = p.direct;
+        e.profile_flush[a] = p.indirect[static_cast<int>(InternalOp::kFlush)];
+        e.profile_compact[a] =
+            p.indirect[static_cast<int>(InternalOp::kCompact)];
+        e.price[a] = PriceOf(tenant, app);
+      }
+      if (const auto cit = compaction_policies_.find(tenant);
+          cit != compaction_policies_.end()) {
+        e.compaction_policy = cit->second;
+      }
       e.required_vops = required[tenant];
       e.granted_vops = required[tenant] * scale;
       const auto ach = achieved.find(tenant);

@@ -30,11 +30,43 @@
 
 namespace libra::iosched {
 
-// Local per-tenant reservation in normalized (1KB) requests per second.
+// Local per-tenant reservation in normalized (1KB) requests per second,
+// one rate per application request class. The storage is a per-class array
+// indexed by AppRequest — pricing, admission, and demand-splitting loop
+// over it, so new classes need no bespoke plumbing — while the anonymous
+// struct member aliases keep the historical `r.get_rps` / `r.put_rps`
+// spelling (read and write) working at every existing call site.
 struct Reservation {
-  double get_rps = 0.0;
-  double put_rps = 0.0;
+  union {
+    double rps[kNumAppRequests];
+    struct {
+      double none_rps_;  // AppRequest::kNone slot: always 0, never priced
+      double get_rps;
+      double put_rps;
+      double scan_rps;
+    };
+  };
+
+  constexpr Reservation() : rps{} {}
+  constexpr Reservation(double get, double put, double scan = 0.0)
+      : rps{0.0, get, put, scan} {}
+
+  constexpr double RateOf(AppRequest app) const {
+    return rps[static_cast<int>(app)];
+  }
+  constexpr double& RateOf(AppRequest app) {
+    return rps[static_cast<int>(app)];
+  }
+  constexpr double Total() const {
+    double sum = 0.0;
+    for (int a = kFirstAppRequest; a < kNumAppRequests; ++a) {
+      sum += rps[a];
+    }
+    return sum;
+  }
 };
+static_assert(sizeof(Reservation) == kNumAppRequests * sizeof(double),
+              "member aliases must overlay the per-class rate array");
 
 // How the policy prices a normalized request (the Fig. 11 ablation).
 enum class ProfileMode {
@@ -83,6 +115,19 @@ class ResourcePolicy {
 
   void SetReservation(TenantId tenant, Reservation r);
   Reservation GetReservation(TenantId tenant) const;
+
+  // The tenant's declared LSM compaction policy (raw code, matching
+  // obs::AuditTenantEntry::compaction_policy: 0 = leveled, 1 =
+  // size-tiered). Purely observational at this layer: it is stamped on
+  // audit records so attribution/conformance verdicts can be read against
+  // the policy that shaped the indirect profile.
+  void SetCompactionPolicy(TenantId tenant, uint8_t policy) {
+    compaction_policies_[tenant] = policy;
+  }
+  uint8_t CompactionPolicyOf(TenantId tenant) const {
+    const auto it = compaction_policies_.find(tenant);
+    return it == compaction_policies_.end() ? 0 : it->second;
+  }
 
   // The attribution profile the tenant declared at admission — what the
   // conformance estimator's observed q̂^{a,i} is verified against. Optional:
@@ -137,6 +182,7 @@ class ResourcePolicy {
   CapacityModel& capacity_;
   PolicyOptions options_;
   std::map<TenantId, Reservation> reservations_;
+  std::map<TenantId, uint8_t> compaction_policies_;
   std::map<TenantId, obs::DeclaredAttribution> declared_;
   std::map<TenantId, double> last_tenant_vops_;  // SLA interval deltas
   obs::SlaMonitor sla_;

@@ -158,7 +158,7 @@ void IoScheduler::FreeOp(Op* op) {
   op_free_.push_back(op);
 }
 
-sim::Task<void> IoScheduler::Submit(const IoTag& tag, ssd::IoType type,
+sim::Task<void> IoScheduler::Submit(IoTag tag, ssd::IoType type,
                                     uint64_t offset, uint32_t size,
                                     std::vector<IoShare> manifest) {
   assert(tag.tenant != kInvalidTenant);

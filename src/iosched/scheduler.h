@@ -239,9 +239,11 @@ class IoScheduler {
   void FreeOp(Op* op);
 
   // `manifest` is empty for plain IOs; for shared IOPs it is the validated,
-  // byte-ordered multi-tag manifest (taken by value: coroutine parameters
-  // must own their storage across suspension).
-  sim::Task<void> Submit(const IoTag& tag, ssd::IoType type, uint64_t offset,
+  // byte-ordered multi-tag manifest. Every parameter — the tag included —
+  // is taken by value: coroutine parameters must own their storage across
+  // suspension (WriteShared passes tags whose backing locals die before
+  // the task first runs).
+  sim::Task<void> Submit(IoTag tag, ssd::IoType type, uint64_t offset,
                          uint32_t size, std::vector<IoShare> manifest);
 
   // Next chunk size for the head op of a tenant queue.

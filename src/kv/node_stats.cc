@@ -8,6 +8,34 @@ namespace {
 using obs::HistogramToJson;
 using obs::JsonWriter;
 
+// The attributable application request classes, in enum order — every
+// per-class JSON section below loops over these (never kNone).
+constexpr iosched::AppRequest kAppClasses[] = {
+    iosched::AppRequest::kGet,
+    iosched::AppRequest::kPut,
+    iosched::AppRequest::kScan,
+};
+
+// Lower-case per-class JSON key suffix ("reserved_get_rps", "profile_scan",
+// ...). Exhaustive: a new AppRequest breaks this switch at compile time.
+const char* AppKeySuffix(iosched::AppRequest a) {
+  switch (a) {
+    case iosched::AppRequest::kNone:
+      return "none";
+    case iosched::AppRequest::kGet:
+      return "get";
+    case iosched::AppRequest::kPut:
+      return "put";
+    case iosched::AppRequest::kScan:
+      return "scan";
+  }
+  return "?";  // unreachable for in-range values
+}
+
+const char* CompactionPolicyName(uint8_t policy) {
+  return policy == 0 ? "leveled" : "tiered";
+}
+
 void WriteIoClassStats(JsonWriter& w, const obs::IoClassStats& s,
                        bool include_buckets) {
   w.BeginObject();
@@ -42,32 +70,29 @@ void WriteAuditRecord(JsonWriter& w, const obs::AuditRecord& rec) {
     w.BeginObject();
     w.Key("tenant");
     w.Uint(e.tenant);
-    w.Key("reserved_get_rps");
-    w.Double(e.reserved_get_rps);
-    w.Key("reserved_put_rps");
-    w.Double(e.reserved_put_rps);
-    w.Key("profile_get");
-    w.BeginObject();
-    w.Key("direct");
-    w.Double(e.profile_get_direct);
-    w.Key("flush");
-    w.Double(e.profile_get_flush);
-    w.Key("compact");
-    w.Double(e.profile_get_compact);
-    w.EndObject();
-    w.Key("profile_put");
-    w.BeginObject();
-    w.Key("direct");
-    w.Double(e.profile_put_direct);
-    w.Key("flush");
-    w.Double(e.profile_put_flush);
-    w.Key("compact");
-    w.Double(e.profile_put_compact);
-    w.EndObject();
-    w.Key("price_get");
-    w.Double(e.price_get);
-    w.Key("price_put");
-    w.Double(e.price_put);
+    for (const iosched::AppRequest app : kAppClasses) {
+      const int a = static_cast<int>(app);
+      w.Key(std::string("reserved_") + AppKeySuffix(app) + "_rps");
+      w.Double(e.reserved_rps[a]);
+    }
+    for (const iosched::AppRequest app : kAppClasses) {
+      const int a = static_cast<int>(app);
+      w.Key(std::string("profile_") + AppKeySuffix(app));
+      w.BeginObject();
+      w.Key("direct");
+      w.Double(e.profile_direct[a]);
+      w.Key("flush");
+      w.Double(e.profile_flush[a]);
+      w.Key("compact");
+      w.Double(e.profile_compact[a]);
+      w.EndObject();
+    }
+    for (const iosched::AppRequest app : kAppClasses) {
+      w.Key(std::string("price_") + AppKeySuffix(app));
+      w.Double(e.price[static_cast<int>(app)]);
+    }
+    w.Key("compaction_policy");
+    w.String(CompactionPolicyName(e.compaction_policy));
     w.Key("required_vops");
     w.Double(e.required_vops);
     w.Key("granted_vops");
@@ -92,17 +117,16 @@ void WriteAttribution(JsonWriter& w, const AttributionSnapshot& a) {
   w.Double(a.matrix.total_vops);
   w.Key("norm_requests");
   w.BeginObject();
-  w.Key("GET");
-  w.Double(a.matrix.norm_requests[static_cast<int>(iosched::AppRequest::kGet)]);
-  w.Key("PUT");
-  w.Double(a.matrix.norm_requests[static_cast<int>(iosched::AppRequest::kPut)]);
+  for (const iosched::AppRequest app : kAppClasses) {
+    w.Key(iosched::AppRequestName(app));
+    w.Double(a.matrix.norm_requests[static_cast<int>(app)]);
+  }
   w.EndObject();
   // Full observed/declared q matrix over the app x internal vocabulary
-  // (only the GET/PUT rows — nothing is ever declared for `none`).
+  // (only the attributable rows — nothing is ever declared for `none`).
   w.Key("q");
   w.BeginArray();
-  for (const iosched::AppRequest app :
-       {iosched::AppRequest::kGet, iosched::AppRequest::kPut}) {
+  for (const iosched::AppRequest app : kAppClasses) {
     for (int i = 0; i < obs::kAttrInternal; ++i) {
       w.BeginObject();
       w.Key("app");
@@ -299,10 +323,10 @@ std::string NodeStatsToJson(const NodeStats& stats) {
     w.Uint(t.tenant);
     w.Key("reservation");
     w.BeginObject();
-    w.Key("get_rps");
-    w.Double(t.reservation.get_rps);
-    w.Key("put_rps");
-    w.Double(t.reservation.put_rps);
+    for (const iosched::AppRequest app : kAppClasses) {
+      w.Key(std::string(AppKeySuffix(app)) + "_rps");
+      w.Double(t.reservation.RateOf(app));
+    }
     w.EndObject();
     w.Key("allocation_vops");
     w.Double(t.allocation_vops);
@@ -312,6 +336,8 @@ std::string NodeStatsToJson(const NodeStats& stats) {
     w.Raw(HistogramToJson(t.get_latency, /*include_buckets=*/true));
     w.Key("PUT");
     w.Raw(HistogramToJson(t.put_latency, /*include_buckets=*/true));
+    w.Key("SCAN");
+    w.Raw(HistogramToJson(t.scan_latency, /*include_buckets=*/true));
     w.EndObject();
     w.Key("io");
     w.BeginObject();
@@ -357,6 +383,14 @@ std::string NodeStatsToJson(const NodeStats& stats) {
     w.Uint(t.lsm.stall_ns);
     w.Key("tables_probed");
     w.Uint(t.lsm.tables_probed);
+    w.Key("scans");
+    w.Uint(t.lsm.scans);
+    w.Key("scan_keys");
+    w.Uint(t.lsm.scan_keys);
+    w.Key("scan_bytes");
+    w.Uint(t.lsm.scan_bytes);
+    w.Key("compaction_policy");
+    w.String(CompactionPolicyName(t.compaction_policy));
     w.Key("wal");
     w.BeginObject();
     w.Key("appends");

@@ -58,6 +58,9 @@ struct TenantSnapshot {
   // End-to-end app-request latency (protocol layer; includes cache hits).
   obs::LatencyHistogram get_latency;
   obs::LatencyHistogram put_latency;
+  obs::LatencyHistogram scan_latency;
+  // The tenant's LSM compaction policy (0 = leveled, 1 = size-tiered).
+  uint8_t compaction_policy = 0;
   // Scheduler lifecycle rollup across all classes, plus the breakdown.
   obs::IoClassStats io_total;
   std::vector<IoClassSnapshot> io_classes;  // only classes with ops > 0

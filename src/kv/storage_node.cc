@@ -10,6 +10,12 @@ using iosched::AppRequest;
 using iosched::Reservation;
 using iosched::TenantId;
 
+// The scheduler's app-request vocabulary and the observability layer's
+// attribution-matrix axis must stay in lockstep: per-class reservations,
+// audit rows, and q̂^{a,i} columns are all indexed by the same codes.
+static_assert(obs::kAttrApps == iosched::kNumAppRequests,
+              "add new AppRequest classes to obs::kAttrApps too");
+
 StorageNode::StorageNode(sim::EventLoop& loop, NodeOptions options)
     : loop_(loop),
       options_(std::move(options)),
@@ -34,13 +40,16 @@ StorageNode::StorageNode(sim::EventLoop& loop, NodeOptions options)
 namespace {
 
 // Negative or non-finite rates are malformed; zero is legal (best-effort
-// tenant, provisioned purely by work conservation).
+// tenant, provisioned purely by work conservation). Checked per class so
+// new app-request classes are validated without new code.
 Status ValidateReservation(const Reservation& r) {
-  if (!(r.get_rps >= 0.0) || !(r.put_rps >= 0.0)) {
-    return Status::InvalidArgument(
-        "reservation rates must be finite and non-negative (get_rps=" +
-        std::to_string(r.get_rps) + ", put_rps=" + std::to_string(r.put_rps) +
-        ")");
+  for (int a = iosched::kFirstAppRequest; a < iosched::kNumAppRequests; ++a) {
+    if (!(r.rps[a] >= 0.0)) {
+      return Status::InvalidArgument(
+          "reservation rates must be finite and non-negative (" +
+          std::string(iosched::AppRequestName(static_cast<AppRequest>(a))) +
+          "=" + std::to_string(r.rps[a]) + ")");
+    }
   }
   return Status::Ok();
 }
@@ -91,17 +100,28 @@ void EndRequestSpan(obs::SpanCollector* spans, const RequestSpan& r,
 
 }  // namespace
 
+lsm::LsmOptions StorageNode::TenantLsmOptions(TenantId tenant) const {
+  lsm::LsmOptions opt = options_.lsm_options;
+  opt.compaction_policy =
+      static_cast<lsm::CompactionPolicy>(policy_.CompactionPolicyOf(tenant));
+  return opt;
+}
+
 Status StorageNode::AddTenant(TenantId tenant, Reservation reservation,
-                              obs::DeclaredAttribution declared) {
+                              obs::DeclaredAttribution declared,
+                              lsm::CompactionPolicy compaction) {
   if (partitions_.count(tenant) > 0) {
     return Status::AlreadyExists("tenant exists");
   }
   if (Status s = ValidateReservation(reservation); !s.ok()) {
     return s;
   }
+  // Record the declared policy first: TenantLsmOptions reads it back, and
+  // the resource policy stamps it on this tenant's audit rows.
+  policy_.SetCompactionPolicy(tenant, static_cast<uint8_t>(compaction));
   auto db = std::make_unique<lsm::LsmDb>(loop_, fs_, scheduler_, tenant,
                                          "tenant_" + std::to_string(tenant),
-                                         options_.lsm_options);
+                                         TenantLsmOptions(tenant));
   if (Status s = db->Open(); !s.ok()) {
     return s;
   }
@@ -119,6 +139,9 @@ Status StorageNode::AddTenant(TenantId tenant, Reservation reservation,
   rl.put = &metrics_.GetHistogram(
       "app_request_latency_ns",
       {tenant, static_cast<uint8_t>(AppRequest::kPut), 0});
+  rl.scan = &metrics_.GetHistogram(
+      "app_request_latency_ns",
+      {tenant, static_cast<uint8_t>(AppRequest::kScan), 0});
   return Status::Ok();
 }
 
@@ -183,7 +206,7 @@ sim::Task<Status> StorageNode::Restart() {
   for (const auto& [tenant, unused] : request_latency_) {
     auto db = std::make_unique<lsm::LsmDb>(loop_, fs_, scheduler_, tenant,
                                            "tenant_" + std::to_string(tenant),
-                                           options_.lsm_options);
+                                           TenantLsmOptions(tenant));
     if (Status s = db->Open(); !s.ok()) {
       co_return s;
     }
@@ -382,6 +405,52 @@ sim::Task<Result<std::string>> StorageNode::Get(TenantId tenant,
   co_return out;
 }
 
+sim::Task<lsm::LsmDb::ScanResult> StorageNode::Scan(TenantId tenant,
+                                                    const std::string& start,
+                                                    const std::string& end,
+                                                    size_t limit,
+                                                    TraceContext ctx) {
+  if (crashed_) {
+    lsm::LsmDb::ScanResult out;
+    out.status = Status::Unavailable("node crashed");
+    co_return out;
+  }
+  lsm::LsmDb* db = partition(tenant);
+  if (db == nullptr) {
+    lsm::LsmDb::ScanResult out;
+    out.status = Status::NotFound("unknown tenant");
+    co_return out;
+  }
+  obs::SpanCollector* spans = scheduler_.spans();
+  const RequestSpan span = BeginRequestSpan(spans, ctx);
+  const SimTime start_time = loop_.Now();
+  // Scans bypass the object cache: the merge must see a consistent ordered
+  // cut of the tree, which point-lookup cache entries cannot provide.
+  lsm::LsmDb::ScanResult out = co_await db->Scan(start, end, limit, span.ctx);
+  uint64_t billed = 0;
+  if (out.status.ok()) {
+    for (const auto& [key, value] : out.entries) {
+      billed += value.size();
+    }
+    // An empty or failed range still did index/seek work: bill at least
+    // one normalized request, mirroring GET's not-found billing.
+    if (billed == 0) {
+      billed = 1;
+    }
+    tracker().RecordAppRequest(tenant, AppRequest::kScan, billed);
+    if (spans != nullptr) {
+      spans->attribution().RecordRequest(
+          tenant, static_cast<uint8_t>(AppRequest::kScan),
+          iosched::NormalizedRequests(billed));
+    }
+  }
+  request_latency_[tenant].scan->Record(
+      static_cast<uint64_t>(loop_.Now() - start_time));
+  EndRequestSpan(spans, span, obs::SpanKind::kRequest, AppRequest::kScan,
+                 tenant, start_time, loop_.Now(), billed);
+  co_return out;
+}
+
 NodeStats StorageNode::Snapshot() const {
   NodeStats s;
   s.time_ns = loop_.Now();
@@ -434,7 +503,9 @@ NodeStats StorageNode::Snapshot() const {
         it != request_latency_.end()) {
       t.get_latency = *it->second.get;
       t.put_latency = *it->second.put;
+      t.scan_latency = *it->second.scan;
     }
+    t.compaction_policy = policy_.CompactionPolicyOf(tenant);
     if (const iosched::TenantLifecycleStats* lc = scheduler_.lifecycle(tenant);
         lc != nullptr) {
       t.io_total = lc->Aggregate();

@@ -3,10 +3,10 @@
 // and resource policy over a simulated SSD.
 //
 // This is the library's primary user-facing facade: register tenants with
-// app-request reservations (normalized 1KB GET/s and PUT/s, as a
-// system-wide policy such as Pisces would set per node), issue GET/PUT/DEL,
-// and Libra provisions VOP allocations to meet the reservations while
-// staying work-conserving.
+// app-request reservations (normalized 1KB requests/s per class — GET, PUT,
+// SCAN — as a system-wide policy such as Pisces would set per node), issue
+// GET/PUT/DEL/SCAN, and Libra provisions VOP allocations to meet the
+// reservations while staying work-conserving.
 
 #ifndef LIBRA_SRC_KV_STORAGE_NODE_H_
 #define LIBRA_SRC_KV_STORAGE_NODE_H_
@@ -76,8 +76,13 @@ class StorageNode {
   // `declared` is the attribution profile the tenant claims (VOPs per
   // normalized request by app-request x internal-op cell); when provided,
   // the conformance monitor verifies the observed matrix against it.
-  Status AddTenant(iosched::TenantId tenant, iosched::Reservation reservation,
-                   obs::DeclaredAttribution declared = {});
+  // `compaction` is the tenant's LSM compaction policy — a per-tenant
+  // choice that shapes the indirect profile (and so the per-class VOP
+  // prices); it sticks across Restart() and is stamped on audit records.
+  Status AddTenant(
+      iosched::TenantId tenant, iosched::Reservation reservation,
+      obs::DeclaredAttribution declared = {},
+      lsm::CompactionPolicy compaction = lsm::CompactionPolicy::kLeveled);
 
   // Replaces a registered tenant's reservation. Rejects unknown tenants
   // (kNotFound) and malformed reservations (kInvalidArgument), mirroring
@@ -126,6 +131,16 @@ class StorageNode {
                                      const std::string& key,
                                      TraceContext ctx = {});
 
+  // Bounded range scan over [start, end) — empty `end` = to the end of the
+  // keyspace — yielding at most `limit` live entries (0 = no limit). A
+  // merge-read across the tenant's whole LSM partition; its IO is charged
+  // to the SCAN class and billed by the bytes it returns (min. one
+  // normalized request), so range reads carry their own q̂^{a,i} column.
+  sim::Task<lsm::LsmDb::ScanResult> Scan(iosched::TenantId tenant,
+                                         const std::string& start,
+                                         const std::string& end, size_t limit,
+                                         TraceContext ctx = {});
+
   // --- introspection for evaluation harnesses ---
 
   iosched::IoScheduler& scheduler() { return scheduler_; }
@@ -155,7 +170,12 @@ class StorageNode {
   struct RequestLatency {
     obs::LatencyHistogram* get = nullptr;
     obs::LatencyHistogram* put = nullptr;
+    obs::LatencyHistogram* scan = nullptr;
   };
+
+  // The tenant's LsmOptions: the node-wide base with the tenant's declared
+  // compaction policy applied.
+  lsm::LsmOptions TenantLsmOptions(iosched::TenantId tenant) const;
 
   sim::EventLoop& loop_;
   NodeOptions options_;

@@ -238,32 +238,41 @@ sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key, TraceContext ctx) {
   // Table lookups against an immutable version snapshot; the refs keep
   // files alive even if a compaction replaces them mid-read.
   const VersionRef version = current_;
-  // L0: newest first, every file whose range covers the key.
-  for (const TableRef& table : version->levels[0]) {
-    if (key < table->smallest || key > table->largest) {
-      continue;
-    }
-    ++tables_probed_;
-    SstableReader::GetResult r = co_await table->reader->Get(tag, key, snapshot);
-    if (dead_) {
-      out.status = Status::Unavailable("db killed");
-      co_return out;
-    }
-    if (!r.status.ok()) {
-      out.status = r.status;
-      co_return out;
-    }
-    if (r.found) {
-      if (r.deleted) {
-        out.status = Status::NotFound("deleted");
-      } else {
-        out.value = std::move(r.value);
+  // Overlapping levels probe every covering file newest-first: L0 under
+  // leveled, every tier under size-tiered (runs only leave a tier by
+  // whole-tier merges, so run recency orders version recency globally).
+  const int overlapping_levels =
+      options_.compaction_policy == CompactionPolicy::kSizeTiered
+          ? options_.num_levels
+          : 1;
+  for (int level = 0; level < overlapping_levels; ++level) {
+    for (const TableRef& table : version->levels[level]) {
+      if (key < table->smallest || key > table->largest) {
+        continue;
       }
-      co_return out;
+      ++tables_probed_;
+      SstableReader::GetResult r =
+          co_await table->reader->Get(tag, key, snapshot);
+      if (dead_) {
+        out.status = Status::Unavailable("db killed");
+        co_return out;
+      }
+      if (!r.status.ok()) {
+        out.status = r.status;
+        co_return out;
+      }
+      if (r.found) {
+        if (r.deleted) {
+          out.status = Status::NotFound("deleted");
+        } else {
+          out.value = std::move(r.value);
+        }
+        co_return out;
+      }
     }
   }
-  // L1+: at most one file per level.
-  for (int level = 1; level < options_.num_levels; ++level) {
+  // Leveled L1+: at most one file per level.
+  for (int level = overlapping_levels; level < options_.num_levels; ++level) {
     const auto& files = version->levels[level];
     const auto it = std::lower_bound(
         files.begin(), files.end(), key,
@@ -291,6 +300,145 @@ sim::Task<LsmDb::GetResult> LsmDb::Get(std::string_view key, TraceContext ctx) {
     }
   }
   out.status = Status::NotFound("no entry");
+  co_return out;
+}
+
+sim::Task<LsmDb::ScanResult> LsmDb::Scan(std::string_view start,
+                                         std::string_view end, size_t limit,
+                                         TraceContext ctx) {
+  const OpGuard guard(this);
+  ++scans_;
+  ScanResult out;
+  if (dead_) {
+    out.status = Status::Unavailable("db killed");
+    co_return out;
+  }
+  const SequenceNumber snapshot = seq_;
+  const IoTag tag{tenant_, AppRequest::kScan, InternalOp::kNone, ctx};
+
+  // Pin one consistent cut before any suspension: the version snapshot
+  // plus the memtables' in-range entries (no IO).
+  const VersionRef base = current_;
+  std::vector<MemTable::Entry> mem_entries;
+  for (const MemTable* mt : {mem_.get(), imm_.get()}) {
+    if (mt == nullptr) {
+      continue;
+    }
+    MemTable::Iterator it(mt);
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      const MemTable::Entry& e = it.entry();
+      if (e.key < start || (!end.empty() && e.key >= end) ||
+          e.seq > snapshot) {
+        continue;
+      }
+      mem_entries.push_back(e);
+    }
+  }
+  // The two memtables interleave: restore internal order across them.
+  std::sort(mem_entries.begin(), mem_entries.end(),
+            [](const MemTable::Entry& a, const MemTable::Entry& b) {
+              return CompareInternalKey(a.key, a.seq, b.key, b.seq) < 0;
+            });
+
+  // One streaming cursor per table whose range overlaps [start, end); the
+  // TableRef pins the file for the cursor's lifetime. Applies uniformly to
+  // both compaction policies — leveled L1+ files are merely a disjoint
+  // special case of "overlapping runs".
+  struct TableSource {
+    TableRef table;
+    std::unique_ptr<SstableReader::RangeCursor> cursor;
+  };
+  std::vector<TableSource> tables;
+  for (const std::vector<TableRef>& level : base->levels) {
+    for (const TableRef& t : level) {
+      if (t->largest < start || (!end.empty() && t->smallest >= end)) {
+        continue;
+      }
+      auto seeked = co_await t->reader->Seek(tag, start);
+      if (dead_) {
+        out.status = Status::Unavailable("db killed");
+        co_return out;
+      }
+      if (!seeked.ok()) {
+        out.status = seeked.status();
+        co_return out;
+      }
+      if ((*seeked)->Valid()) {
+        tables.push_back(TableSource{t, std::move(*seeked)});
+      }
+    }
+  }
+
+  // K-way merge in internal-key order. The first surfacing of a user key
+  // is its newest visible version — it wins, and (value or tombstone)
+  // shadows every older version behind it.
+  size_t mem_pos = 0;
+  std::string last_user_key;
+  bool have_last = false;
+  while (limit == 0 || out.entries.size() < limit) {
+    bool best_is_mem = false;
+    int best = -1;
+    std::string_view bkey;
+    std::string_view bval;
+    SequenceNumber bseq = 0;
+    ValueType btype = ValueType::kPut;
+    if (mem_pos < mem_entries.size()) {
+      const MemTable::Entry& e = mem_entries[mem_pos];
+      best_is_mem = true;
+      bkey = e.key;
+      bval = e.value;
+      bseq = e.seq;
+      btype = e.type;
+    }
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (!tables[i].cursor->Valid()) {
+        continue;
+      }
+      const Record& r = tables[i].cursor->record();
+      if ((!best_is_mem && best < 0) ||
+          CompareInternalKey(r.key, r.seq, bkey, bseq) < 0) {
+        best_is_mem = false;
+        best = static_cast<int>(i);
+        bkey = r.key;
+        bval = r.value;
+        bseq = r.seq;
+        btype = r.type;
+      }
+    }
+    if (!best_is_mem && best < 0) {
+      break;  // every source exhausted
+    }
+    if (!end.empty() && bkey >= end) {
+      break;  // the global minimum is past the range: so is everything else
+    }
+    // Versions newer than the snapshot neither emit nor shadow (skipping
+    // them lets the older visible version surface next).
+    if (bseq <= snapshot) {
+      if (!(have_last && bkey == last_user_key)) {
+        // Copy before advancing: the views die with the cursor's block.
+        last_user_key = std::string(bkey);
+        have_last = true;
+        if (btype != ValueType::kDelete) {
+          out.entries.emplace_back(std::string(bkey), std::string(bval));
+          ++scan_keys_;
+          scan_bytes_ += bkey.size() + bval.size();
+        }
+      }
+    }
+    if (best_is_mem) {
+      ++mem_pos;
+    } else {
+      Status s = co_await tables[best].cursor->Next();
+      if (dead_) {
+        out.status = Status::Unavailable("db killed");
+        co_return out;
+      }
+      if (!s.ok()) {
+        out.status = s;
+        co_return out;
+      }
+    }
+  }
   co_return out;
 }
 
@@ -390,6 +538,13 @@ sim::Task<void> LsmDb::FlushJob() {
     scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kFlush);
     imm_.reset();
     if (imm_wal_ != nullptr) {
+      // A group-commit leader suspended in the rotated log's batch loop
+      // still touches its queue when the shared write lands; drain any
+      // in-flight appends before destroying the object under it.
+      co_await imm_wal_->WaitIdle();
+      if (dead_) {
+        break;  // crash while draining: keep the log for replay
+      }
       imm_wal_->Remove();
       imm_wal_.reset();
     }
@@ -411,6 +566,24 @@ sim::Task<void> LsmDb::FlushJob() {
 int LsmDb::PickCompactionLevel() const {
   double best_score = 1.0;
   int best_level = -1;
+  if (options_.compaction_policy == CompactionPolicy::kSizeTiered) {
+    // Fullest tier by run count; the bottom tier self-merges at the same
+    // threshold. A single run never merges (nothing to reclaim).
+    for (int tier = 0; tier < options_.num_levels; ++tier) {
+      const size_t runs = current_->levels[tier].size();
+      if (runs < 2) {
+        continue;
+      }
+      const double score =
+          static_cast<double>(runs) /
+          static_cast<double>(options_.tier_compaction_trigger);
+      if (score >= best_score) {
+        best_score = score;
+        best_level = tier;
+      }
+    }
+    return best_level;
+  }
   const double l0_score =
       static_cast<double>(current_->levels[0].size()) /
       static_cast<double>(options_.l0_compaction_trigger);
@@ -447,7 +620,11 @@ sim::Task<void> LsmDb::CompactionJob() {
     if (level < 0) {
       break;
     }
-    co_await CompactLevel(level);
+    if (options_.compaction_policy == CompactionPolicy::kSizeTiered) {
+      co_await CompactTier(level);
+    } else {
+      co_await CompactLevel(level);
+    }
   }
   compaction_running_ = false;
 }
@@ -664,6 +841,149 @@ sim::Task<Status> LsmDb::CompactLevel(int level) {
   co_return Status::Ok();
 }
 
+sim::Task<Status> LsmDb::CompactTier(int tier) {
+  IoTag tag{tenant_, AppRequest::kPut, InternalOp::kCompact, {}};
+  const SimTime compact_start = loop_.Now();
+  scheduler_.tracker().RecordTrigger(tenant_, AppRequest::kPut,
+                                     InternalOp::kCompact);
+  // The bottom tier has nowhere deeper to push: it merges in place, which
+  // is also the only point tombstones may die (no older version of any key
+  // can exist below the merge's inputs).
+  const bool bottom_self = tier == options_.num_levels - 1;
+  const int out_level = bottom_self ? tier : tier + 1;
+
+  // Inputs: the whole tier, pinned from the current version. Taking every
+  // run is what keeps recency tier-ordered (all of tier k stays newer than
+  // all of tier k+1), which GET's newest-first probe relies on.
+  const VersionRef base = current_;
+  std::vector<TableRef> inputs = base->levels[tier];
+  if (inputs.size() < 2) {
+    scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
+    co_return Status::Ok();
+  }
+
+  // Trace: same fan-in linkage as leveled compaction — parent under the
+  // first input's lineage, link the rest plus sampled request origins.
+  obs::SpanCollector* spans = scheduler_.spans();
+  obs::SpanLinkSet fan_in;
+  obs::SpanLinkSet origins;
+  TraceContext compact_parent;
+  if (spans != nullptr) {
+    for (const TableRef& t : inputs) {
+      if (!compact_parent.valid()) {
+        compact_parent = t->lineage;
+      } else {
+        fan_in.Add(t->lineage);
+      }
+      origins.Merge(t->origin_links);
+    }
+    tag.ctx = compact_parent.valid() ? spans->MintChild(compact_parent)
+                                     : spans->MintAlways();
+  }
+
+  // Merge: sequential reads of every run, newest version of each key wins.
+  std::vector<MemTable::Entry> entries;
+  auto collect = [&entries](const Record& rec) {
+    entries.push_back(MemTable::Entry{std::string(rec.key),
+                                      std::string(rec.value), rec.seq,
+                                      rec.type, {}});
+  };
+  for (const TableRef& t : inputs) {
+    Status s = co_await t->reader->ScanAll(tag, collect);
+    if (dead_) {
+      co_return Status::Unavailable("db killed");
+    }
+    if (!s.ok()) {
+      scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
+      co_return s;
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const MemTable::Entry& a, const MemTable::Entry& b) {
+              return CompareInternalKey(a.key, a.seq, b.key, b.seq) < 0;
+            });
+  std::vector<MemTable::Entry> merged;
+  merged.reserve(entries.size());
+  std::string last_user_key;
+  bool have_last = false;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (have_last && entries[i].key == last_user_key) {
+      continue;  // shadowed older version
+    }
+    last_user_key = entries[i].key;
+    have_last = true;
+    if (bottom_self && entries[i].type == ValueType::kDelete) {
+      continue;  // nothing deeper left to shadow
+    }
+    merged.push_back(std::move(entries[i]));
+  }
+
+  // One output run per merge — a run is a single file here, so the
+  // newest-first invariant stays "front-inserted, highest number first".
+  std::vector<TableRef> outputs;
+  if (!merged.empty()) {
+    auto built = co_await BuildTable(merged, 0, merged.size(), tag);
+    if (dead_) {
+      co_return Status::Unavailable("db killed");  // output dtor-reclaimed
+    }
+    if (!built.ok()) {
+      scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
+      co_return built.status();
+    }
+    (*built)->lineage = tag.ctx;
+    (*built)->origin_links = origins;
+    outputs.push_back(*built);
+  }
+
+  // Install against the *latest* version: flushes may have front-inserted
+  // newer tier-0 runs meanwhile; they are preserved.
+  auto is_input = [&](const TableRef& t) {
+    for (const TableRef& in : inputs) {
+      if (in == t) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto next = std::make_shared<Version>(*current_);
+  auto& in_files = next->levels[tier];
+  in_files.erase(std::remove_if(in_files.begin(), in_files.end(), is_input),
+                 in_files.end());
+  auto& out_files = next->levels[out_level];
+  out_files.insert(out_files.begin(), outputs.begin(), outputs.end());
+  current_ = next;
+  ++compactions_;
+  for (const TableRef& t : inputs) {
+    compact_bytes_read_ += t->size_bytes;
+  }
+  uint64_t output_bytes = 0;
+  for (const TableRef& t : outputs) {
+    output_bytes += t->size_bytes;
+  }
+  compact_bytes_written_ += output_bytes;
+  compact_ns_ += static_cast<uint64_t>(loop_.Now() - compact_start);
+  if (spans != nullptr) {
+    obs::SpanRecord rec;
+    rec.trace_id = tag.ctx.trace_id;
+    rec.span_id = tag.ctx.span_id;
+    rec.parent_span = compact_parent.span_id;
+    rec.kind = obs::SpanKind::kCompact;
+    rec.app = static_cast<uint8_t>(AppRequest::kPut);
+    rec.internal = static_cast<uint8_t>(InternalOp::kCompact);
+    rec.is_write = 1;
+    rec.tenant = tenant_;
+    rec.start_ns = compact_start;
+    rec.end_ns = loop_.Now();
+    rec.bytes = output_bytes;
+    rec.links = fan_in;
+    rec.links.Merge(origins);
+    spans->Record(rec);
+  }
+  scheduler_.tracker().RecordInternalOpDone(tenant_, InternalOp::kCompact);
+  stall_cv_.NotifyAll();  // tier-0 pressure may have cleared
+  co_return Status::Ok();
+}
+
 sim::Task<void> LsmDb::WaitIdle() {
   while (!dead_ && (flush_running_ || compaction_running_ || imm_ != nullptr)) {
     co_await sim::SleepFor(loop_, 10 * kMillisecond);
@@ -743,6 +1063,9 @@ LsmStats LsmDb::stats() const {
   LsmStats s;
   s.puts = puts_;
   s.gets = gets_;
+  s.scans = scans_;
+  s.scan_keys = scan_keys_;
+  s.scan_bytes = scan_bytes_;
   s.flushes = flushes_;
   s.compactions = compactions_;
   s.tables_probed = tables_probed_;
@@ -771,6 +1094,19 @@ LsmStats LsmDb::stats() const {
 }
 
 std::string LsmDb::DebugCheckInvariants() const {
+  if (options_.compaction_policy == CompactionPolicy::kSizeTiered) {
+    // Every tier is a stack of whole runs, newest (highest number) first.
+    for (int tier = 0; tier < options_.num_levels; ++tier) {
+      const auto& runs = current_->levels[tier];
+      for (size_t i = 1; i < runs.size(); ++i) {
+        if (runs[i - 1]->number < runs[i]->number) {
+          return "tier " + std::to_string(tier) +
+                 " not newest-first at index " + std::to_string(i);
+        }
+      }
+    }
+    return "";
+  }
   const auto& l0 = current_->levels[0];
   for (size_t i = 1; i < l0.size(); ++i) {
     if (l0[i - 1]->number < l0[i]->number) {

@@ -44,6 +44,21 @@
 
 namespace libra::lsm {
 
+// How background compaction reorganizes the tree (a per-tenant choice,
+// declared at AddTenant and priced accordingly — the policy shapes the
+// indirect q^{a,i} profile the resource tracker observes):
+//   kLeveled    — LevelDB-style: L0 overlapping, L1+ sorted disjoint runs;
+//                 merging rewrites overlapping out-level files. Low read
+//                 amplification, high write amplification.
+//   kSizeTiered — every level is a tier of whole overlapping runs, newest
+//                 first; a full tier merges into a single run front-
+//                 inserted into the next tier. Low write amplification,
+//                 high read amplification (every run is probed on GET).
+enum class CompactionPolicy : uint8_t {
+  kLeveled = 0,
+  kSizeTiered = 1,
+};
+
 struct LsmOptions {
   uint64_t write_buffer_bytes = 4 * kMiB;  // memtable/WAL size limit
   uint32_t block_bytes = 4096;
@@ -61,14 +76,21 @@ struct LsmOptions {
   // Byte cap on resident sstable index blocks; 0 = unbounded (default:
   // every table keeps its index resident after first use, as before).
   uint64_t table_cache_bytes = 0;
+  CompactionPolicy compaction_policy = CompactionPolicy::kLeveled;
+  // Size-tiered only: runs a tier accumulates before the whole tier merges
+  // into the next (the bottom tier self-merges at the same threshold).
+  int tier_compaction_trigger = 4;
 };
 
 struct LsmStats {
   uint64_t puts = 0;
   uint64_t gets = 0;
+  uint64_t scans = 0;
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t tables_probed = 0;  // cumulative per-GET file probes
+  uint64_t scan_keys = 0;      // live keys yielded across all scans
+  uint64_t scan_bytes = 0;     // key+value payload bytes of those keys
   // Background-work and backpressure accounting (observability):
   uint64_t flush_bytes = 0;            // table bytes written by FLUSH
   uint64_t flush_ns = 0;               // total sim time inside flushes
@@ -125,6 +147,22 @@ class LsmDb {
     std::string value;  // valid when status.ok()
   };
   sim::Task<GetResult> Get(std::string_view key, TraceContext ctx = {});
+
+  struct ScanResult {
+    Status status;
+    // Live key/value pairs in user-key order; tombstoned and shadowed
+    // versions are merged away.
+    std::vector<std::pair<std::string, std::string>> entries;
+  };
+  // Bounded range scan over [start, end) — an empty `end` means "to the
+  // end of the keyspace" — yielding at most `limit` live entries (0 = no
+  // limit). A k-way merge-read across memtable, sealed memtable, and every
+  // overlapping table: sources stream in internal-key order through
+  // per-table RangeCursors, the newest version of each user key wins, and
+  // tombstones shadow older versions below them. Table IO is charged to
+  // the tenant's SCAN class; `ctx` rides the tags like Get's.
+  sim::Task<ScanResult> Scan(std::string_view start, std::string_view end,
+                             size_t limit, TraceContext ctx = {});
 
   // Awaits quiescence of background flush/compaction work.
   sim::Task<void> WaitIdle();
@@ -194,8 +232,10 @@ class LsmDb {
   using TableRef = std::shared_ptr<TableHandle>;
 
   struct Version {
-    // levels[0]: newest first, ranges may overlap.
-    // levels[1..]: sorted by smallest key, disjoint ranges.
+    // Leveled: levels[0] newest first (ranges may overlap); levels[1..]
+    // sorted by smallest key, disjoint ranges.
+    // Size-tiered: every level is a tier of whole runs, newest first,
+    // ranges may overlap.
     std::vector<std::vector<TableRef>> levels;
   };
   using VersionRef = std::shared_ptr<const Version>;
@@ -225,6 +265,9 @@ class LsmDb {
   // Level most in need of compaction; returns -1 when all scores < 1.
   int PickCompactionLevel() const;
   sim::Task<Status> CompactLevel(int level);
+  // Size-tiered: merges every run of `tier` into one run front-inserted
+  // into the next tier (the bottom tier merges in place).
+  sim::Task<Status> CompactTier(int tier);
 
   // --- helpers ---
   std::string TableName(uint64_t number) const;
@@ -276,6 +319,9 @@ class LsmDb {
 
   uint64_t puts_ = 0;
   uint64_t gets_ = 0;
+  uint64_t scans_ = 0;
+  uint64_t scan_keys_ = 0;
+  uint64_t scan_bytes_ = 0;
   uint64_t flushes_ = 0;
   uint64_t compactions_ = 0;
   uint64_t tables_probed_ = 0;

@@ -225,6 +225,60 @@ sim::Task<SstableReader::GetResult> SstableReader::Get(
   co_return result;
 }
 
+sim::Task<Status> SstableReader::RangeCursor::SkipTo(std::string_view start,
+                                                     bool bounded) {
+  valid_ = false;
+  while (true) {
+    while (offset_ < block_.size()) {
+      if (!DecodeRecord(block_, &offset_, &record_)) {
+        co_return Status::DataLoss("bad data block");
+      }
+      if (!bounded || record_.key >= start) {
+        valid_ = true;
+        co_return Status::Ok();
+      }
+    }
+    if (next_block_ >= index_->size()) {
+      co_return Status::Ok();  // clean end of table, cursor invalid
+    }
+    const auto& entry = (*index_)[next_block_];
+    Status s = co_await fs_.ReadAt(file_, tag_, std::get<1>(entry),
+                                   std::get<2>(entry), &block_);
+    if (!s.ok()) {
+      co_return s;
+    }
+    offset_ = 0;
+    ++next_block_;
+  }
+}
+
+sim::Task<Status> SstableReader::RangeCursor::Next() {
+  return SkipTo({}, /*bounded=*/false);
+}
+
+sim::Task<StatusOr<std::unique_ptr<SstableReader::RangeCursor>>>
+SstableReader::Seek(const iosched::IoTag& tag, std::string_view start) {
+  StatusOr<TableIndexCache::IndexRef> loaded = co_await LoadIndex(tag);
+  if (!loaded.ok()) {
+    co_return loaded.status();
+  }
+  std::unique_ptr<RangeCursor> cursor(
+      new RangeCursor(fs_, file_, tag, *loaded));
+  // Records before the first block whose last key >= start all compare
+  // below the seek key; start loading there.
+  const TableIndexCache::Index& index = **loaded;
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), start,
+      [](const auto& entry, std::string_view k) {
+        return std::string_view(std::get<0>(entry)) < k;
+      });
+  cursor->next_block_ = static_cast<size_t>(it - index.begin());
+  if (Status s = co_await cursor->SkipTo(start, /*bounded=*/true); !s.ok()) {
+    co_return s;
+  }
+  co_return cursor;
+}
+
 sim::Task<Status> SstableReader::ScanAll(
     const iosched::IoTag& tag,
     const std::function<void(const Record&)>& fn) {

@@ -156,6 +156,50 @@ class SstableReader {
   sim::Task<GetResult> Get(const iosched::IoTag& tag, std::string_view key,
                            SequenceNumber snapshot);
 
+  // Streaming in-order cursor over the table's records with user key >=
+  // the seek key, for range scans. Data blocks are loaded on demand as the
+  // cursor advances (each charged to the cursor's tag), so a
+  // limit-truncated scan pays only for the blocks it actually touched —
+  // unlike ScanAll's whole-table read. The cursor pins the parsed index
+  // for its lifetime (a cache eviction mid-scan cannot invalidate it).
+  class RangeCursor {
+   public:
+    bool Valid() const { return valid_; }
+    // The current record; views point into the cursor's resident block and
+    // are invalidated by Next(). Requires Valid().
+    const Record& record() const { return record_; }
+    // Advances to the next record in internal-key order, reading the next
+    // data block when the current one is exhausted. Clears Valid() past
+    // the table's last record.
+    sim::Task<Status> Next();
+
+   private:
+    friend class SstableReader;
+    RangeCursor(fs::SimFs& fs, fs::FileId file, iosched::IoTag tag,
+                TableIndexCache::IndexRef index)
+        : fs_(fs), file_(file), tag_(tag), index_(std::move(index)) {}
+
+    // Decodes forward until a record with user key >= `start` surfaces
+    // (every record when `bounded` is false), loading blocks as needed.
+    sim::Task<Status> SkipTo(std::string_view start, bool bounded);
+
+    fs::SimFs& fs_;
+    fs::FileId file_;
+    iosched::IoTag tag_;
+    TableIndexCache::IndexRef index_;
+    size_t next_block_ = 0;  // index of the next data block to load
+    std::string block_;      // resident data block backing record_'s views
+    size_t offset_ = 0;      // decode position within block_
+    Record record_;
+    bool valid_ = false;
+  };
+
+  // Opens a cursor positioned at the first record whose user key is >=
+  // `start` (immediately invalid when the table holds none). The index
+  // load and all data-block reads are charged to `tag`.
+  sim::Task<StatusOr<std::unique_ptr<RangeCursor>>> Seek(
+      const iosched::IoTag& tag, std::string_view start);
+
   // Sequential scan for compaction: reads the whole table in write_chunk
   // sized IOs and yields records in order via `fn`.
   sim::Task<Status> ScanAll(

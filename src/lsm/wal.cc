@@ -1,6 +1,7 @@
 #include "src/lsm/wal.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace libra::lsm {
@@ -53,6 +54,7 @@ sim::Task<Status> WriteAheadLog::Append(const iosched::IoTag& tag,
 sim::Task<Status> WriteAheadLog::AppendBatched(iosched::IoTag tag,
                                                std::string frame) {
   sim::OneShot<Status> done(fs_.scheduler().loop());
+  ++inflight_;
   pending_.push_back(Pending{std::move(frame), tag, &done});
   // Single-threaded coroutine interleaving makes this check-and-claim
   // race-free: whoever finds no sync in flight becomes the leader and
@@ -99,7 +101,18 @@ sim::Task<Status> WriteAheadLog::AppendBatched(iosched::IoTag tag,
     sync_inflight_ = false;
   }
   // The leader's own slot was acked inside its loop (set-before-wait).
-  co_return co_await done.Wait();
+  const Status result = co_await done.Wait();
+  if (--inflight_ == 0 && idle_waiter_) {
+    auto h = std::exchange(idle_waiter_, std::coroutine_handle<>{});
+    fs_.scheduler().loop().Post([h] { h.resume(); });
+  }
+  co_return result;
+}
+
+sim::Task<void> WriteAheadLog::WaitIdle() {
+  while (inflight_ > 0) {
+    co_await IdleAwaiter{this};
+  }
 }
 
 Status WriteAheadLog::Replay(

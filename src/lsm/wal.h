@@ -20,6 +20,8 @@
 #ifndef LIBRA_SRC_LSM_WAL_H_
 #define LIBRA_SRC_LSM_WAL_H_
 
+#include <cassert>
+#include <coroutine>
 #include <deque>
 #include <functional>
 #include <string>
@@ -72,6 +74,11 @@ class WriteAheadLog {
   // Deletes the log file (after a successful FLUSH).
   Status Remove();
 
+  // Resolves once no batched append is in flight. A group-commit leader
+  // suspended in its batch loop still touches the queue when the shared
+  // write lands, so a rotated log must be drained before it is destroyed.
+  sim::Task<void> WaitIdle();
+
   uint64_t SizeBytes() const;
   const std::string& filename() const { return filename_; }
 
@@ -87,6 +94,16 @@ class WriteAheadLog {
   // is in flight, else wait to be committed by the current leader.
   sim::Task<Status> AppendBatched(iosched::IoTag tag, std::string frame);
 
+  struct IdleAwaiter {
+    WriteAheadLog* wal;
+    bool await_ready() const noexcept { return wal->inflight_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(!wal->idle_waiter_ && "one WaitIdle waiter at a time");
+      wal->idle_waiter_ = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
   fs::SimFs& fs_;
   std::string filename_;
   WalOptions options_;
@@ -94,6 +111,8 @@ class WriteAheadLog {
   fs::FileId file_ = fs::kInvalidFile;
   std::deque<Pending> pending_;
   bool sync_inflight_ = false;
+  int inflight_ = 0;  // batched appends between enqueue and ack
+  std::coroutine_handle<> idle_waiter_;
 };
 
 }  // namespace libra::lsm

@@ -18,25 +18,29 @@
 #include <deque>
 #include <vector>
 
+#include "src/obs/conformance.h"
+
 namespace libra::obs {
 
-// One tenant's row within an interval step.
+// One tenant's row within an interval step. Per-class values are arrays
+// indexed like conformance.h's kAttrApps vocabulary (0 = unattributed and
+// always zero; 1 = GET, 2 = PUT, 3 = SCAN) so new application request
+// classes flow through the audit trail without new fields.
 struct AuditTenantEntry {
   uint32_t tenant = 0;
-  // Reservation in normalized (1KB) requests per second.
-  double reserved_get_rps = 0.0;
-  double reserved_put_rps = 0.0;
-  // EWMA profile components (VOPs per normalized request).
-  double profile_get_direct = 0.0;
-  double profile_get_flush = 0.0;
-  double profile_get_compact = 0.0;
-  double profile_put_direct = 0.0;
-  double profile_put_flush = 0.0;
-  double profile_put_compact = 0.0;
+  // Reservation in normalized (1KB) requests per second, per class.
+  double reserved_rps[kAttrApps] = {};
+  // EWMA profile components (VOPs per normalized request), per class.
+  double profile_direct[kAttrApps] = {};
+  double profile_flush[kAttrApps] = {};
+  double profile_compact[kAttrApps] = {};
   // Effective VOP prices actually used by the policy (mode-dependent: under
   // object-size pricing these differ from the full profile totals).
-  double price_get = 0.0;
-  double price_put = 0.0;
+  double price[kAttrApps] = {};
+  // The tenant's declared LSM compaction policy (0 = leveled, 1 =
+  // size-tiered): the policy shapes the indirect profile, so conformance
+  // verdicts on q^{a,i} are read against it.
+  uint8_t compaction_policy = 0;
   double required_vops = 0.0;  // priced reservation before scaling
   double granted_vops = 0.0;   // allocation installed in the scheduler
   // SLA conformance over the interval that just ended (see obs::SlaMonitor):

@@ -25,7 +25,7 @@
 namespace libra::obs {
 
 // Mirrors iosched::kNumAppRequests / kNumInternalOps.
-inline constexpr int kAttrApps = 3;      // none, GET, PUT
+inline constexpr int kAttrApps = 4;      // none, GET, PUT, SCAN
 inline constexpr int kAttrInternal = 4;  // direct, FLUSH, COMPACT, REPL
 
 // One tenant's cumulative attribution state. A value type: a steady-state

@@ -18,6 +18,8 @@ const char* AppName(uint8_t app) {
       return "GET";
     case 2:
       return "PUT";
+    case 3:
+      return "SCAN";
     default:
       return "none";
   }

@@ -87,7 +87,21 @@ void ClusterTenantWorkload::CountError(const Status& s) {
 
 sim::Task<void> ClusterTenantWorkload::Worker(SimTime end_time) {
   while (loop_.Now() < end_time) {
-    if (rng_.Bernoulli(spec_.get_fraction)) {
+    // scan_fraction > 0 short-circuits before the Bernoulli so the default
+    // mix draws exactly the historical GET/PUT RNG stream.
+    if (spec_.scan_fraction > 0.0 && rng_.Bernoulli(spec_.scan_fraction)) {
+      const uint64_t idx = rng_.NextU64(get_keys_);
+      const Result<cluster::ScanEntries> r = co_await handle_.Scan(
+          GetKey(idx), std::string(),
+          static_cast<size_t>(std::max(1, spec_.scan_span)));
+      if (r.ok()) {
+        scan_keys_returned_ += r.value().size();
+      } else {
+        ++scan_errors_;
+        CountError(r.status());
+      }
+      ++scans_done_;
+    } else if (rng_.Bernoulli(spec_.get_fraction)) {
       const uint64_t idx = zipf_ != nullptr ? zipf_->Sample(rng_) % get_keys_
                                             : rng_.NextU64(get_keys_);
       const Result<std::string> r = co_await handle_.Get(GetKey(idx));

@@ -1,8 +1,9 @@
 // Closed-loop KV workload against the cluster layer's redesigned client
-// API: the same GET/PUT mix, key ranges, and log-normal sizes as
+// API: the same GET/PUT/SCAN mix, key ranges, and log-normal sizes as
 // KvTenantWorkload, but issued through a cluster::TenantHandle, so every
 // request is routed to the node homing its key's shard (and suspends
-// through shard migrations instead of failing).
+// through shard migrations instead of failing). Scans fan out across every
+// slot-serving node and merge at the client.
 
 #ifndef LIBRA_SRC_WORKLOAD_CLUSTER_WORKLOAD_H_
 #define LIBRA_SRC_WORKLOAD_CLUSTER_WORKLOAD_H_
@@ -34,6 +35,9 @@ class ClusterTenantWorkload {
 
   uint64_t gets_done() const { return gets_done_; }
   uint64_t puts_done() const { return puts_done_; }
+  uint64_t scans_done() const { return scans_done_; }
+  uint64_t scan_keys_returned() const { return scan_keys_returned_; }
+  uint64_t scan_errors() const { return scan_errors_; }
   uint64_t get_errors() const { return get_errors_; }
   // Failure-mode breakdown (crash experiments): requests that ultimately
   // failed kUnavailable (retry budget exhausted against down replicas) or
@@ -67,6 +71,9 @@ class ClusterTenantWorkload {
   uint64_t put_keys_ = 0;
   uint64_t gets_done_ = 0;
   uint64_t puts_done_ = 0;
+  uint64_t scans_done_ = 0;
+  uint64_t scan_keys_returned_ = 0;
+  uint64_t scan_errors_ = 0;
   uint64_t get_errors_ = 0;
   uint64_t put_errors_ = 0;
   uint64_t unavailable_errors_ = 0;

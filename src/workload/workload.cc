@@ -129,6 +129,8 @@ void KvTenantWorkload::Start(sim::TaskGroup& group, SimTime end_time) {
 
 void KvTenantWorkload::SwapMix(const KvWorkloadSpec& spec) {
   spec_.get_fraction = spec.get_fraction;
+  spec_.scan_fraction = spec.scan_fraction;
+  spec_.scan_span = spec.scan_span;
   spec_.get_size = spec.get_size;
   spec_.put_size = spec.put_size;
   get_dist_ = std::make_unique<LogNormalSize>(MakeDist(spec_.get_size));
@@ -138,7 +140,17 @@ void KvTenantWorkload::SwapMix(const KvWorkloadSpec& spec) {
 
 sim::Task<void> KvTenantWorkload::Worker(SimTime end_time) {
   while (loop_.Now() < end_time) {
-    if (rng_.Bernoulli(spec_.get_fraction)) {
+    // The scan_fraction > 0 short-circuit is load-bearing: at the default 0
+    // no Bernoulli is drawn, so the GET/PUT RNG stream (and with it every
+    // historical run) is byte-for-byte unchanged.
+    if (spec_.scan_fraction > 0.0 && rng_.Bernoulli(spec_.scan_fraction)) {
+      const uint64_t idx = rng_.NextU64(get_keys_);
+      const lsm::LsmDb::ScanResult r = co_await node_.Scan(
+          tenant_, GetKey(idx), std::string(),
+          static_cast<size_t>(std::max(1, spec_.scan_span)));
+      scan_keys_returned_ += r.entries.size();
+      ++scans_done_;
+    } else if (rng_.Bernoulli(spec_.get_fraction)) {
       const uint64_t idx = zipf_ != nullptr ? zipf_->Sample(rng_) % get_keys_
                                             : rng_.NextU64(get_keys_);
       co_await node_.Get(tenant_, GetKey(idx));

@@ -73,6 +73,14 @@ class RawIoWorkload {
 
 struct KvWorkloadSpec {
   double get_fraction = 0.5;
+  // Fraction of all requests that are range SCANs, carved off before the
+  // GET/PUT split (so get_fraction then divides the remaining point ops).
+  // 0 (the default) draws no extra randomness, keeping the historical
+  // GET/PUT request stream byte-for-byte.
+  double scan_fraction = 0.0;
+  // Keys returned per SCAN (the limit): each scan starts at a uniformly
+  // drawn GET-range key and walks forward through the keyspace.
+  int scan_span = 16;
   SizeSpec get_size;  // object sizes in the GET key range
   SizeSpec put_size;  // sizes written by PUTs
   // The preloaded object population is sized to hold ~this much live data.
@@ -108,6 +116,9 @@ class KvTenantWorkload {
 
   uint64_t gets_done() const { return gets_done_; }
   uint64_t puts_done() const { return puts_done_; }
+  uint64_t scans_done() const { return scans_done_; }
+  // Live entries returned across all completed scans.
+  uint64_t scan_keys_returned() const { return scan_keys_returned_; }
   iosched::TenantId tenant() const { return tenant_; }
 
  private:
@@ -128,6 +139,8 @@ class KvTenantWorkload {
   uint64_t put_keys_ = 0;
   uint64_t gets_done_ = 0;
   uint64_t puts_done_ = 0;
+  uint64_t scans_done_ = 0;
+  uint64_t scan_keys_returned_ = 0;
 };
 
 // Builds a value of `size` bytes with deterministic, key-derived contents

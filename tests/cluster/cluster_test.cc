@@ -367,6 +367,99 @@ TEST(ClusterTest, MigrateShardValidatesArguments) {
   }());
 }
 
+TEST(ClusterTest, ScanFansOutAcrossNodesAndMergesInKeyOrder) {
+  ClusterRig rig;
+  TenantHandle tenant =
+      rig.cl.AddTenant(1, GlobalReservation{500.0, 500.0, 100.0}).value();
+  rig.RunTask([&]() -> sim::Task<void> {
+    // Keys hash across every slot (and so every node); the scan must visit
+    // them all and return one globally key-ordered run.
+    for (int i = 0; i < 64; ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "k%04d", i);
+      co_await tenant.Put(buf, "v" + std::to_string(i));
+    }
+    const Result<ScanEntries> r =
+        co_await tenant.Scan(std::string(), std::string(), 0);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) {
+      co_return;
+    }
+    EXPECT_EQ(r.value().size(), 64u);
+    for (size_t i = 0; i + 1 < r.value().size(); ++i) {
+      EXPECT_LT(r.value()[i].first, r.value()[i + 1].first);
+    }
+    for (size_t i = 0; i < r.value().size(); ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "k%04d", static_cast<int>(i));
+      EXPECT_EQ(r.value()[i].first, buf);
+      EXPECT_EQ(r.value()[i].second, "v" + std::to_string(i));
+    }
+    // Bounded range: [k0010, k0020) → exactly ten entries.
+    const Result<ScanEntries> mid = co_await tenant.Scan("k0010", "k0020", 0);
+    EXPECT_TRUE(mid.ok());
+    EXPECT_EQ(mid.ok() ? mid.value().size() : 0, 10u);
+    // Limit truncates the merged run, not any single node's slice.
+    const Result<ScanEntries> lim =
+        co_await tenant.Scan(std::string(), std::string(), 5);
+    EXPECT_TRUE(lim.ok());
+    if (lim.ok() && lim.value().size() == 5) {
+      EXPECT_EQ(lim.value()[0].first, "k0000");
+      EXPECT_EQ(lim.value()[4].first, "k0004");
+    } else if (lim.ok()) {
+      ADD_FAILURE() << "limit 5 returned " << lim.value().size();
+    }
+    // Degenerate range is an empty success.
+    const Result<ScanEntries> empty = co_await tenant.Scan("z", "a", 0);
+    EXPECT_TRUE(empty.ok());
+    EXPECT_TRUE(!empty.ok() || empty.value().empty());
+  }());
+}
+
+TEST(ClusterTest, ScanSurvivesShardMigration) {
+  ClusterRig rig;
+  TenantHandle tenant = rig.cl.AddTenant(1, GlobalReservation{}).value();
+  rig.RunTask([&]() -> sim::Task<void> {
+    for (int i = 0; i < 48; ++i) {
+      co_await tenant.Put("m" + std::to_string(100 + i), "v");
+    }
+    // Move a handful of slots; scans must still see every key exactly once
+    // from the slots' new homes.
+    for (int slot = 0; slot < 4; ++slot) {
+      const int home = rig.cl.shard_map().HomeOf(1, slot);
+      co_await rig.cl.MigrateShard(1, slot,
+                                   (home + 1) % rig.cl.num_nodes());
+    }
+    const Result<ScanEntries> r =
+        co_await tenant.Scan(std::string(), std::string(), 0);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.ok() ? r.value().size() : 0, 48u);
+  }());
+}
+
+TEST(ClusterTest, CompactionPolicyPlumbsToEveryNodeAndSnapshot) {
+  ClusterRig rig;
+  ASSERT_TRUE(rig.cl.AddTenant(1, GlobalReservation{100.0, 100.0},
+                               lsm::CompactionPolicy::kSizeTiered)
+                  .ok());
+  ASSERT_TRUE(rig.cl.AddTenant(2, GlobalReservation{100.0, 100.0}).ok());
+  const ClusterStats stats = rig.cl.Snapshot();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].compaction, lsm::CompactionPolicy::kSizeTiered);
+  EXPECT_EQ(stats.tenants[1].compaction, lsm::CompactionPolicy::kLeveled);
+  const std::string json = ClusterStatsToJson(stats);
+  obs::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(obs::JsonParse(json, &parsed, &error)) << error;
+  const obs::JsonValue* tenants = parsed.Find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  ASSERT_EQ(tenants->array.size(), 2u);
+  ASSERT_NE(tenants->array[0].Find("compaction"), nullptr);
+  EXPECT_EQ(tenants->array[0].Find("compaction")->string_value, "tiered");
+  EXPECT_EQ(tenants->array[1].Find("compaction")->string_value, "leveled");
+  ASSERT_NE(tenants->array[0].Find("global_scan_rps"), nullptr);
+}
+
 TEST(ClusterTest, SnapshotCoversNodesTenantsAndRebalances) {
   ClusterRig rig(2);
   ASSERT_TRUE(rig.cl.AddTenant(1, GlobalReservation{10.0, 10.0}).ok());

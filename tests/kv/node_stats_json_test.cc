@@ -138,7 +138,7 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
   opt.lsm_options.max_bytes_level1 = 1 * kMiB;
   StorageNode node(loop, opt);
 
-  ASSERT_TRUE(node.AddTenant(1, {1500.0, 500.0}).ok());
+  ASSERT_TRUE(node.AddTenant(1, {1500.0, 500.0, 300.0}).ok());
   ASSERT_TRUE(node.AddTenant(2, {500.0, 1500.0}).ok());
 
   workload::KvWorkloadSpec spec;
@@ -147,7 +147,11 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
   spec.put_size = {4096.0, 0.0};
   spec.live_bytes_target = 4 * kMiB;
   spec.workers = 4;
-  workload::KvTenantWorkload wl1(loop, node, 1, spec, 11);
+  // Tenant 1 mixes in range scans so the SCAN surfaces carry real traffic;
+  // tenant 2 stays point-only and must still emit the full schema.
+  workload::KvWorkloadSpec scan_spec = spec;
+  scan_spec.scan_fraction = 0.15;
+  workload::KvTenantWorkload wl1(loop, node, 1, scan_spec, 11);
   workload::KvTenantWorkload wl2(loop, node, 2, spec, 12);
 
   {
@@ -191,11 +195,21 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
     SCOPED_TRACE("tenant " + std::to_string(t.Find("tenant")->number));
     EXPECT_GT(t.Find("reservation")->Find("get_rps")->number, 0.0);
     EXPECT_GT(t.Find("reservation")->Find("put_rps")->number, 0.0);
+    ASSERT_NE(t.Find("reservation")->Find("scan_rps"), nullptr);
+    EXPECT_GE(t.Find("reservation")->Find("scan_rps")->number, 0.0);
     EXPECT_GE(t.Find("allocation_vops")->number, 0.0);
+    const bool scanning = t.Find("tenant")->number == 1.0;
 
-    // Application-level GET/PUT latency percentiles.
+    // Application-level GET/PUT/SCAN latency percentiles.
     ExpectHistogramSchema(t.Find("requests")->Find("GET"), true);
     ExpectHistogramSchema(t.Find("requests")->Find("PUT"), true);
+    ASSERT_NE(t.Find("requests")->Find("SCAN"), nullptr);
+    if (scanning) {
+      ExpectHistogramSchema(t.Find("requests")->Find("SCAN"), true);
+    } else {
+      // Point-only tenant: the SCAN histogram is present but empty.
+      EXPECT_EQ(t.Find("requests")->Find("SCAN")->Find("count")->number, 0.0);
+    }
 
     // Scheduler lifecycle: queue wait vs device service, ops == samples.
     const JsonValue* total = t.Find("io")->Find("total");
@@ -218,7 +232,9 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
     for (const JsonValue& c : classes->array) {
       const std::string& app = c.Find("app")->string_value;
       const std::string& internal = c.Find("internal")->string_value;
-      EXPECT_TRUE(app == "GET" || app == "PUT" || app == "none") << app;
+      EXPECT_TRUE(app == "GET" || app == "PUT" || app == "SCAN" ||
+                  app == "none")
+          << app;
       EXPECT_TRUE(internal == "direct" || internal == "FLUSH" ||
                   internal == "COMPACT" || internal == "REPL")
           << internal;
@@ -240,6 +256,15 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
     ASSERT_NE(lsm->Find("compact_bytes_read"), nullptr);
     ASSERT_NE(lsm->Find("compact_bytes_written"), nullptr);
     ASSERT_NE(lsm->Find("stalls"), nullptr);
+    ASSERT_NE(lsm->Find("scans"), nullptr);
+    ASSERT_NE(lsm->Find("scan_keys"), nullptr);
+    ASSERT_NE(lsm->Find("scan_bytes"), nullptr);
+    ASSERT_NE(lsm->Find("compaction_policy"), nullptr);
+    EXPECT_EQ(lsm->Find("compaction_policy")->string_value, "leveled");
+    if (scanning) {
+      EXPECT_GT(lsm->Find("scans")->number, 0.0);
+      EXPECT_GT(lsm->Find("scan_keys")->number, 0.0);
+    }
     ASSERT_TRUE(lsm->Find("files_per_level")->is_array());
   }
 
@@ -259,7 +284,11 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
     SCOPED_TRACE("audit tenant " + std::to_string(e.Find("tenant")->number));
     EXPECT_GT(e.Find("reserved_get_rps")->number, 0.0);
     EXPECT_GT(e.Find("reserved_put_rps")->number, 0.0);
-    for (const char* prof : {"profile_get", "profile_put"}) {
+    ASSERT_NE(e.Find("reserved_scan_rps"), nullptr);
+    EXPECT_GE(e.Find("reserved_scan_rps")->number, 0.0);
+    ASSERT_NE(e.Find("compaction_policy"), nullptr);
+    EXPECT_EQ(e.Find("compaction_policy")->string_value, "leveled");
+    for (const char* prof : {"profile_get", "profile_put", "profile_scan"}) {
       const JsonValue* p = e.Find(prof);
       ASSERT_NE(p, nullptr) << prof;
       for (const char* comp : {"direct", "flush", "compact"}) {
@@ -271,6 +300,8 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
     // and the grant follows required * scale.
     EXPECT_GT(e.Find("price_get")->number, 0.0);
     EXPECT_GT(e.Find("price_put")->number, 0.0);
+    ASSERT_NE(e.Find("price_scan"), nullptr);
+    EXPECT_GE(e.Find("price_scan")->number, 0.0);
     EXPECT_GT(e.Find("required_vops")->number, 0.0);
     EXPECT_NEAR(e.Find("granted_vops")->number,
                 e.Find("required_vops")->number * rec.Find("scale")->number,

@@ -170,6 +170,61 @@ TEST(NodeTraceTest, AttributionConservesVopsThroughFullStack) {
   }
 }
 
+// SCANs carry their own attribution column, and the per-class matrix still
+// conserves VOPs bit-for-bit against the tracker under both compaction
+// policies. A scan-mixed churn, one tenant per policy.
+sim::Task<void> ScanChurn(StorageNode* node, TenantId tenant, int n) {
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        (co_await node->Put(tenant, "k" + std::to_string(i % 40), Val(i)))
+            .ok());
+    if (i % 3 == 0) {
+      const auto r = co_await node->Scan(tenant, "k", std::string(), 8);
+      EXPECT_TRUE(r.status.ok());
+      EXPECT_GT(r.entries.size(), 0u);
+    }
+    if (i % 5 == 0) {
+      (void)co_await node->Get(tenant, "k" + std::to_string(i % 40));
+    }
+  }
+}
+
+TEST(NodeTraceTest, ScanAttributionConservesVopsUnderBothPolicies) {
+  NodeRig rig;
+  ASSERT_TRUE(rig.node.AddTenant(1, {500.0, 500.0, 200.0}, {},
+                                 lsm::CompactionPolicy::kLeveled)
+                  .ok());
+  ASSERT_TRUE(rig.node.AddTenant(2, {500.0, 500.0, 200.0}, {},
+                                 lsm::CompactionPolicy::kSizeTiered)
+                  .ok());
+  rig.RunTask([&]() -> sim::Task<void> {
+    sim::TaskGroup group(rig.loop);
+    group.Spawn(ScanChurn(&rig.node, 1, 400));
+    group.Spawn(ScanChurn(&rig.node, 2, 400));
+    co_await group.Join();
+    co_await rig.node.partition(1)->WaitIdle();
+    co_await rig.node.partition(2)->WaitIdle();
+  }());
+
+  EXPECT_GT(rig.node.partition(1)->stats().scans, 0u);
+  EXPECT_GT(rig.node.partition(2)->stats().scans, 0u);
+  // The size-tiered tenant's churn must actually have exercised its picker.
+  EXPECT_GT(rig.node.partition(2)->stats().compactions, 0u);
+  for (TenantId t : {TenantId{1}, TenantId{2}}) {
+    const obs::AttributionMatrix* m =
+        rig.node.scheduler().spans()->attribution().Of(t);
+    ASSERT_NE(m, nullptr);
+    // Bit-for-bit conservation: per-class attribution sums to exactly the
+    // tracker's admitted VOPs, scans included.
+    EXPECT_EQ(m->total_vops, rig.node.tracker().Stats(t).vops)
+        << "tenant " << t;
+    EXPECT_GT(m->norm_requests[static_cast<int>(AppRequest::kScan)], 0.0)
+        << "tenant " << t;
+    EXPECT_GT(m->norm_requests[static_cast<int>(AppRequest::kGet)], 0.0);
+    EXPECT_GT(m->norm_requests[static_cast<int>(AppRequest::kPut)], 0.0);
+  }
+}
+
 // Conformance verdicts: a profile measured from an identical run conforms;
 // one that hides write amplification is flagged.
 TEST(NodeTraceTest, ConformanceVerdictsInSnapshot) {
@@ -283,9 +338,10 @@ TEST(NodeTraceTest, StatsJsonCarriesTracingSections) {
   ASSERT_NE(attr, nullptr);
   EXPECT_TRUE(attr->Find("observed")->bool_value);
   ASSERT_NE(attr->Find("q"), nullptr);
-  // GET/PUT x kAttrInternal internals (direct, FLUSH, COMPACT, REPL).
+  // GET/PUT/SCAN x kAttrInternal internals (direct, FLUSH, COMPACT, REPL).
   EXPECT_EQ(attr->Find("q")->array.size(),
-            2u * static_cast<size_t>(obs::kAttrInternal));
+            static_cast<size_t>(obs::kAttrApps - 1) *
+                static_cast<size_t>(obs::kAttrInternal));
   const obs::JsonValue* sla = t.Find("sla");
   ASSERT_NE(sla, nullptr);
   ASSERT_NE(sla->Find("violation_rate"), nullptr);

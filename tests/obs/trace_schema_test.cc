@@ -116,7 +116,22 @@ TEST(TraceSchemaTest, SelfGeneratedExportValidates) {
   d.end_ns = 15000;
   c.Record(d);
 
-  ValidateChromeTrace(SpansToChromeTraceJson(c, 0, "node0"));
+  // A SCAN request span: the export must label the kScan class by name.
+  const TraceContext scan = c.MintTrace();
+  SpanRecord sc;
+  sc.trace_id = scan.trace_id;
+  sc.span_id = scan.span_id;
+  sc.kind = SpanKind::kRequest;
+  sc.app = 3;  // SCAN
+  sc.tenant = 1;
+  sc.start_ns = 21000;
+  sc.end_ns = 29000;
+  c.Record(sc);
+
+  const std::string json = SpansToChromeTraceJson(c, 0, "node0");
+  ValidateChromeTrace(json);
+  EXPECT_NE(json.find("SCAN"), std::string::npos)
+      << "kScan request spans must export under the SCAN class name";
 }
 
 TEST(TraceSchemaTest, ExternalTraceFileValidates) {

@@ -14,6 +14,7 @@
 #include "src/fs/sim_fs.h"
 #include "src/iosched/cost_model.h"
 #include "src/iosched/scheduler.h"
+#include "src/lsm/block_cache.h"
 #include "src/lsm/db.h"
 #include "src/lsm/format.h"
 #include "src/lsm/memtable.h"
@@ -126,6 +127,72 @@ void BM_MemtableGet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MemtableGet);
+
+// One bloom probe per iteration against a filter block sized like a flushed
+// SSTable's (4K keys at 10 bits/key, ~5KiB). Half the probes are keys in
+// the filter, half are misses — the mix the filtered GET path sees on the
+// read-miss traffic the filters exist for. This is the per-GET CPU cost
+// added to every table visit, so it must stay tens of nanoseconds.
+void BM_BloomProbe(benchmark::State& state) {
+  constexpr int kKeys = 4096;
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  char buf[32];
+  for (int i = 0; i < kKeys; ++i) {
+    std::snprintf(buf, sizeof(buf), "key%012d", i);
+    keys.emplace_back(buf);
+  }
+  std::string filter;
+  lsm::BloomFilterBuild(keys, 10, &filter);
+  Rng rng(13);
+  uint64_t maybe = 0;
+  for (auto _ : state) {
+    const uint64_t i = rng.NextU64(2 * kKeys);
+    std::snprintf(buf, sizeof(buf), "key%012llu",
+                  static_cast<unsigned long long>(i));
+    maybe += lsm::BloomFilterMayContain(filter, buf) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(maybe);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe);
+
+// One shared-block-cache hit per iteration: the map probe + LRU splice that
+// replaces a device read on the cached GET path. The cache holds a working
+// set of data blocks across several tenants/tables, all resident (no
+// evictions inside the timed loop) — this is the pure hit cost.
+void BM_BlockCacheGet(benchmark::State& state) {
+  constexpr int kTenants = 4;
+  constexpr int kTables = 16;
+  constexpr int kBlocks = 8;
+  constexpr uint64_t kBlockBytes = 4096;
+  lsm::BlockCache cache(/*capacity_bytes=*/0, /*cache_data=*/true);
+  for (int t = 1; t <= kTenants; ++t) {
+    for (int f = 0; f < kTables; ++f) {
+      for (int b = 0; b < kBlocks; ++b) {
+        auto block = std::make_shared<lsm::CachedBlock>();
+        block->bytes = std::string(kBlockBytes, 'd');
+        cache.Insert(static_cast<iosched::TenantId>(t),
+                     static_cast<uint64_t>(f), lsm::BlockCache::Kind::kData,
+                     static_cast<uint64_t>(b) * kBlockBytes, std::move(block),
+                     kBlockBytes);
+      }
+    }
+  }
+  Rng rng(17);
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto tenant =
+        static_cast<iosched::TenantId>(1 + rng.NextU64(kTenants));
+    const uint64_t table = rng.NextU64(kTables);
+    const uint64_t offset = rng.NextU64(kBlocks) * kBlockBytes;
+    hits += cache.Get(tenant, table, lsm::BlockCache::Kind::kData, offset) !=
+            nullptr;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheGet);
 
 void BM_Crc32_4K(benchmark::State& state) {
   const std::string data(4096, 'x');

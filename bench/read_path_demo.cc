@@ -1,0 +1,459 @@
+// Read-path demo: per-SSTable bloom filters and the shared block cache as
+// a filters x cache ablation over a read-heavy mix.
+//
+// Five sequential deterministic simulations on identical workloads (same
+// seeds, same reservations; two tenants — leveled and size-tiered):
+//   baseline        bloom off, cache off (the seed read path)
+//   filters         bloom 10 bits/key    — negative probes skip index+data
+//   cache           shared 4MiB block cache — hot blocks cost zero device IO
+//   filters+cache   both
+//   conformance     filters+cache again, with declared profiles: tenant 1
+//                   declares the STALE baseline q̂ (flagged — the filtered
+//                   read path repriced its GETs), tenant 2 declares the
+//                   filtered q̂ (conformant).
+// For each phase the demo reads back data-block device reads per GET, the
+// floor (min-tenant) GET throughput, the admitted reservation mass from the
+// audit records, and bit-for-bit VOP conservation (attribution total ==
+// tracker sum on every node; filter and cache-fill IO rides the caller's
+// IoTag, so conservation must survive the new read path).
+// Contract (exit 1 on violation): filters cut data-block reads per GET
+// >= 3x vs baseline, bloom counters are exactly zero when off, cache hits
+// appear only when the cache is on, required VOP mass drops under
+// filters+cache (repricing), conservation holds everywhere, and the
+// conformance verdicts split as declared. Output is byte-identical for any
+// --sim-threads at a fixed --rpc-latency-us.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/kv_bench_common.h"
+#include "src/cluster/cluster.h"
+#include "src/metrics/table.h"
+#include "src/obs/conformance.h"
+#include "src/workload/cluster_workload.h"
+
+namespace libra::bench {
+namespace {
+
+using cluster::Cluster;
+using cluster::GlobalReservation;
+using iosched::AppRequest;
+using iosched::TenantId;
+
+struct PhaseSpec {
+  const char* name;
+  uint32_t bloom_bits;
+  uint64_t cache_bytes;
+  bool declare = false;  // conformance phase: install declared profiles
+};
+
+constexpr PhaseSpec kPhases[] = {
+    {"baseline", 0, 0},
+    {"filters", 10, 0},
+    {"cache", 0, 4 * kMiB},
+    {"filters+cache", 10, 4 * kMiB},
+    {"conformance", 10, 4 * kMiB, true},
+};
+constexpr size_t kBaseline = 0, kFilters = 1, kCache = 2, kBoth = 3,
+                 kConformance = 4;
+
+constexpr TenantId kTenants[] = {1, 2};
+constexpr lsm::CompactionPolicy kPolicies[] = {
+    lsm::CompactionPolicy::kLeveled, lsm::CompactionPolicy::kSizeTiered};
+constexpr size_t kN = std::size(kTenants);
+
+// Read-heavy per-class reservation, identical across phases: any shift in
+// required VOP mass is purely the measured profiles repricing.
+constexpr GlobalReservation kGlobal{1600.0, 400.0, 100.0};
+
+// Cluster-wide measured profile (attribution matrices summed across nodes
+// in node order — deterministic FP).
+struct MeasuredProfile {
+  double vops[obs::kAttrApps][obs::kAttrInternal] = {};
+  double norm_requests[obs::kAttrApps] = {};
+
+  double Q(int app, int internal) const {
+    const double n = norm_requests[app];
+    return n > 0.0 ? vops[app][internal] / n : 0.0;
+  }
+  double QTotal(int app) const {
+    double q = 0.0;
+    for (int i = 0; i < obs::kAttrInternal; ++i) {
+      q += Q(app, i);
+    }
+    return q;
+  }
+};
+
+struct PhaseResult {
+  // LSM read-path counters summed over nodes x tenants.
+  uint64_t lsm_gets = 0;
+  uint64_t data_reads = 0;
+  uint64_t index_reads = 0;
+  uint64_t filter_reads = 0;
+  uint64_t data_cache_hits = 0;
+  uint64_t probes = 0;
+  uint64_t negatives = 0;
+  uint64_t false_positives = 0;
+  // Node-shared block caches (summed over nodes).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // Floor (min-tenant) achieved GET rate, normalized requests/s.
+  double floor_get_rate = 0.0;
+  // Admitted reservation mass (last audit record, summed over nodes).
+  double required = 0.0;
+  double granted = 0.0;
+  uint64_t conservation_cells = 0;
+  uint64_t conservation_violations = 0;
+  uint64_t scan_errors = 0;
+  MeasuredProfile profile[kN];
+  // Conformance phase only: per-tenant verdict rollup.
+  int observed_nodes[kN] = {};
+  int nonconformant_nodes[kN] = {};
+
+  double DataReadsPerGet() const {
+    return lsm_gets > 0 ? static_cast<double>(data_reads) / lsm_gets : 0.0;
+  }
+};
+
+sim::Task<void> PreloadAll(
+    std::vector<std::unique_ptr<workload::ClusterTenantWorkload>>* workloads) {
+  for (auto& wl : *workloads) {
+    co_await wl->Preload();
+  }
+}
+
+PhaseResult RunPhase(const BenchArgs& args, const PhaseSpec& spec,
+                     const obs::DeclaredAttribution* declared) {
+  PhaseResult out;
+  SimRig rig = MakeSimRig(args, args.nodes);
+  sim::EventLoop& loop = rig.client();
+  cluster::ClusterOptions copt;
+  copt.num_nodes = args.nodes;
+  copt.node_options = PrototypeNodeOptions();
+  copt.provisioner.interval = 1 * kSecond;
+  // Small memtables and files so the read range spans many tables; the
+  // workload's in-range miss GETs are what the filters' negative probes
+  // collapse to zero device reads.
+  copt.node_options.lsm_options.write_buffer_bytes = 128 * kKiB;
+  copt.node_options.lsm_options.target_file_bytes = 256 * kKiB;
+  copt.node_options.lsm_options.max_bytes_level1 = 1 * kMiB;
+  copt.node_options.lsm_options.l0_compaction_trigger = 6;
+  copt.node_options.lsm_options.wal_group_commit = true;
+  copt.node_options.lsm_options.bloom_bits_per_key = spec.bloom_bits;
+  copt.node_options.lsm_options.block_cache_bytes = spec.cache_bytes;
+  copt.node_options.scheduler_options.span_capacity = 1 << 14;
+  // Declared profiles are the cluster-wide mean, but each node observes its
+  // own q̂ and compaction phases drift node-to-node (measured jitter up to
+  // ~0.28 here). 0.4 clears that jitter while still catching the stale
+  // baseline declaration, which diverges by ~0.98 after filters reprice.
+  copt.node_options.attribution_tolerance = 0.4;
+  std::unique_ptr<Cluster> cl_holder = MakeCluster(rig, copt);
+  Cluster& cl = *cl_holder;
+
+  std::vector<cluster::TenantHandle> handles;
+  for (size_t i = 0; i < kN; ++i) {
+    obs::DeclaredAttribution decl;
+    if (spec.declare && declared != nullptr) {
+      decl = declared[i];
+    }
+    Result<cluster::TenantHandle> h =
+        cl.AddTenant(kTenants[i], kGlobal, kPolicies[i], decl);
+    if (!h.ok()) {
+      std::fprintf(stderr, "AddTenant(%u): %s\n", kTenants[i],
+                   h.status().message().c_str());
+      std::exit(1);
+    }
+    handles.push_back(h.value());
+  }
+
+  std::vector<std::unique_ptr<workload::ClusterTenantWorkload>> workloads;
+  for (size_t i = 0; i < kN; ++i) {
+    workload::KvWorkloadSpec w;
+    w.get_fraction = 0.8;  // read-heavy
+    // Most GETs are existence probes for keys that were never written
+    // (in-range misses). Without filters each miss still pays a data-block
+    // read in the covering table; with filters the negative probe answers
+    // from the resident filter block at zero device reads.
+    w.get_absent_fraction = 0.75;
+    w.scan_fraction = 0.05;
+    w.scan_span = 16;
+    w.get_size = {1024.0, 256.0};
+    w.put_size = {1024.0, 256.0};
+    w.live_bytes_target = (args.full ? 8ULL : 4ULL) * kMiB;
+    w.workers = 8;
+    workloads.push_back(std::make_unique<workload::ClusterTenantWorkload>(
+        loop, handles[i], w, 7000 + kTenants[i]));
+  }
+  {
+    sim::TaskGroup group(loop);
+    group.Spawn(PreloadAll(&workloads));
+    rig.Run();
+  }
+
+  const SimTime t0 = loop.Now();
+  const SimTime t_warm = t0 + (args.full ? 10 : 5) * kSecond;
+  const SimTime t_end = t_warm + (args.full ? 20 : 10) * kSecond;
+
+  cl.Start();
+
+  double gets0[kN]{}, gets1[kN]{};
+  auto snap = [&](double* g) {
+    for (size_t i = 0; i < kN; ++i) {
+      g[i] = cl.GlobalNormalizedTotal(kTenants[i], AppRequest::kGet);
+    }
+  };
+  rig.AtTime(t_warm, [&] { snap(gets0); });
+  rig.AtTime(t_end, [&] { snap(gets1); });
+
+  {
+    sim::TaskGroup group(loop);
+    for (auto& wl : workloads) {
+      wl->Start(group, t_end);
+    }
+    rig.RunUntil(t_end + kSecond);
+    cl.Stop();
+    rig.Run();
+  }
+
+  const double secs = ToSeconds(t_end - t_warm);
+  out.floor_get_rate = (gets1[0] - gets0[0]) / secs;
+  for (size_t i = 1; i < kN; ++i) {
+    out.floor_get_rate =
+        std::min(out.floor_get_rate, (gets1[i] - gets0[i]) / secs);
+  }
+  for (size_t i = 0; i < kN; ++i) {
+    out.scan_errors += workloads[i]->scan_errors();
+  }
+
+  for (int n = 0; n < cl.num_nodes(); ++n) {
+    const kv::NodeStats stats = cl.node(n).Snapshot();
+    out.cache_hits += stats.block_cache.hits;
+    out.cache_misses += stats.block_cache.misses;
+    if (!stats.audit.empty()) {
+      for (const obs::AuditTenantEntry& e : stats.audit.back().tenants) {
+        out.required += e.required_vops;
+        out.granted += e.granted_vops;
+      }
+    }
+    for (const kv::TenantSnapshot& t : stats.tenants) {
+      size_t i = 0;
+      while (i < kN && kTenants[i] != t.tenant) {
+        ++i;
+      }
+      if (i == kN) {
+        continue;
+      }
+      out.lsm_gets += t.lsm.gets;
+      out.data_reads += t.lsm.data_block_reads;
+      out.index_reads += t.lsm.index_block_reads;
+      out.filter_reads += t.lsm.filter_block_reads;
+      out.data_cache_hits += t.lsm.data_cache_hits;
+      out.probes += t.lsm.bloom_probes;
+      out.negatives += t.lsm.bloom_negatives;
+      out.false_positives += t.lsm.bloom_false_positives;
+      if (t.attribution.observed) {
+        ++out.observed_nodes[i];
+        if (!t.attribution.conformant) {
+          ++out.nonconformant_nodes[i];
+        }
+      }
+    }
+    for (size_t i = 0; i < kN; ++i) {
+      const obs::AttributionMatrix* m =
+          cl.node(n).scheduler().spans()->attribution().Of(kTenants[i]);
+      if (m == nullptr) {
+        continue;
+      }
+      ++out.conservation_cells;
+      if (m->total_vops != cl.node(n).tracker().Stats(kTenants[i]).vops) {
+        ++out.conservation_violations;
+      }
+      for (int a = 0; a < obs::kAttrApps; ++a) {
+        out.profile[i].norm_requests[a] += m->norm_requests[a];
+        for (int io = 0; io < obs::kAttrInternal; ++io) {
+          out.profile[i].vops[a][io] += m->vops[a][io];
+        }
+      }
+    }
+  }
+
+  AddStatsSection(args, std::string("read_path_") + spec.name,
+                  cluster::ClusterStatsToJson(cl.Snapshot()));
+  return out;
+}
+
+int RunDemo(const BenchArgs& args) {
+  constexpr size_t kP = std::size(kPhases);
+  PhaseResult results[kP];
+  obs::DeclaredAttribution declared[kN];
+
+  Section(args, "Read-path demo: filters x cache ablation (read-heavy mix)");
+  for (size_t p = 0; p < kP; ++p) {
+    if (kPhases[p].declare) {
+      // Tenant 1 declares the STALE baseline profile; tenant 2 declares the
+      // filtered one just measured.
+      for (size_t i = 0; i < kN; ++i) {
+        const MeasuredProfile& src =
+            results[i == 0 ? kBaseline : kBoth].profile[i];
+        declared[i].declared = true;
+        for (int a = 0; a < obs::kAttrApps; ++a) {
+          for (int io = 0; io < obs::kAttrInternal; ++io) {
+            declared[i].at(a, io) = src.Q(a, io);
+          }
+        }
+      }
+    }
+    results[p] = RunPhase(args, kPhases[p], declared);
+    std::printf("phase %-13s done: %llu LSM gets, %llu data-block reads\n",
+                kPhases[p].name,
+                static_cast<unsigned long long>(results[p].lsm_gets),
+                static_cast<unsigned long long>(results[p].data_reads));
+  }
+
+  constexpr int kGet = static_cast<int>(AppRequest::kGet);
+  metrics::Table table({"phase", "bloom", "cache", "dataRd/GET", "neg",
+                        "fp", "cacheHit%", "q_get", "floorGET/s", "req_vops",
+                        "granted"});
+  for (size_t p = 0; p < kP; ++p) {
+    const PhaseResult& r = results[p];
+    const double lookups = static_cast<double>(r.cache_hits + r.cache_misses);
+    double q_get = 0.0;
+    for (size_t i = 0; i < kN; ++i) {
+      q_get += r.profile[i].QTotal(kGet);
+    }
+    table.AddRow(
+        {kPhases[p].name, std::to_string(kPhases[p].bloom_bits),
+         std::to_string(kPhases[p].cache_bytes / kMiB) + "MiB",
+         metrics::FormatDouble(r.DataReadsPerGet(), 3),
+         std::to_string(r.negatives), std::to_string(r.false_positives),
+         metrics::FormatDouble(
+             lookups > 0.0 ? 100.0 * r.cache_hits / lookups : 0.0, 1),
+         metrics::FormatDouble(q_get / kN, 3),
+         metrics::FormatDouble(r.floor_get_rate, 0),
+         metrics::FormatDouble(r.required, 0),
+         metrics::FormatDouble(r.granted, 0)});
+  }
+  Emit(args, table);
+
+  Section(args, "Read-path demo: conservation, repricing, conformance");
+  uint64_t cells = 0, violations = 0;
+  for (const PhaseResult& r : results) {
+    cells += r.conservation_cells;
+    violations += r.conservation_violations;
+  }
+  std::printf("attribution cells checked: %llu, bitwise violations: %llu\n",
+              static_cast<unsigned long long>(cells),
+              static_cast<unsigned long long>(violations));
+  const double reduction =
+      results[kFilters].DataReadsPerGet() > 0.0
+          ? results[kBaseline].DataReadsPerGet() /
+                results[kFilters].DataReadsPerGet()
+          : 0.0;
+  std::printf("data-block reads/GET: baseline %.3f -> filters %.3f "
+              "(%.1fx), filters+cache %.3f\n",
+              results[kBaseline].DataReadsPerGet(),
+              results[kFilters].DataReadsPerGet(), reduction,
+              results[kBoth].DataReadsPerGet());
+  std::printf("required VOP mass: baseline %.0f -> filters+cache %.0f\n",
+              results[kBaseline].required, results[kBoth].required);
+  for (size_t i = 0; i < kN; ++i) {
+    std::printf("conformance tenant %u: observed on %d nodes, flagged on %d "
+                "(%s profile)\n",
+                kTenants[i], results[kConformance].observed_nodes[i],
+                results[kConformance].nonconformant_nodes[i],
+                i == 0 ? "stale baseline" : "fresh filtered");
+  }
+
+  bool failed = false;
+  if (cells == 0 || violations > 0) {
+    std::fprintf(stderr, "FAIL: VOP attribution not conserved bit-for-bit\n");
+    failed = true;
+  }
+  if (reduction < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: filters cut data-block reads/GET only %.2fx "
+                 "(need >= 3x)\n",
+                 reduction);
+    failed = true;
+  }
+  for (size_t p : {kBaseline, kCache}) {
+    if (results[p].probes + results[p].negatives +
+            results[p].false_positives + results[p].filter_reads !=
+        0) {
+      std::fprintf(stderr, "FAIL: phase %s has bloom activity with "
+                   "filters off\n",
+                   kPhases[p].name);
+      failed = true;
+    }
+  }
+  for (size_t p : {kFilters, kBoth}) {
+    if (results[p].probes == 0 || results[p].negatives == 0) {
+      std::fprintf(stderr, "FAIL: phase %s ran no bloom probes\n",
+                   kPhases[p].name);
+      failed = true;
+    }
+  }
+  for (size_t p : {kBaseline, kFilters}) {
+    if (results[p].cache_hits + results[p].data_cache_hits != 0) {
+      std::fprintf(stderr, "FAIL: phase %s has cache hits with the cache "
+                   "off\n",
+                   kPhases[p].name);
+      failed = true;
+    }
+  }
+  for (size_t p : {kCache, kBoth}) {
+    if (results[p].cache_hits == 0 || results[p].data_cache_hits == 0) {
+      std::fprintf(stderr, "FAIL: phase %s recorded no cache hits\n",
+                   kPhases[p].name);
+      failed = true;
+    }
+  }
+  if (results[kBoth].required >= results[kBaseline].required) {
+    std::fprintf(stderr, "FAIL: filters+cache did not reprice the required "
+                 "VOP mass down\n");
+    failed = true;
+  }
+  if (results[kBoth].floor_get_rate < results[kBaseline].floor_get_rate) {
+    std::fprintf(stderr, "FAIL: filters+cache lowered the floor GET "
+                 "throughput\n");
+    failed = true;
+  }
+  for (const PhaseResult& r : results) {
+    if (r.scan_errors > 0) {
+      std::fprintf(stderr, "FAIL: scan errors (filters must not break range "
+                   "reads)\n");
+      failed = true;
+      break;
+    }
+  }
+  const PhaseResult& conf = results[kConformance];
+  if (conf.observed_nodes[0] == 0 || conf.nonconformant_nodes[0] == 0) {
+    std::fprintf(stderr, "FAIL: stale baseline profile was not flagged "
+                 "after repricing\n");
+    failed = true;
+  }
+  if (conf.observed_nodes[1] == 0 || conf.nonconformant_nodes[1] != 0) {
+    std::fprintf(stderr, "FAIL: fresh filtered profile wrongly flagged\n");
+    failed = true;
+  }
+  if (failed) {
+    return 1;
+  }
+  std::printf(
+      "read-path contract held: filters cut data-block reads >= 3x, cache "
+      "hits cost zero device IO, VOPs conserved bit-for-bit, reservations "
+      "repriced, conformance verdicts track the new profile.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace libra::bench
+
+int main(int argc, char** argv) {
+  const libra::bench::BenchArgs args =
+      libra::bench::ParseCommonFlags(argc, argv);
+  return libra::bench::RunDemo(args);
+}

@@ -23,15 +23,30 @@ BUILD_DIR="${BENCH_BUILD_DIR:-${REPO_ROOT}/build-bench}"
 OUT="${BENCH_OUT:-${REPO_ROOT}/BENCH_micro.json}"
 MIN_TIME="${BENCH_MIN_TIME:-}"
 
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${BUILD_DIR}" --target micro_benchmarks -j"$(nproc)"
+if ! cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release; then
+  echo "error: failed to configure benchmark build tree" \
+       "BENCH_BUILD_DIR=${BUILD_DIR}" >&2
+  exit 1
+fi
+if ! cmake --build "${BUILD_DIR}" --target micro_benchmarks -j"$(nproc)"; then
+  echo "error: micro_benchmarks failed to build in" \
+       "BENCH_BUILD_DIR=${BUILD_DIR}" >&2
+  exit 1
+fi
+
+BIN="${BUILD_DIR}/bench/micro_benchmarks"
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} is missing or not executable; delete or point" \
+       "BENCH_BUILD_DIR=${BUILD_DIR} at a tree configured from this repo" >&2
+  exit 1
+fi
 
 ARGS=(--benchmark_format=json --benchmark_out="${OUT}" --benchmark_out_format=json)
 if [[ -n "${MIN_TIME}" ]]; then
   ARGS+=(--benchmark_min_time="${MIN_TIME}")
 fi
 
-"${BUILD_DIR}/bench/micro_benchmarks" "${ARGS[@]}"
+"${BIN}" "${ARGS[@]}"
 
 # Wall-clock of one fig11 run at --sim-threads=1 vs a 4-wide pool, appended
 # to the benchmark JSON as synthetic entries (compare_benchmarks.py treats

@@ -600,19 +600,28 @@ lsm::CompactionPolicy Cluster::CompactionOf(TenantId tenant) const {
                               : it->second.compaction;
 }
 
+obs::DeclaredAttribution Cluster::DeclaredOf(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? obs::DeclaredAttribution{}
+                              : it->second.declared;
+}
+
 Status Cluster::NodeEnsureTenant(int node, TenantId tenant) {
   const lsm::CompactionPolicy compaction = CompactionOf(tenant);
+  const obs::DeclaredAttribution declared = DeclaredOf(tenant);
   if (multi_ == nullptr) {
     if (!nodes_[node]->HasTenant(tenant)) {
-      return nodes_[node]->AddTenant(tenant, Reservation{}, {}, compaction);
+      return nodes_[node]->AddTenant(tenant, Reservation{}, declared,
+                                     compaction);
     }
     return Status::Ok();
   }
   kv::StorageNode* n = nodes_[node].get();
   multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
-               [n, tenant, compaction] {
+               [n, tenant, compaction, declared] {
                  if (!n->HasTenant(tenant)) {
-                   (void)n->AddTenant(tenant, Reservation{}, {}, compaction);
+                   (void)n->AddTenant(tenant, Reservation{}, declared,
+                                      compaction);
                  }
                });
   return Status::Ok();
@@ -621,18 +630,19 @@ Status Cluster::NodeEnsureTenant(int node, TenantId tenant) {
 Status Cluster::NodeInstallReservation(int node, TenantId tenant,
                                        Reservation share) {
   const lsm::CompactionPolicy compaction = CompactionOf(tenant);
+  const obs::DeclaredAttribution declared = DeclaredOf(tenant);
   if (multi_ == nullptr) {
     return nodes_[node]->HasTenant(tenant)
                ? nodes_[node]->UpdateReservation(tenant, share)
-               : nodes_[node]->AddTenant(tenant, share, {}, compaction);
+               : nodes_[node]->AddTenant(tenant, share, declared, compaction);
   }
   kv::StorageNode* n = nodes_[node].get();
   multi_->Send(0, NodeLoopIndex(node), options_.rpc_latency,
-               [n, tenant, share, compaction] {
+               [n, tenant, share, compaction, declared] {
     if (n->HasTenant(tenant)) {
       (void)n->UpdateReservation(tenant, share);
     } else {
-      (void)n->AddTenant(tenant, share, {}, compaction);
+      (void)n->AddTenant(tenant, share, declared, compaction);
     }
   });
   return Status::Ok();
@@ -850,7 +860,8 @@ Status Cluster::ApplySplit(TenantId tenant,
 
 Result<TenantHandle> Cluster::AddTenant(TenantId tenant,
                                         GlobalReservation reservation,
-                                        lsm::CompactionPolicy compaction) {
+                                        lsm::CompactionPolicy compaction,
+                                        obs::DeclaredAttribution declared) {
   if (tenants_.count(tenant) > 0) {
     return Result<TenantHandle>(Status::AlreadyExists(
         "tenant " + std::to_string(tenant) + " already admitted"));
@@ -865,6 +876,7 @@ Result<TenantHandle> Cluster::AddTenant(TenantId tenant,
   TenantState& state = tenants_[tenant];
   state.global = reservation;
   state.compaction = compaction;
+  state.declared = declared;
   if (Status s = ApplySplit(tenant, split); !s.ok()) {
     tenants_.erase(tenant);
     return Result<TenantHandle>(std::move(s));

@@ -34,6 +34,7 @@
 #include "src/kv/node_stats.h"
 #include "src/kv/storage_node.h"
 #include "src/obs/audit.h"
+#include "src/obs/conformance.h"
 #include "src/obs/span.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/multi_loop.h"
@@ -217,9 +218,13 @@ class Cluster {
   // `compaction` is the tenant's LSM compaction policy, installed on every
   // node that ever hosts one of its partitions (including nodes it migrates
   // onto later).
+  // `declared` is the attribution profile the tenant claims (forwarded to
+  // every StorageNode::AddTenant, so each hosting node's conformance
+  // monitor verifies its observed q̂ against it).
   Result<TenantHandle> AddTenant(
       iosched::TenantId tenant, GlobalReservation reservation,
-      lsm::CompactionPolicy compaction = lsm::CompactionPolicy::kLeveled);
+      lsm::CompactionPolicy compaction = lsm::CompactionPolicy::kLeveled,
+      obs::DeclaredAttribution declared = {});
 
   // Replaces a tenant's global reservation, subject to the same admission
   // check against the other tenants' current provisioned demand.
@@ -489,6 +494,9 @@ class Cluster {
   // a migration target registering the tenant before admission finishes).
   lsm::CompactionPolicy CompactionOf(iosched::TenantId tenant) const;
 
+  // The tenant's declared attribution profile (empty when unknown).
+  obs::DeclaredAttribution DeclaredOf(iosched::TenantId tenant) const;
+
   // VOP price of one normalized (1KB) request at admission time.
   double AdmissionPrice(iosched::AppRequest app) const;
   // Priced VOP demand of a local reservation share.
@@ -522,6 +530,8 @@ class Cluster {
     // The tenant's declared LSM compaction policy, passed to every
     // StorageNode::AddTenant the control-plane seams issue for it.
     lsm::CompactionPolicy compaction = lsm::CompactionPolicy::kLeveled;
+    // Declared attribution profile, likewise forwarded on every install.
+    obs::DeclaredAttribution declared;
     // Current per-node split (what the nodes' policies were last told).
     std::map<int, iosched::Reservation> split;
   };

@@ -270,6 +270,24 @@ std::string NodeStatsToJson(const NodeStats& stats) {
   w.Uint(stats.object_cache.entries);
   w.EndObject();
 
+  w.Key("block_cache");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(stats.block_cache.enabled);
+  w.Key("capacity_bytes");
+  w.Uint(stats.block_cache.capacity_bytes);
+  w.Key("resident_bytes");
+  w.Uint(stats.block_cache.resident_bytes);
+  w.Key("entries");
+  w.Uint(stats.block_cache.entries);
+  w.Key("hits");
+  w.Uint(stats.block_cache.hits);
+  w.Key("misses");
+  w.Uint(stats.block_cache.misses);
+  w.Key("evictions");
+  w.Uint(stats.block_cache.evictions);
+  w.EndObject();
+
   w.Key("coalesced_gets");
   w.Uint(stats.coalesced_gets);
 
@@ -412,6 +430,47 @@ std::string NodeStatsToJson(const NodeStats& stats) {
     w.Uint(t.lsm.table_cache_evictions);
     w.Key("resident_bytes");
     w.Uint(t.lsm.table_cache_resident_bytes);
+    w.EndObject();
+    w.Key("bloom");
+    w.BeginObject();
+    w.Key("probes");
+    w.Uint(t.lsm.bloom_probes);
+    w.Key("negatives");
+    w.Uint(t.lsm.bloom_negatives);
+    w.Key("false_positives");
+    w.Uint(t.lsm.bloom_false_positives);
+    w.EndObject();
+    w.Key("block_cache");
+    w.BeginObject();
+    w.Key("index_hits");
+    w.Uint(t.lsm.bcache_index_hits);
+    w.Key("index_misses");
+    w.Uint(t.lsm.bcache_index_misses);
+    w.Key("filter_hits");
+    w.Uint(t.lsm.bcache_filter_hits);
+    w.Key("filter_misses");
+    w.Uint(t.lsm.bcache_filter_misses);
+    w.Key("data_hits");
+    w.Uint(t.lsm.bcache_data_hits);
+    w.Key("data_misses");
+    w.Uint(t.lsm.bcache_data_misses);
+    w.Key("evictions");
+    w.Uint(t.lsm.bcache_evictions);
+    w.Key("resident_bytes");
+    w.Uint(t.lsm.bcache_resident_bytes);
+    w.Key("capacity_bytes");
+    w.Uint(t.lsm.bcache_capacity_bytes);
+    w.EndObject();
+    w.Key("read_path");
+    w.BeginObject();
+    w.Key("index_block_reads");
+    w.Uint(t.lsm.index_block_reads);
+    w.Key("filter_block_reads");
+    w.Uint(t.lsm.filter_block_reads);
+    w.Key("data_block_reads");
+    w.Uint(t.lsm.data_block_reads);
+    w.Key("data_cache_hits");
+    w.Uint(t.lsm.data_cache_hits);
     w.EndObject();
     w.Key("files_per_level");
     w.BeginArray();

@@ -81,6 +81,19 @@ struct ObjectCacheSnapshot {
   uint64_t entries = 0;
 };
 
+// Node-shared SSTable BlockCache rollup (all tenants, all block kinds).
+// `enabled` is false when partitions run per-DB caches or cache-less; the
+// per-tenant breakdown lives in each TenantSnapshot's lsm stats.
+struct BlockCacheSnapshot {
+  bool enabled = false;
+  uint64_t capacity_bytes = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t entries = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
 // IO lifecycle trace-ring counters (scheduler's TraceRing; all zero when
 // trace_capacity is 0). A nonzero `dropped` means the ring wrapped.
 struct TraceRingSnapshot {
@@ -140,6 +153,7 @@ struct NodeStats {
   TraceRingSnapshot trace_ring;
   SpanCollectorSnapshot spans;
   ObjectCacheSnapshot object_cache;
+  BlockCacheSnapshot block_cache;
   // GETs served by riding another request's in-flight lookup (read
   // coalescing; 0 unless NodeOptions.enable_read_coalescing).
   uint64_t coalesced_gets = 0;

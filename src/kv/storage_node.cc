@@ -32,6 +32,12 @@ StorageNode::StorageNode(sim::EventLoop& loop, NodeOptions options)
   if (options_.enable_cache) {
     cache_ = std::make_unique<LruCache>(options_.cache_bytes);
   }
+  if (options_.lsm_options.block_cache_bytes > 0) {
+    // One cache, one budget, for every tenant partition on the node; the
+    // partitions get it via TenantLsmOptions' shared_block_cache pointer.
+    block_cache_ = std::make_unique<lsm::BlockCache>(
+        options_.lsm_options.block_cache_bytes, /*cache_data=*/true);
+  }
   if (options_.prefill_bytes > 0) {
     device_.Prefill(options_.prefill_bytes);
   }
@@ -104,6 +110,9 @@ lsm::LsmOptions StorageNode::TenantLsmOptions(TenantId tenant) const {
   lsm::LsmOptions opt = options_.lsm_options;
   opt.compaction_policy =
       static_cast<lsm::CompactionPolicy>(policy_.CompactionPolicyOf(tenant));
+  if (block_cache_ != nullptr) {
+    opt.shared_block_cache = block_cache_.get();
+  }
   return opt;
 }
 
@@ -480,6 +489,15 @@ NodeStats StorageNode::Snapshot() const {
     s.object_cache.evictions = cache_->evictions();
     s.object_cache.resident_bytes = cache_->size_bytes();
     s.object_cache.entries = cache_->entries();
+  }
+  if (block_cache_ != nullptr) {
+    s.block_cache.enabled = true;
+    s.block_cache.capacity_bytes = block_cache_->capacity_bytes();
+    s.block_cache.resident_bytes = block_cache_->resident_bytes();
+    s.block_cache.entries = block_cache_->entries();
+    s.block_cache.hits = block_cache_->hits();
+    s.block_cache.misses = block_cache_->misses();
+    s.block_cache.evictions = block_cache_->evictions();
   }
   s.coalesced_gets = coalesced_gets_;
   s.recovery.crashes = crashes_;

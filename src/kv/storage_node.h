@@ -43,6 +43,10 @@ struct NodeOptions {
   iosched::SchedulerOptions scheduler_options;
   iosched::PolicyOptions policy_options;
   double capacity_floor_vops = iosched::kIntel320VopFloor;
+  // lsm_options.bloom_bits_per_key turns on per-SSTable bloom filters;
+  // lsm_options.block_cache_bytes makes the node own ONE BlockCache shared
+  // by every tenant's partition (single budget, per-tenant accounting)
+  // rather than a per-partition cache. Both default off.
   lsm::LsmOptions lsm_options;
   bool enable_cache = false;                // paper's experiments: disabled
   size_t cache_bytes = 64 * kMiB;
@@ -155,6 +159,9 @@ class StorageNode {
   }
   std::vector<iosched::TenantId> tenants() const;
   const LruCache* cache() const { return cache_.get(); }
+  // The node-shared SSTable block cache; nullptr unless
+  // lsm_options.block_cache_bytes > 0.
+  const lsm::BlockCache* block_cache() const { return block_cache_.get(); }
   // GETs that rode another request's in-flight lookup (read coalescing).
   uint64_t coalesced_gets() const { return coalesced_gets_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
@@ -185,6 +192,10 @@ class StorageNode {
   iosched::CapacityModel capacity_;
   iosched::ResourcePolicy policy_;
   std::unique_ptr<LruCache> cache_;
+  // Node-shared SSTable block cache (see NodeOptions.lsm_options). Declared
+  // before partitions_/graveyard_: their TableHandle destructors erase
+  // blocks from it, so it must outlive them.
+  std::unique_ptr<lsm::BlockCache> block_cache_;
   std::map<iosched::TenantId, std::unique_ptr<lsm::LsmDb>> partitions_;
   // Killed partitions awaiting quiescence (see Crash/Restart). Declared
   // next to partitions_ so destruction order versus fs_/scheduler_ is the

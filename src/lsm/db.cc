@@ -21,10 +21,22 @@ LsmDb::LsmDb(sim::EventLoop& loop, fs::SimFs& fs,
       tenant_(tenant),
       prefix_(std::move(name_prefix)),
       options_(options),
-      table_cache_(options.table_cache_bytes),
       stall_mu_(loop),
       stall_cv_(loop) {
   assert(options_.num_levels >= 2);
+  if (options_.shared_block_cache != nullptr) {
+    cache_ = options_.shared_block_cache;
+  } else if (options_.block_cache_bytes > 0) {
+    owned_cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes,
+                                                /*cache_data=*/true);
+    cache_ = owned_cache_.get();
+  } else if (options_.table_cache_bytes > 0) {
+    // Deprecated alias: index blocks only, byte-identical IO to the old
+    // TableIndexCache.
+    owned_cache_ = std::make_unique<BlockCache>(options_.table_cache_bytes,
+                                                /*cache_data=*/false);
+    cache_ = owned_cache_.get();
+  }
   auto v = std::make_shared<Version>();
   v->levels.resize(options_.num_levels);
   current_ = v;
@@ -460,6 +472,7 @@ sim::Task<StatusOr<LsmDb::TableRef>> LsmDb::BuildTable(
   SstableOptions sst_opt;
   sst_opt.block_bytes = options_.block_bytes;
   sst_opt.write_chunk_bytes = options_.write_chunk_bytes;
+  sst_opt.bloom_bits_per_key = options_.bloom_bits_per_key;
   SstableBuilder builder(fs_, handle->file, sst_opt);
   for (size_t i = begin; i < end; ++i) {
     const MemTable::Entry& e = entries[i];
@@ -471,13 +484,13 @@ sim::Task<StatusOr<LsmDb::TableRef>> LsmDb::BuildTable(
   handle->smallest = builder.smallest_key();
   handle->largest = builder.largest_key();
   handle->size_bytes = fs_.SizeOf(handle->file);
-  // Bounded table cache only when configured; capacity 0 keeps the legacy
-  // reader-resident index (identical IO pattern to before the cache).
-  TableIndexCache* cache =
-      options_.table_cache_bytes > 0 ? &table_cache_ : nullptr;
-  handle->index_cache = cache;
-  handle->reader = std::make_unique<SstableReader>(fs_, handle->file, sst_opt,
-                                                   cache, handle->number);
+  // cache_ is null when no cache is configured: the legacy reader-resident
+  // index (identical IO pattern to before the cache).
+  handle->cache = cache_;
+  handle->tenant = tenant_;
+  handle->reader = std::make_unique<SstableReader>(
+      fs_, handle->file, sst_opt, cache_, handle->number, tenant_,
+      &read_counters_);
   co_return handle;
 }
 
@@ -1083,10 +1096,34 @@ LsmStats LsmDb::stats() const {
   s.recovered_wal_files = recovered_wal_files_;
   s.recovered_records = recovered_records_;
   s.recovered_bytes = recovered_bytes_;
-  s.table_cache_hits = table_cache_.hits();
-  s.table_cache_misses = table_cache_.misses();
-  s.table_cache_evictions = table_cache_.evictions();
-  s.table_cache_resident_bytes = table_cache_.resident_bytes();
+  s.bloom_probes = read_counters_.bloom_probes;
+  s.bloom_negatives = read_counters_.bloom_negatives;
+  s.bloom_false_positives = read_counters_.bloom_false_positives;
+  s.index_block_reads = read_counters_.index_block_reads;
+  s.filter_block_reads = read_counters_.filter_block_reads;
+  s.data_block_reads = read_counters_.data_block_reads;
+  s.data_cache_hits = read_counters_.data_cache_hits;
+  if (cache_ != nullptr) {
+    constexpr int kIdx = static_cast<int>(BlockCache::Kind::kIndex);
+    constexpr int kFlt = static_cast<int>(BlockCache::Kind::kFilter);
+    constexpr int kDat = static_cast<int>(BlockCache::Kind::kData);
+    const BlockCache::TenantCounters tc = cache_->CountersOf(tenant_);
+    s.bcache_index_hits = tc.hits[kIdx];
+    s.bcache_index_misses = tc.misses[kIdx];
+    s.bcache_filter_hits = tc.hits[kFlt];
+    s.bcache_filter_misses = tc.misses[kFlt];
+    s.bcache_data_hits = tc.hits[kDat];
+    s.bcache_data_misses = tc.misses[kDat];
+    s.bcache_evictions = tc.evictions;
+    s.bcache_resident_bytes = cache_->resident_bytes();
+    s.bcache_capacity_bytes = cache_->capacity_bytes();
+    // Legacy table-cache view: this tenant's index-block traffic (equal to
+    // the old TableIndexCache counters when the cache is DB-owned).
+    s.table_cache_hits = tc.hits[kIdx];
+    s.table_cache_misses = tc.misses[kIdx];
+    s.table_cache_evictions = tc.evictions;
+    s.table_cache_resident_bytes = cache_->resident_bytes();
+  }
   for (const auto& files : current_->levels) {
     s.files_per_level.push_back(static_cast<int>(files.size()));
   }

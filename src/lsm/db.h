@@ -73,9 +73,20 @@ struct LsmOptions {
   bool wal_group_commit = false;
   uint32_t wal_group_max_bytes = 256 * 1024;
   uint32_t wal_group_max_records = 64;
-  // Byte cap on resident sstable index blocks; 0 = unbounded (default:
+  // Deprecated alias for block_cache_bytes that caches index blocks only
+  // (the old TableIndexCache, byte-identical IO). 0 = unbounded (default:
   // every table keeps its index resident after first use, as before).
+  // Ignored when block_cache_bytes or shared_block_cache is set.
   uint64_t table_cache_bytes = 0;
+  // Bloom filter density for tables written at flush and compaction; 0
+  // writes no filter blocks (files byte-identical to the seed format).
+  uint32_t bloom_bits_per_key = 0;
+  // Byte budget for a DB-owned BlockCache over index + filter + data
+  // blocks; 0 = no data-block caching (table_cache_bytes still applies).
+  uint64_t block_cache_bytes = 0;
+  // Node-shared BlockCache (one budget across all tenants' partitions);
+  // when set it overrides both byte knobs above. Must outlive the DB.
+  BlockCache* shared_block_cache = nullptr;
   CompactionPolicy compaction_policy = CompactionPolicy::kLeveled;
   // Size-tiered only: runs a tier accumulates before the whole tier merges
   // into the next (the bottom tier self-merges at the same threshold).
@@ -104,11 +115,32 @@ struct LsmStats {
   uint64_t wal_batches = 0;          // device appends issued by leaders
   uint64_t wal_batched_records = 0;  // records that rode those batches
   uint64_t wal_max_batch_records = 0;
-  // Table (index-block) cache:
+  // Table (index-block) cache — this tenant's index-block traffic through
+  // whichever cache serves it (legacy names kept for stats continuity):
   uint64_t table_cache_hits = 0;
   uint64_t table_cache_misses = 0;
   uint64_t table_cache_evictions = 0;
   uint64_t table_cache_resident_bytes = 0;
+  // Bloom filters (all zero unless bloom_bits_per_key > 0):
+  uint64_t bloom_probes = 0;
+  uint64_t bloom_negatives = 0;
+  uint64_t bloom_false_positives = 0;
+  // GET read-path block traffic (device reads vs cache hits):
+  uint64_t index_block_reads = 0;
+  uint64_t filter_block_reads = 0;
+  uint64_t data_block_reads = 0;
+  uint64_t data_cache_hits = 0;
+  // Block cache, this tenant's view (per-kind hit/miss + its evictions;
+  // resident/capacity are cache-wide — the budget is shared):
+  uint64_t bcache_index_hits = 0;
+  uint64_t bcache_index_misses = 0;
+  uint64_t bcache_filter_hits = 0;
+  uint64_t bcache_filter_misses = 0;
+  uint64_t bcache_data_hits = 0;
+  uint64_t bcache_data_misses = 0;
+  uint64_t bcache_evictions = 0;
+  uint64_t bcache_resident_bytes = 0;
+  uint64_t bcache_capacity_bytes = 0;
   // Boot-time WAL recovery (non-zero only when Open() found surviving
   // files from a previous incarnation under the same prefix):
   uint64_t recovered_wal_files = 0;
@@ -212,7 +244,8 @@ class LsmDb {
     std::string smallest;
     std::string largest;
     std::unique_ptr<SstableReader> reader;
-    TableIndexCache* index_cache = nullptr;  // set iff the DB bounds it
+    BlockCache* cache = nullptr;  // set iff a cache serves this table
+    iosched::TenantId tenant = 0;
     // Tracing lineage: the FLUSH/COMPACT span that built this table, plus a
     // bounded sample of the app-request spans whose bytes it holds. A later
     // compaction reading this table links its span to these, extending the
@@ -221,8 +254,8 @@ class LsmDb {
     obs::SpanLinkSet origin_links;
 
     ~TableHandle() {
-      if (index_cache != nullptr) {
-        index_cache->Erase(number);  // dead table: drop its resident index
+      if (cache != nullptr) {
+        cache->EraseTable(tenant, number);  // dead table: drop its blocks
       }
       if (fs != nullptr && !name.empty()) {
         fs->Delete(name);  // last reference gone: reclaim the space
@@ -287,10 +320,13 @@ class LsmDb {
   iosched::TenantId tenant_;
   std::string prefix_;
   LsmOptions options_;
-  // Shared bounded index-block cache; only wired into readers when
-  // options_.table_cache_bytes > 0 (capacity 0 keeps the legacy
-  // reader-resident indexes). Declared after options_: init order.
-  TableIndexCache table_cache_;
+  // The block cache serving this DB's readers, resolved from options_ in
+  // the constructor: a caller-owned shared cache, a DB-owned full cache
+  // (block_cache_bytes), a DB-owned index-only cache (the deprecated
+  // table_cache_bytes alias), or nullptr — legacy reader-resident indexes.
+  std::unique_ptr<BlockCache> owned_cache_;
+  BlockCache* cache_ = nullptr;
+  TableReadCounters read_counters_;  // shared by all this DB's readers
   WalCounters wal_counters_;  // survives WAL rotation at memtable seal
 
   SequenceNumber seq_ = 0;

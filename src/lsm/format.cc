@@ -188,6 +188,83 @@ uint32_t Crc32(std::string_view data) {
                          : internal::Crc32Software(data);
 }
 
+namespace {
+
+// FNV-1a over the key bytes, folded to 32 bits. Pure function of the bytes —
+// no per-process seed — so filters built on one host probe identically on any
+// other, and identically across --sim-threads settings.
+uint32_t BloomHash(std::string_view key) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+void BloomFilterBuild(const std::vector<std::string>& keys,
+                      uint32_t bits_per_key, std::string* dst) {
+  if (bits_per_key == 0) {
+    return;
+  }
+  // k ~= bits_per_key * ln(2) probes minimizes the false-positive rate.
+  uint32_t k = bits_per_key * 69 / 100;
+  if (k < 1) {
+    k = 1;
+  }
+  if (k > 30) {
+    k = 30;
+  }
+  size_t bits = keys.size() * static_cast<size_t>(bits_per_key);
+  // Tiny tables would have a high false-positive rate for no byte savings.
+  if (bits < 64) {
+    bits = 64;
+  }
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const size_t start = dst->size();
+  dst->resize(start + bytes, 0);
+  dst->push_back(static_cast<char>(k));
+  char* array = dst->data() + start;
+  for (const std::string& key : keys) {
+    // Double hashing: k probe positions from one hash (Kirsch-Mitzenmacher).
+    uint32_t h = BloomHash(key);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (uint32_t j = 0; j < k; ++j) {
+      const uint32_t bit = h % bits;
+      array[bit / 8] |= static_cast<char>(1 << (bit % 8));
+      h += delta;
+    }
+  }
+}
+
+bool BloomFilterMayContain(std::string_view filter, std::string_view key) {
+  if (filter.size() < 2) {
+    return true;
+  }
+  const size_t bits = (filter.size() - 1) * 8;
+  const uint32_t k = static_cast<unsigned char>(filter.back());
+  if (k > 30) {
+    // Reserved for future encodings; treat as a match rather than wrongly
+    // excluding keys behind a format we do not understand.
+    return true;
+  }
+  const auto* array = reinterpret_cast<const unsigned char*>(filter.data());
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (uint32_t j = 0; j < k; ++j) {
+    const uint32_t bit = h % bits;
+    if ((array[bit / 8] & (1 << (bit % 8))) == 0) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
 int CompareInternalKey(std::string_view a_user, SequenceNumber a_seq,
                        std::string_view b_user, SequenceNumber b_seq) {
   const int c = a_user.compare(b_user);

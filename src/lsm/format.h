@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace libra::lsm {
 
@@ -55,6 +56,25 @@ uint32_t Crc32Hardware(std::string_view data);  // valid only if supported
 bool HasHardwareCrc32();
 
 }  // namespace internal
+
+// --- bloom filter (per-SSTable filter block) ---
+//
+// LevelDB-style double-hashed bloom filter over user keys: a bit array
+// sized `bits_per_key * n` followed by one byte holding the probe count k.
+// Build and probe are pure functions of the key bytes — deterministic
+// across hosts — and the encoding is self-describing, so a reader needs no
+// knob to probe a filter it finds on disk. No false negatives, ever; the
+// false-positive rate at 10 bits/key is ~1%.
+
+// Appends the filter block for `keys` (user keys; duplicates are harmless)
+// to `*dst`. `bits_per_key` 0 appends nothing (filters off).
+void BloomFilterBuild(const std::vector<std::string>& keys,
+                      uint32_t bits_per_key, std::string* dst);
+
+// True when `key` may be in the set `filter` was built from; false only
+// when it definitely is not. An empty or malformed filter answers "maybe"
+// (never wrongly excludes).
+bool BloomFilterMayContain(std::string_view filter, std::string_view key);
 
 // --- internal key ordering ---
 

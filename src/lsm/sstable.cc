@@ -4,6 +4,7 @@
 #include <cassert>
 #include <functional>
 #include <tuple>
+#include <utility>
 
 namespace libra::lsm {
 
@@ -18,6 +19,10 @@ void SstableBuilder::Add(std::string_view key, SequenceNumber seq,
     smallest_ = std::string(key);
   }
   largest_ = std::string(key);
+  if (options_.bloom_bits_per_key > 0 &&
+      (filter_keys_.empty() || filter_keys_.back() != key)) {
+    filter_keys_.emplace_back(key);
+  }
   EncodeRecord(&block_, key, seq, type, value);
   last_key_in_block_ = std::string(key);
   ++num_entries_;
@@ -40,7 +45,10 @@ sim::Task<Status> SstableBuilder::Finish(const iosched::IoTag& tag) {
   assert(!finished_);
   finished_ = true;
   FlushBlock();
-  // Append the index block and footer.
+  // Append the index block, the filter block (when filters are on; the
+  // footer does not describe it — its region is whatever lies between the
+  // index end and the footer, so bits_per_key 0 leaves the file
+  // byte-identical to the pre-filter format), and the footer.
   const uint64_t index_offset = buffer_.size();
   std::string index_block;
   for (const IndexEntry& e : index_) {
@@ -49,6 +57,9 @@ sim::Task<Status> SstableBuilder::Finish(const iosched::IoTag& tag) {
     PutFixed32(&index_block, e.size);
   }
   buffer_ += index_block;
+  if (options_.bloom_bits_per_key > 0) {
+    BloomFilterBuild(filter_keys_, options_.bloom_bits_per_key, &buffer_);
+  }
   PutFixed64(&buffer_, index_offset);
   PutFixed64(&buffer_, index_block.size());
 
@@ -67,79 +78,54 @@ sim::Task<Status> SstableBuilder::Finish(const iosched::IoTag& tag) {
   co_return Status::Ok();
 }
 
-TableIndexCache::IndexRef TableIndexCache::Get(uint64_t table) {
-  const auto it = map_.find(table);
-  if (it == map_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->index;
-}
-
-void TableIndexCache::Insert(uint64_t table, IndexRef index, uint64_t bytes) {
-  Erase(table);  // replace semantics (concurrent loaders may both insert)
-  lru_.push_front(Entry{table, std::move(index), bytes});
-  map_[table] = lru_.begin();
-  resident_bytes_ += bytes;
-  if (capacity_bytes_ == 0) {
-    return;  // unbounded
-  }
-  while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
-    const Entry& victim = lru_.back();
-    resident_bytes_ -= victim.bytes;
-    map_.erase(victim.table);
-    lru_.pop_back();
-    ++evictions_;
-  }
-}
-
-void TableIndexCache::Erase(uint64_t table) {
-  const auto it = map_.find(table);
-  if (it == map_.end()) {
-    return;
-  }
-  resident_bytes_ -= it->second->bytes;
-  lru_.erase(it->second);
-  map_.erase(it);
-}
-
 SstableReader::SstableReader(fs::SimFs& fs, fs::FileId file,
-                             SstableOptions options, TableIndexCache* cache,
-                             uint64_t cache_key)
+                             SstableOptions options, BlockCache* cache,
+                             uint64_t table, iosched::TenantId tenant,
+                             TableReadCounters* counters)
     : fs_(fs),
       file_(file),
       options_(options),
       cache_(cache),
-      cache_key_(cache_key) {}
+      table_(table),
+      tenant_(tenant),
+      counters_(counters) {}
 
-sim::Task<StatusOr<TableIndexCache::IndexRef>> SstableReader::LoadIndex(
-    const iosched::IoTag& tag) {
-  if (cache_ != nullptr) {
-    if (TableIndexCache::IndexRef hit = cache_->Get(cache_key_);
-        hit != nullptr) {
-      co_return hit;
-    }
-  } else if (resident_ != nullptr) {
-    co_return resident_;
+sim::Task<Status> SstableReader::LoadFooter(const iosched::IoTag& tag) {
+  if (footer_cached_) {
+    co_return Status::Ok();
   }
   const uint64_t size = fs_.SizeOf(file_);
   if (size < 16) {
     co_return Status::DataLoss("table too small");
   }
-  if (!footer_cached_) {
-    std::string footer;
-    Status fs_status = co_await fs_.ReadAt(file_, tag, size - 16, 16, &footer);
-    if (!fs_status.ok()) {
-      co_return fs_status;
+  std::string footer;
+  Status s = co_await fs_.ReadAt(file_, tag, size - 16, 16, &footer);
+  if (!s.ok()) {
+    co_return s;
+  }
+  index_offset_ = GetFixed64(footer, 0);
+  index_size_ = GetFixed64(footer, 8);
+  if (index_offset_ + index_size_ + 16 > size) {
+    co_return Status::DataLoss("bad footer");
+  }
+  filter_size_ = size - 16 - (index_offset_ + index_size_);
+  footer_cached_ = true;
+  co_return Status::Ok();
+}
+
+sim::Task<StatusOr<TableIndexRef>> SstableReader::LoadIndex(
+    const iosched::IoTag& tag) {
+  if (cache_ != nullptr) {
+    if (CachedBlockRef hit =
+            cache_->Get(tenant_, table_, BlockCache::Kind::kIndex, 0);
+        hit != nullptr) {
+      co_return hit->index;
     }
-    index_offset_ = GetFixed64(footer, 0);
-    index_size_ = GetFixed64(footer, 8);
-    if (index_offset_ + index_size_ + 16 != size) {
-      co_return Status::DataLoss("bad footer");
-    }
-    footer_cached_ = true;
+  } else if (resident_index_ != nullptr) {
+    co_return resident_index_;
+  }
+  if (Status s = co_await LoadFooter(tag); !s.ok()) {
+    co_return s;
   }
   const uint64_t index_offset = index_offset_;
   const uint64_t index_size = index_size_;
@@ -155,10 +141,13 @@ sim::Task<StatusOr<TableIndexCache::IndexRef>> SstableReader::LoadIndex(
   if (!s.ok()) {
     co_return s;
   }
+  if (counters_ != nullptr) {
+    ++counters_->index_block_reads;
+  }
   // The index proper is the tail of the padded read minus nothing: locate it.
   const uint64_t skip = index_offset - read_off;
   std::string_view data(index_block.data() + skip, index_size);
-  auto index = std::make_shared<TableIndexCache::Index>();
+  auto index = std::make_shared<TableIndex>();
   size_t off = 0;
   while (off < data.size()) {
     std::string_view key;
@@ -170,11 +159,65 @@ sim::Task<StatusOr<TableIndexCache::IndexRef>> SstableReader::LoadIndex(
     off += 12;
     index->emplace_back(std::string(key), block_off, block_size);
   }
-  TableIndexCache::IndexRef ref = std::move(index);
+  TableIndexRef ref = std::move(index);
   if (cache_ != nullptr) {
-    cache_->Insert(cache_key_, ref, index_size);
+    auto block = std::make_shared<CachedBlock>();
+    block->index = ref;
+    cache_->Insert(tenant_, table_, BlockCache::Kind::kIndex, 0,
+                   std::move(block), index_size);
   } else {
-    resident_ = ref;
+    resident_index_ = ref;
+  }
+  co_return ref;
+}
+
+sim::Task<StatusOr<CachedBlockRef>> SstableReader::LoadFilter(
+    const iosched::IoTag& tag) {
+  if (footer_cached_ && filter_size_ == 0) {
+    co_return CachedBlockRef{};  // known filterless: zero IO, zero probes
+  }
+  if (cache_ != nullptr) {
+    // Only probe once the footer proved a filter exists — otherwise every
+    // GET against a filterless table would count a phantom cache miss.
+    if (footer_cached_) {
+      if (CachedBlockRef hit =
+              cache_->Get(tenant_, table_, BlockCache::Kind::kFilter, 0);
+          hit != nullptr) {
+        co_return hit;
+      }
+    }
+  } else if (resident_filter_ != nullptr) {
+    co_return resident_filter_;
+  }
+  if (Status s = co_await LoadFooter(tag); !s.ok()) {
+    co_return s;
+  }
+  if (filter_size_ == 0) {
+    co_return CachedBlockRef{};
+  }
+  // Filter read padded to at least a 4KB block, mirroring the index read.
+  const uint64_t filter_offset = index_offset_ + index_size_;
+  const uint64_t filter_end = filter_offset + filter_size_;
+  const uint64_t read_size =
+      std::max<uint64_t>(filter_size_, std::min<uint64_t>(4096, filter_end));
+  const uint64_t read_off = filter_end - read_size;
+  std::string filter_block;
+  Status s = co_await fs_.ReadAt(file_, tag, read_off, read_size,
+                                 &filter_block);
+  if (!s.ok()) {
+    co_return s;
+  }
+  if (counters_ != nullptr) {
+    ++counters_->filter_block_reads;
+  }
+  auto block = std::make_shared<CachedBlock>();
+  block->bytes = filter_block.substr(filter_offset - read_off, filter_size_);
+  CachedBlockRef ref = std::move(block);
+  if (cache_ != nullptr) {
+    cache_->Insert(tenant_, table_, BlockCache::Kind::kFilter, 0, ref,
+                   filter_size_);
+  } else {
+    resident_filter_ = ref;
   }
   co_return ref;
 }
@@ -183,12 +226,34 @@ sim::Task<SstableReader::GetResult> SstableReader::Get(
     const iosched::IoTag& tag, std::string_view key,
     SequenceNumber snapshot) {
   GetResult result;
-  StatusOr<TableIndexCache::IndexRef> loaded = co_await LoadIndex(tag);
+  // Filter first: a negative probe proves the key absent and skips both
+  // the index and the data-block device reads.
+  bool filter_maybe = false;
+  {
+    StatusOr<CachedBlockRef> filter = co_await LoadFilter(tag);
+    if (!filter.ok()) {
+      result.status = filter.status();
+      co_return result;
+    }
+    if (*filter != nullptr) {
+      if (counters_ != nullptr) {
+        ++counters_->bloom_probes;
+      }
+      if (!BloomFilterMayContain((*filter)->bytes, key)) {
+        if (counters_ != nullptr) {
+          ++counters_->bloom_negatives;
+        }
+        co_return result;  // definitely not in this table
+      }
+      filter_maybe = true;
+    }
+  }
+  StatusOr<TableIndexRef> loaded = co_await LoadIndex(tag);
   if (!loaded.ok()) {
     result.status = loaded.status();
     co_return result;
   }
-  const TableIndexCache::Index& index = **loaded;  // ref pins past eviction
+  const TableIndex& index = **loaded;  // ref pins past eviction
   // First block whose last key >= lookup key.
   const auto it = std::lower_bound(
       index.begin(), index.end(), key,
@@ -196,14 +261,45 @@ sim::Task<SstableReader::GetResult> SstableReader::Get(
         return std::string_view(std::get<0>(entry)) < k;
       });
   if (it == index.end()) {
-    co_return result;  // key larger than everything in the table
-  }
-  std::string block;
-  result.status = co_await fs_.ReadAt(file_, tag, std::get<1>(*it),
-                                      std::get<2>(*it), &block);
-  if (!result.status.ok()) {
+    // Key larger than everything in the table — a filter that said maybe
+    // was wrong.
+    if (filter_maybe && counters_ != nullptr) {
+      ++counters_->bloom_false_positives;
+    }
     co_return result;
   }
+  const uint64_t block_off = std::get<1>(*it);
+  CachedBlockRef data_ref;
+  std::string local_block;
+  const bool data_cached = cache_ != nullptr && cache_->caches_data();
+  if (data_cached) {
+    data_ref = cache_->Get(tenant_, table_, BlockCache::Kind::kData,
+                           block_off);
+  }
+  if (data_ref != nullptr) {
+    if (counters_ != nullptr) {
+      ++counters_->data_cache_hits;  // zero device IO
+    }
+  } else {
+    result.status = co_await fs_.ReadAt(file_, tag, block_off,
+                                        std::get<2>(*it), &local_block);
+    if (!result.status.ok()) {
+      co_return result;
+    }
+    if (counters_ != nullptr) {
+      ++counters_->data_block_reads;
+    }
+    if (data_cached) {
+      auto filled = std::make_shared<CachedBlock>();
+      filled->bytes = std::move(local_block);
+      cache_->Insert(tenant_, table_, BlockCache::Kind::kData, block_off,
+                     filled, filled->bytes.size());
+      data_ref = std::move(filled);
+    }
+  }
+  const std::string_view block =
+      data_ref != nullptr ? std::string_view(data_ref->bytes)
+                          : std::string_view(local_block);
   // Scan the block for the newest visible entry (records are in internal
   // order: the first match with seq <= snapshot wins).
   size_t off = 0;
@@ -221,6 +317,9 @@ sim::Task<SstableReader::GetResult> SstableReader::Get(
     if (rec.key > key) {
       break;
     }
+  }
+  if (filter_maybe && counters_ != nullptr) {
+    ++counters_->bloom_false_positives;
   }
   co_return result;
 }
@@ -258,7 +357,7 @@ sim::Task<Status> SstableReader::RangeCursor::Next() {
 
 sim::Task<StatusOr<std::unique_ptr<SstableReader::RangeCursor>>>
 SstableReader::Seek(const iosched::IoTag& tag, std::string_view start) {
-  StatusOr<TableIndexCache::IndexRef> loaded = co_await LoadIndex(tag);
+  StatusOr<TableIndexRef> loaded = co_await LoadIndex(tag);
   if (!loaded.ok()) {
     co_return loaded.status();
   }
@@ -266,7 +365,7 @@ SstableReader::Seek(const iosched::IoTag& tag, std::string_view start) {
       new RangeCursor(fs_, file_, tag, *loaded));
   // Records before the first block whose last key >= start all compare
   // below the seek key; start loading there.
-  const TableIndexCache::Index& index = **loaded;
+  const TableIndex& index = **loaded;
   const auto it = std::lower_bound(
       index.begin(), index.end(), start,
       [](const auto& entry, std::string_view k) {
@@ -282,11 +381,11 @@ SstableReader::Seek(const iosched::IoTag& tag, std::string_view start) {
 sim::Task<Status> SstableReader::ScanAll(
     const iosched::IoTag& tag,
     const std::function<void(const Record&)>& fn) {
-  StatusOr<TableIndexCache::IndexRef> loaded = co_await LoadIndex(tag);
+  StatusOr<TableIndexRef> loaded = co_await LoadIndex(tag);
   if (!loaded.ok()) {
     co_return loaded.status();
   }
-  const TableIndexCache::Index& index = **loaded;
+  const TableIndex& index = **loaded;
   if (index.empty()) {
     co_return Status::Ok();
   }

@@ -1,16 +1,28 @@
 // Immutable sorted string tables.
 //
 // Layout (paper §3.1 mechanics: block reads + one index block per lookup):
-//   [data block 0][data block 1]...[index block][footer]
-//   data block:  concatenated records, ~4KB target size
-//   index block: per data block {last_key, offset, size}
-//   footer (16B): index offset u64, index size u64
+//   [data block 0][data block 1]...[index block][filter block][footer]
+//   data block:   concatenated records, ~4KB target size
+//   index block:  per data block {last_key, offset, size}
+//   filter block: bloom filter over the table's user keys (absent — zero
+//                 length — when bloom_bits_per_key is 0, which keeps the
+//                 file byte-identical to the pre-filter format)
+//   footer (16B): index offset u64, index size u64 (the filter region is
+//                 whatever lies between index end and footer)
 //
-// A point lookup loads the index block (>= one 4KB read, cached in memory
-// after first use like LevelDB's table cache), binary-searches it, and
-// reads exactly one data block. There is no bloom filter, matching 2014
-// LevelDB defaults — every eligible file costs at least a data-block read,
-// which is the per-file GET amplification the paper measures (Figs. 2/12).
+// A point lookup probes the bloom filter first: a negative answer proves
+// the key is absent and skips both the index and data-block device reads —
+// the common case for GETs against leveled trees, and the main lever on
+// the per-file GET amplification the paper measures (Figs. 2/12). On a
+// maybe (or with filters off, the 2014 LevelDB default this engine
+// started from) the lookup loads the index block (>= one 4KB read),
+// binary-searches it, and reads exactly one data block.
+//
+// Index, filter, and data blocks can be served from a shared BlockCache;
+// hits cost zero device IO and misses re-read (and re-charge) from the
+// device. Without a cache, the index and filter stay resident in the
+// reader after first use; data blocks always hit the device — O_DIRECT
+// leaves no page cache.
 //
 // The builder emits the table through a sequential, chunked append stream
 // (the paper's "asynchronous, io-efficient" FLUSH/COMPACT writes).
@@ -19,16 +31,14 @@
 #define LIBRA_SRC_LSM_SSTABLE_H_
 
 #include <functional>
-#include <list>
 #include <memory>
-#include <tuple>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/fs/sim_fs.h"
 #include "src/iosched/io_tag.h"
+#include "src/lsm/block_cache.h"
 #include "src/lsm/format.h"
 #include "src/sim/task.h"
 
@@ -37,6 +47,21 @@ namespace libra::lsm {
 struct SstableOptions {
   uint32_t block_bytes = 4096;          // data block target
   uint32_t write_chunk_bytes = 262144;  // sequential append granularity
+  // Bloom filter density; 0 writes no filter block (tables byte-identical
+  // to the pre-filter format).
+  uint32_t bloom_bits_per_key = 0;
+};
+
+// Read-path event counters, shared across a DB's readers (the DB owns one
+// and points every reader at it, like WalCounters for rotated WALs).
+struct TableReadCounters {
+  uint64_t bloom_probes = 0;           // GETs that consulted a filter
+  uint64_t bloom_negatives = 0;        // ... answered "definitely absent"
+  uint64_t bloom_false_positives = 0;  // ... said maybe, key wasn't there
+  uint64_t index_block_reads = 0;      // index blocks read from the device
+  uint64_t filter_block_reads = 0;     // filter blocks read from the device
+  uint64_t data_block_reads = 0;       // GET data blocks read from the device
+  uint64_t data_cache_hits = 0;        // GET data blocks served by the cache
 };
 
 // Builds a table in memory block by block; Finish() streams it to `file`.
@@ -71,6 +96,10 @@ class SstableBuilder {
     uint32_t size;
   };
   std::vector<IndexEntry> index_;
+  // Distinct user keys for the filter block (internal order keeps versions
+  // of one key adjacent, so adjacent-dup skipping suffices). Collected only
+  // when bloom_bits_per_key > 0.
+  std::vector<std::string> filter_keys_;
   std::string last_key_in_block_;
   std::string smallest_;
   std::string largest_;
@@ -78,72 +107,23 @@ class SstableBuilder {
   bool finished_ = false;
 };
 
-// Bounded LRU cache of parsed sstable index blocks, shared across one DB's
-// readers and keyed by table file number. Capacity 0 = unbounded — an
-// index stays resident after first use, exactly the pre-cache behavior.
-// Entries are shared_ptr<const Index> so a lookup in flight keeps a
-// just-evicted index alive until it finishes; the next lookup on that
-// table re-reads (and is re-charged) the index block from the device.
-class TableIndexCache {
- public:
-  // {last_key, block offset, block size} per data block (parsed index).
-  using Index = std::vector<std::tuple<std::string, uint64_t, uint32_t>>;
-  using IndexRef = std::shared_ptr<const Index>;
-
-  explicit TableIndexCache(uint64_t capacity_bytes = 0)
-      : capacity_bytes_(capacity_bytes) {}
-
-  TableIndexCache(const TableIndexCache&) = delete;
-  TableIndexCache& operator=(const TableIndexCache&) = delete;
-
-  // nullptr on miss; a hit refreshes the entry's LRU position.
-  IndexRef Get(uint64_t table);
-
-  // Inserts (replacing any previous entry for `table`), charging `bytes`
-  // (the on-disk index size) against capacity, then evicts from the LRU
-  // tail until resident bytes fit. The inserted entry itself is never
-  // evicted by its own insertion.
-  void Insert(uint64_t table, IndexRef index, uint64_t bytes);
-
-  // Drops the entry when its table is deleted (not counted as eviction).
-  void Erase(uint64_t table);
-
-  uint64_t capacity_bytes() const { return capacity_bytes_; }
-  uint64_t resident_bytes() const { return resident_bytes_; }
-  size_t entries() const { return map_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-
- private:
-  struct Entry {
-    uint64_t table = 0;
-    IndexRef index;
-    uint64_t bytes = 0;
-  };
-  using LruList = std::list<Entry>;
-
-  uint64_t capacity_bytes_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<uint64_t, LruList::iterator> map_;
-  uint64_t resident_bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-};
-
-// Reads a finished table. Footer and index block are loaded from disk on
-// first access and cached in memory thereafter (tables are immutable); data
-// blocks are always read from the device — O_DIRECT leaves no page cache,
-// and the engine keeps no block cache. With a shared TableIndexCache the
-// parsed index lives there instead of in the reader, bounded by the cache's
-// capacity; without one it is resident in the reader forever (the default).
+// Reads a finished table. The footer is loaded from disk on first need and
+// cached in the reader (tables are immutable). The parsed index and the
+// filter block live in the shared BlockCache when one is wired — bounded
+// by its budget, re-read and re-charged after eviction — or stay resident
+// in the reader forever without one (the default). Data blocks are served
+// from the cache only when it caches data (`block_cache_bytes` mode, not
+// the deprecated index-only `table_cache_bytes` alias).
 class SstableReader {
  public:
-  // `cache`, if non-null, holds this reader's parsed index under
-  // `cache_key` (the table file number).
+  // `cache`, if non-null, holds this reader's blocks under (`tenant`,
+  // `table`) — the owning tenant and table file number; table numbers
+  // alone collide across tenants' partitions on a node-shared cache.
+  // `counters`, if non-null, receives read-path events.
   SstableReader(fs::SimFs& fs, fs::FileId file, SstableOptions options = {},
-                TableIndexCache* cache = nullptr, uint64_t cache_key = 0);
+                BlockCache* cache = nullptr, uint64_t table = 0,
+                iosched::TenantId tenant = 0,
+                TableReadCounters* counters = nullptr);
 
   struct GetResult {
     bool found = false;    // an entry for the key exists in this table
@@ -152,7 +132,8 @@ class SstableReader {
     Status status;         // IO / parse errors
   };
 
-  // Point lookup: newest entry for `key` visible at `snapshot`.
+  // Point lookup: newest entry for `key` visible at `snapshot`. Probes the
+  // bloom filter (when the table has one) before touching the index.
   sim::Task<GetResult> Get(const iosched::IoTag& tag, std::string_view key,
                            SequenceNumber snapshot);
 
@@ -162,6 +143,9 @@ class SstableReader {
   // limit-truncated scan pays only for the blocks it actually touched —
   // unlike ScanAll's whole-table read. The cursor pins the parsed index
   // for its lifetime (a cache eviction mid-scan cannot invalidate it).
+  // Scans bypass the bloom filter — a point filter cannot answer a range
+  // predicate — and read data blocks straight from the device, so a long
+  // scan cannot wash a tenant's hot blocks out of the shared cache.
   class RangeCursor {
    public:
     bool Valid() const { return valid_; }
@@ -176,7 +160,7 @@ class SstableReader {
    private:
     friend class SstableReader;
     RangeCursor(fs::SimFs& fs, fs::FileId file, iosched::IoTag tag,
-                TableIndexCache::IndexRef index)
+                TableIndexRef index)
         : fs_(fs), file_(file), tag_(tag), index_(std::move(index)) {}
 
     // Decodes forward until a record with user key >= `start` surfaces
@@ -186,7 +170,7 @@ class SstableReader {
     fs::SimFs& fs_;
     fs::FileId file_;
     iosched::IoTag tag_;
-    TableIndexCache::IndexRef index_;
+    TableIndexRef index_;
     size_t next_block_ = 0;  // index of the next data block to load
     std::string block_;      // resident data block backing record_'s views
     size_t offset_ = 0;      // decode position within block_
@@ -207,24 +191,35 @@ class SstableReader {
       const std::function<void(const Record&)>& fn);
 
  private:
+  // Loads and validates the footer (one charged 16B read, cached in the
+  // reader afterwards), locating the index and filter regions.
+  sim::Task<Status> LoadFooter(const iosched::IoTag& tag);
+
   // Resolves the parsed index: from the shared cache (or the reader-local
   // resident copy when uncached), else loads footer + index block from the
   // device, charged to `tag`. The returned ref pins the index for the
   // caller even if the cache evicts it mid-lookup.
-  sim::Task<StatusOr<TableIndexCache::IndexRef>> LoadIndex(
-      const iosched::IoTag& tag);
+  sim::Task<StatusOr<TableIndexRef>> LoadIndex(const iosched::IoTag& tag);
+
+  // Resolves the filter block the same way. Returns a null ref when the
+  // table has no filter; the ref pins the bytes past cache eviction.
+  sim::Task<StatusOr<CachedBlockRef>> LoadFilter(const iosched::IoTag& tag);
 
   fs::SimFs& fs_;
   fs::FileId file_;
   SstableOptions options_;
-  TableIndexCache* cache_;  // nullptr: index resident in `resident_`
-  uint64_t cache_key_;
+  BlockCache* cache_;  // nullptr: index/filter resident in the reader
+  uint64_t table_;
+  iosched::TenantId tenant_;
+  TableReadCounters* counters_;  // nullptr: uncounted (bare-reader tests)
   // Footer, cached after the first (charged) load; a post-eviction reload
-  // re-reads only the index block.
+  // re-reads only the evicted block.
   bool footer_cached_ = false;
   uint64_t index_offset_ = 0;
   uint64_t index_size_ = 0;
-  TableIndexCache::IndexRef resident_;  // only used when cache_ == nullptr
+  uint64_t filter_size_ = 0;  // 0 after footer load = table has no filter
+  TableIndexRef resident_index_;   // only used when cache_ == nullptr
+  CachedBlockRef resident_filter_;  // likewise
 };
 
 }  // namespace libra::lsm

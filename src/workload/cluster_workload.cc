@@ -104,8 +104,17 @@ sim::Task<void> ClusterTenantWorkload::Worker(SimTime end_time) {
     } else if (rng_.Bernoulli(spec_.get_fraction)) {
       const uint64_t idx = zipf_ != nullptr ? zipf_->Sample(rng_) % get_keys_
                                             : rng_.NextU64(get_keys_);
-      const Result<std::string> r = co_await handle_.Get(GetKey(idx));
-      if (!r.ok()) {
+      std::string key = GetKey(idx);
+      // Same short-circuit contract as scan_fraction: at the default 0 no
+      // Bernoulli is drawn. "#" sorts above the digit tail, so the miss key
+      // lands between two live keys — in range for table pruning, absent
+      // from every filter.
+      if (spec_.get_absent_fraction > 0.0 &&
+          rng_.Bernoulli(spec_.get_absent_fraction)) {
+        key.push_back('#');
+      }
+      const Result<std::string> r = co_await handle_.Get(key);
+      if (!r.ok() && r.status().code() != StatusCode::kNotFound) {
         ++get_errors_;
         CountError(r.status());
       }

@@ -129,6 +129,7 @@ void KvTenantWorkload::Start(sim::TaskGroup& group, SimTime end_time) {
 
 void KvTenantWorkload::SwapMix(const KvWorkloadSpec& spec) {
   spec_.get_fraction = spec.get_fraction;
+  spec_.get_absent_fraction = spec.get_absent_fraction;
   spec_.scan_fraction = spec.scan_fraction;
   spec_.scan_span = spec.scan_span;
   spec_.get_size = spec.get_size;
@@ -153,7 +154,16 @@ sim::Task<void> KvTenantWorkload::Worker(SimTime end_time) {
     } else if (rng_.Bernoulli(spec_.get_fraction)) {
       const uint64_t idx = zipf_ != nullptr ? zipf_->Sample(rng_) % get_keys_
                                             : rng_.NextU64(get_keys_);
-      co_await node_.Get(tenant_, GetKey(idx));
+      std::string key = GetKey(idx);
+      // Same short-circuit contract as scan_fraction: at the default 0 no
+      // Bernoulli is drawn. "#" sorts above the digit tail, so the miss key
+      // lands between this live key and its successor — in range for table
+      // pruning, absent from every filter.
+      if (spec_.get_absent_fraction > 0.0 &&
+          rng_.Bernoulli(spec_.get_absent_fraction)) {
+        key.push_back('#');
+      }
+      co_await node_.Get(tenant_, key);
       ++gets_done_;
     } else {
       const uint64_t idx = zipf_ != nullptr ? zipf_->Sample(rng_) % put_keys_

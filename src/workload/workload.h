@@ -83,6 +83,12 @@ struct KvWorkloadSpec {
   int scan_span = 16;
   SizeSpec get_size;  // object sizes in the GET key range
   SizeSpec put_size;  // sizes written by PUTs
+  // Fraction of GETs that probe keys inside the GET key range that were
+  // never written (read misses). Miss keys sort between two live keys, so
+  // they survive SSTable range pruning and exercise the bloom-filter path.
+  // 0 (the default) draws no extra randomness, keeping the historical
+  // GET/PUT request stream byte-for-byte.
+  double get_absent_fraction = 0.0;
   // The preloaded object population is sized to hold ~this much live data.
   uint64_t live_bytes_target = 64ULL * kMiB;
   // Zipf skew for key popularity; 0 = uniform (the paper's default).

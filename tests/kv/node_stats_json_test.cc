@@ -266,7 +266,33 @@ TEST(NodeStatsJsonTest, LoadedNodeSnapshotMatchesSchema) {
       EXPECT_GT(lsm->Find("scan_keys")->number, 0.0);
     }
     ASSERT_TRUE(lsm->Find("files_per_level")->is_array());
+    // Read-path sections are always present (zero when filters/cache off).
+    const JsonValue* bloom = lsm->Find("bloom");
+    ASSERT_NE(bloom, nullptr);
+    for (const char* k : {"probes", "negatives", "false_positives"}) {
+      ASSERT_NE(bloom->Find(k), nullptr) << k;
+    }
+    const JsonValue* bc = lsm->Find("block_cache");
+    ASSERT_NE(bc, nullptr);
+    for (const char* k :
+         {"index_hits", "index_misses", "filter_hits", "filter_misses",
+          "data_hits", "data_misses", "evictions", "resident_bytes",
+          "capacity_bytes"}) {
+      ASSERT_NE(bc->Find(k), nullptr) << k;
+    }
+    const JsonValue* rp = lsm->Find("read_path");
+    ASSERT_NE(rp, nullptr);
+    for (const char* k : {"index_block_reads", "filter_block_reads",
+                          "data_block_reads", "data_cache_hits"}) {
+      ASSERT_NE(rp->Find(k), nullptr) << k;
+    }
+    EXPECT_GE(rp->Find("index_block_reads")->number, 0.0);
   }
+
+  // Node-level shared block cache: present but disabled in this config.
+  const JsonValue* nbc = v.Find("block_cache");
+  ASSERT_NE(nbc, nullptr);
+  EXPECT_FALSE(nbc->Find("enabled")->bool_value);
 
   // --- provisioning audit log ---
   const JsonValue* audit = v.Find("audit");
@@ -392,6 +418,67 @@ TEST(NodeStatsJsonTest, BatchingSectionsEmitted) {
   EXPECT_GT(tc->Find("resident_bytes")->number, 0.0);
   ASSERT_NE(tc->Find("hits"), nullptr);
   ASSERT_NE(tc->Find("evictions"), nullptr);
+}
+
+TEST(NodeStatsJsonTest, FilteredCachedReadPathSectionsEmitted) {
+  sim::EventLoop loop;
+  NodeOptions opt;
+  opt.calibration = SnapshotTable();
+  opt.prefill_bytes = 0;
+  opt.lsm_options.write_buffer_bytes = 64 * 1024;
+  opt.lsm_options.max_bytes_level1 = 256 * 1024;
+  opt.lsm_options.bloom_bits_per_key = 10;
+  opt.lsm_options.block_cache_bytes = 1 * kMiB;
+  StorageNode node(loop, opt);
+  ASSERT_TRUE(node.AddTenant(1, {}).ok());
+
+  auto key = [](int i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%08d", i);
+    return std::string(buf);
+  };
+  auto run = [&]() -> sim::Task<void> {
+    for (int i = 0; i < 300; ++i) {
+      co_await node.Put(1, key(i), std::string(1024, 'v'));
+    }
+    co_await node.partition(1)->WaitIdle();
+    for (int i = 0; i < 300; i += 30) {
+      (void)co_await node.Get(1, key(i));
+      (void)co_await node.Get(1, key(i));  // repeat: data-cache hit
+      // In-range absent key: a filter negative.
+      (void)co_await node.Get(1, key(i) + "x");
+    }
+  };
+  sim::Detach(run());
+  loop.Run();
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonParse(NodeStatsToJson(node.Snapshot()), &v, &err)) << err;
+
+  // Node-level shared cache rollup.
+  const JsonValue* nbc = v.Find("block_cache");
+  ASSERT_NE(nbc, nullptr);
+  EXPECT_TRUE(nbc->Find("enabled")->bool_value);
+  EXPECT_EQ(nbc->Find("capacity_bytes")->number, 1.0 * kMiB);
+  EXPECT_GT(nbc->Find("resident_bytes")->number, 0.0);
+  EXPECT_GT(nbc->Find("entries")->number, 0.0);
+  EXPECT_GE(nbc->Find("hits")->number, 1.0);
+  EXPECT_GE(nbc->Find("misses")->number, 1.0);
+
+  ASSERT_EQ(v.Find("tenants")->array.size(), 1u);
+  const JsonValue* lsm = v.Find("tenants")->array[0].Find("lsm");
+  const JsonValue* bloom = lsm->Find("bloom");
+  EXPECT_GT(bloom->Find("probes")->number, 0.0);
+  EXPECT_GT(bloom->Find("negatives")->number, 0.0);
+  const JsonValue* bc = lsm->Find("block_cache");
+  EXPECT_GT(bc->Find("data_hits")->number, 0.0);
+  EXPECT_GT(bc->Find("data_misses")->number, 0.0);
+  EXPECT_EQ(bc->Find("capacity_bytes")->number, 1.0 * kMiB);
+  const JsonValue* rp = lsm->Find("read_path");
+  EXPECT_GT(rp->Find("data_block_reads")->number, 0.0);
+  EXPECT_GT(rp->Find("data_cache_hits")->number, 0.0);
+  EXPECT_GT(rp->Find("filter_block_reads")->number, 0.0);
 }
 
 }  // namespace

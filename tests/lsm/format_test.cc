@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace libra::lsm {
 namespace {
 
@@ -148,6 +151,74 @@ TEST(FormatTest, RecordDecodeRejectsTruncation) {
     EXPECT_FALSE(DecodeRecord(std::string_view(buf).substr(0, cut), &off, &r))
         << "cut at " << cut;
   }
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back("key" + std::to_string(i * 37));
+  }
+  std::string filter;
+  BloomFilterBuild(keys, 10, &filter);
+  for (const std::string& k : keys) {
+    EXPECT_TRUE(BloomFilterMayContain(filter, k)) << k;
+  }
+}
+
+TEST(BloomFilterTest, EmptyKeySetStillWellFormed) {
+  std::string filter;
+  BloomFilterBuild({}, 10, &filter);
+  // 64-bit minimum array plus the k byte.
+  EXPECT_EQ(filter.size(), 9u);
+  EXPECT_FALSE(BloomFilterMayContain(filter, "anything"));
+}
+
+TEST(BloomFilterTest, AppendsToExistingBuffer) {
+  std::string buf = "prefix";
+  BloomFilterBuild({"a", "b"}, 10, &buf);
+  EXPECT_EQ(buf.substr(0, 6), "prefix");
+  EXPECT_TRUE(BloomFilterMayContain(std::string_view(buf).substr(6), "a"));
+}
+
+TEST(BloomFilterTest, DegenerateFiltersAreConservative) {
+  // Undecodable filters must say "maybe" — never drop a real key.
+  EXPECT_TRUE(BloomFilterMayContain("", "k"));
+  EXPECT_TRUE(BloomFilterMayContain("x", "k"));
+  // Reserved k encodings (> 30) pass everything through.
+  std::string reserved(10, '\0');
+  reserved.back() = static_cast<char>(31);
+  EXPECT_TRUE(BloomFilterMayContain(reserved, "k"));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheoretical) {
+  // At 10 bits/key the theoretical FPR is ~0.82%; require < 2x that
+  // (deterministic: the hash is seedless, the key sets are fixed).
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back("member" + std::to_string(i));
+  }
+  std::string filter;
+  BloomFilterBuild(keys, 10, &filter);
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    if (BloomFilterMayContain(filter, "absent" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  const double fpr = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(fpr, 2 * 0.0082) << "fpr=" << fpr;
+  EXPECT_GT(false_positives, 0);  // a bloom filter is not a perfect set
+}
+
+TEST(BloomFilterTest, BinaryKeysSupported) {
+  const std::string k1("\x00\x01\xFF", 3);
+  const std::string k2("\x00\x01\xFE", 3);
+  std::string filter;
+  BloomFilterBuild({k1}, 10, &filter);
+  EXPECT_TRUE(BloomFilterMayContain(filter, k1));
+  // Not guaranteed in general, but pinned here: sibling binary key misses.
+  EXPECT_FALSE(BloomFilterMayContain(filter, k2));
 }
 
 TEST(FormatTest, BinaryKeysAndValuesSurvive) {

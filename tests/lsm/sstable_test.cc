@@ -120,34 +120,35 @@ TEST(SstableTest, LookupCostsIndexPlusDataBlock) {
   EXPECT_EQ(rig.sched.tracker().Stats(1).read_ops - mid.read_ops, 1u);
 }
 
-TEST(TableIndexCacheTest, BoundedCapacityEvictsLeastRecentlyUsed) {
-  TableIndexCache cache(100);
-  auto idx = std::make_shared<TableIndexCache::Index>();
-  cache.Insert(1, idx, 40);
-  cache.Insert(2, idx, 40);
+CachedBlockRef MakeBlock() { return std::make_shared<CachedBlock>(); }
+
+TEST(BlockCacheTest, BoundedCapacityEvictsLeastRecentlyUsed) {
+  constexpr auto kIdx = BlockCache::Kind::kIndex;
+  BlockCache cache(100);
+  cache.Insert(1, 1, kIdx, 0, MakeBlock(), 40);
+  cache.Insert(1, 2, kIdx, 0, MakeBlock(), 40);
   EXPECT_EQ(cache.resident_bytes(), 80u);
   // Touch table 1 so table 2 becomes the LRU tail.
-  EXPECT_NE(cache.Get(1), nullptr);
-  cache.Insert(3, idx, 40);  // 120 > 100: evicts table 2
+  EXPECT_NE(cache.Get(1, 1, kIdx, 0), nullptr);
+  cache.Insert(1, 3, kIdx, 0, MakeBlock(), 40);  // 120 > 100: evicts table 2
   EXPECT_EQ(cache.evictions(), 1u);
   EXPECT_EQ(cache.entries(), 2u);
   EXPECT_EQ(cache.resident_bytes(), 80u);
-  EXPECT_EQ(cache.Get(2), nullptr);  // miss
-  EXPECT_NE(cache.Get(1), nullptr);
-  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.Get(1, 2, kIdx, 0), nullptr);  // miss
+  EXPECT_NE(cache.Get(1, 1, kIdx, 0), nullptr);
+  EXPECT_NE(cache.Get(1, 3, kIdx, 0), nullptr);
   EXPECT_EQ(cache.hits(), 3u);
   EXPECT_EQ(cache.misses(), 1u);
-  // Erase (table deletion) is not an eviction.
-  cache.Erase(1);
+  // EraseTable (table deletion) is not an eviction.
+  cache.EraseTable(1, 1);
   EXPECT_EQ(cache.entries(), 1u);
   EXPECT_EQ(cache.evictions(), 1u);
 }
 
-TEST(TableIndexCacheTest, ZeroCapacityIsUnbounded) {
-  TableIndexCache cache(0);
-  auto idx = std::make_shared<TableIndexCache::Index>();
+TEST(BlockCacheTest, ZeroCapacityIsUnbounded) {
+  BlockCache cache(0);
   for (uint64_t t = 0; t < 32; ++t) {
-    cache.Insert(t, idx, 1 * kMiB);
+    cache.Insert(1, t, BlockCache::Kind::kIndex, 0, MakeBlock(), 1 * kMiB);
   }
   EXPECT_EQ(cache.entries(), 32u);
   EXPECT_EQ(cache.evictions(), 0u);
@@ -157,8 +158,9 @@ TEST(TableIndexCacheTest, ZeroCapacityIsUnbounded) {
 TEST(SstableTest, SharedCacheServesRepeatLookups) {
   LsmRig rig;
   const fs::FileId file = BuildTestTable(rig, 2000);
-  TableIndexCache cache(1 * kMiB);
-  SstableReader reader(rig.fs, file, {}, &cache, /*cache_key=*/1);
+  // Index-only mode — the deprecated table_cache_bytes configuration.
+  BlockCache cache(1 * kMiB, /*cache_data=*/false);
+  SstableReader reader(rig.fs, file, {}, &cache, /*table=*/1, /*tenant=*/1);
   const auto before = rig.sched.tracker().Stats(1);
   rig.RunTask([&]() -> sim::Task<void> {
     auto r = co_await reader.Get(kGetTag, "key0001000", UINT64_MAX);
@@ -196,9 +198,9 @@ TEST(SstableTest, EvictedIndexReloadIsRereadAndCharged) {
   }());
   // Capacity below a single index: every insert evicts the other table's
   // entry (an insert never evicts itself, so the newest index is resident).
-  TableIndexCache cache(1);
-  SstableReader ra(rig.fs, file_a, {}, &cache, 1);
-  SstableReader rb(rig.fs, file_b, {}, &cache, 2);
+  BlockCache cache(1, /*cache_data=*/false);
+  SstableReader ra(rig.fs, file_a, {}, &cache, /*table=*/1, /*tenant=*/1);
+  SstableReader rb(rig.fs, file_b, {}, &cache, /*table=*/2, /*tenant=*/1);
   rig.RunTask([&]() -> sim::Task<void> {
     auto r = co_await ra.Get(kGetTag, "key0001000", UINT64_MAX);
     EXPECT_TRUE(r.found);

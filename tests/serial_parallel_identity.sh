@@ -8,12 +8,13 @@
 # to stderr by convention, which is why stderr is captured but not diffed.
 #
 # Usage: serial_parallel_identity.sh <workdir> <cluster_demo> \
-#            <failure_demo> <tracing_demo> <mega_demo> <scan_demo>
+#            <failure_demo> <tracing_demo> <mega_demo> <scan_demo> \
+#            <read_path_demo>
 
 set -u
 
-if [ $# -ne 6 ]; then
-  echo "usage: $0 <workdir> <cluster_demo> <failure_demo> <tracing_demo> <mega_demo> <scan_demo>" >&2
+if [ $# -ne 7 ]; then
+  echo "usage: $0 <workdir> <cluster_demo> <failure_demo> <tracing_demo> <mega_demo> <scan_demo> <read_path_demo>" >&2
   exit 2
 fi
 
@@ -23,6 +24,7 @@ FAILURE_DEMO=$3
 TRACING_DEMO=$4
 MEGA_DEMO=$5
 SCAN_DEMO=$6
+READ_PATH_DEMO=$7
 
 THREADS_A=1
 THREADS_B=3
@@ -79,6 +81,7 @@ run_pair failure "$FAILURE_DEMO"
 run_pair tracing "$TRACING_DEMO" --trace-json=trace.json
 run_pair mega "$MEGA_DEMO" --nodes=8 --tenants=500 --rounds=2
 run_pair scan "$SCAN_DEMO"
+run_pair read_path "$READ_PATH_DEMO"
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures identity check(s) failed" >&2
